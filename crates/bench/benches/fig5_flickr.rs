@@ -1,0 +1,46 @@
+//! Figure 5(b) — Flickr-like dataset, job time vs number of query
+//! keywords, for all three algorithms.
+//!
+//! Expected shape (paper): pSPQ grows steeply with |q.W| (more features
+//! survive the map-side prune), eSPQlen grows mildly, eSPQsco stays
+//! nearly flat. Panels (a), (c), (d) are covered by the `experiments`
+//! binary; this bench pins the panel the paper discusses most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::params::{DEFAULT_GRID_REAL, DEFAULT_SIZE_FL, DEFAULT_TOPK, KEYWORD_SWEEP};
+use spq_core::Algorithm;
+use spq_core::SpqExecutor;
+use spq_data::FlickrLike;
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig5b(c: &mut Criterion) {
+    let inputs = spq_bench::criterion_support::setup_with_selection(
+        &FlickrLike,
+        DEFAULT_SIZE_FL,
+        0.05,
+        DEFAULT_GRID_REAL,
+        2017,
+        spq_data::KeywordSelection::Weighted { exponent: 1.0 },
+    );
+    let mut group = c.benchmark_group("fig5b_fl_keywords");
+    group.sample_size(10);
+    for kw in KEYWORD_SWEEP {
+        let query = inputs.query(DEFAULT_TOPK, 10.0, kw, 99);
+        for algo in Algorithm::ALL {
+            let exec = SpqExecutor::new(Rect::unit())
+                .grid_size(DEFAULT_GRID_REAL)
+                .algorithm(algo)
+                .cluster(ClusterConfig::auto());
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), kw),
+                &query,
+                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5b);
+criterion_main!(benches);

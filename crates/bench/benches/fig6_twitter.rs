@@ -1,0 +1,46 @@
+//! Figure 6(c) — Twitter-like dataset, job time vs query radius.
+//!
+//! Expected shape (paper): pSPQ degrades as the radius grows (more
+//! duplication, more in-range pairs), the early-termination algorithms
+//! stay nearly flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::params::{
+    DEFAULT_GRID_REAL, DEFAULT_KEYWORDS, DEFAULT_SIZE_TW, DEFAULT_TOPK, RADIUS_PCT_SWEEP_REAL,
+};
+use spq_core::Algorithm;
+use spq_core::SpqExecutor;
+use spq_data::TwitterLike;
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig6c(c: &mut Criterion) {
+    let inputs = spq_bench::criterion_support::setup_with_selection(
+        &TwitterLike,
+        DEFAULT_SIZE_TW,
+        0.025,
+        DEFAULT_GRID_REAL,
+        2017,
+        spq_data::KeywordSelection::Weighted { exponent: 1.0 },
+    );
+    let mut group = c.benchmark_group("fig6c_tw_radius");
+    group.sample_size(10);
+    for pct in RADIUS_PCT_SWEEP_REAL {
+        let query = inputs.query(DEFAULT_TOPK, pct, DEFAULT_KEYWORDS, 99);
+        for algo in Algorithm::ALL {
+            let exec = SpqExecutor::new(Rect::unit())
+                .grid_size(DEFAULT_GRID_REAL)
+                .algorithm(algo)
+                .cluster(ClusterConfig::auto());
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{pct}pct")),
+                &query,
+                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6c);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 7(a) — uniform synthetic dataset, job time vs grid size.
+//!
+//! Expected shape (paper): finer grids help every algorithm (more
+//! parallel units, cheaper reducers — the §6.3 analysis), and eSPQsco
+//! beats pSPQ by an order of magnitude on this dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::criterion_support::setup;
+use spq_bench::params::{
+    DEFAULT_GRID_SYNTH, DEFAULT_KEYWORDS, DEFAULT_SIZE_UN, DEFAULT_TOPK, GRID_SWEEP_SYNTH,
+};
+use spq_core::Algorithm;
+use spq_core::SpqExecutor;
+use spq_data::UniformGen;
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig7a(c: &mut Criterion) {
+    let inputs = setup(&UniformGen, DEFAULT_SIZE_UN, 0.02, DEFAULT_GRID_SYNTH, 2017);
+    // Radius fixed in absolute terms while the grid varies.
+    let query = inputs.query(DEFAULT_TOPK, 10.0, DEFAULT_KEYWORDS, 99);
+    let mut group = c.benchmark_group("fig7a_un_grid");
+    group.sample_size(10);
+    for n in GRID_SWEEP_SYNTH {
+        for algo in Algorithm::ALL {
+            let exec = SpqExecutor::new(Rect::unit())
+                .grid_size(n)
+                .algorithm(algo)
+                .cluster(ClusterConfig::auto());
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{n}x{n}")),
+                &query,
+                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 8 — scalability with dataset size (uniform synthetic data).
+//!
+//! Expected shape (paper): pSPQ scales linearly with the dataset; the
+//! early-termination algorithms barely move, so their advantage *grows*
+//! with size. Sizes follow the paper's 64:128:256:512 ratios at bench
+//! scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::params::{
+    scaled, DEFAULT_GRID_SYNTH, DEFAULT_KEYWORDS, DEFAULT_SIZE_UN, DEFAULT_TOPK,
+    FIG8_PAPER_SIZES, FIG8_SIZE_RATIOS,
+};
+use spq_core::Algorithm;
+use spq_core::SpqExecutor;
+use spq_data::{DatasetGenerator, KeywordSelection, QueryGenerator, UniformGen};
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig8(c: &mut Criterion) {
+    let full = UniformGen.generate(scaled(DEFAULT_SIZE_UN, 0.02), 2017);
+    let cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
+    let query = QueryGenerator::new(full.vocab_size, KeywordSelection::Random, 99).generate(
+        DEFAULT_TOPK,
+        cell * 10.0 / 100.0,
+        DEFAULT_KEYWORDS,
+    );
+    let mut group = c.benchmark_group("fig8_un_scalability");
+    group.sample_size(10);
+    for (ratio, label) in FIG8_SIZE_RATIOS.into_iter().zip(FIG8_PAPER_SIZES) {
+        let subset = full.truncated(
+            (full.data.len() as f64 * ratio) as usize,
+            (full.features.len() as f64 * ratio) as usize,
+        );
+        let splits = subset.to_splits(8);
+        for algo in Algorithm::ALL {
+            let exec = SpqExecutor::new(Rect::unit())
+                .grid_size(DEFAULT_GRID_SYNTH)
+                .algorithm(algo)
+                .cluster(ClusterConfig::auto());
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{label}M")),
+                &query,
+                |b, q| b.iter(|| exec.run_splits(&splits, q).unwrap().top_k),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 9(b) — clustered synthetic dataset, job time vs query keywords,
+//! early-termination algorithms only (the paper reports ~48h for pSPQ on
+//! CL and omits it; panel (e) of the `experiments` binary demonstrates
+//! the blow-up at small scale).
+//!
+//! Expected shape (paper): eSPQsco stays stable despite the heavy reducer
+//! skew; eSPQlen degrades with more keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::criterion_support::setup;
+use spq_bench::params::{DEFAULT_GRID_SYNTH, DEFAULT_SIZE_CL, DEFAULT_TOPK, KEYWORD_SWEEP};
+use spq_core::Algorithm;
+use spq_core::SpqExecutor;
+use spq_data::ClusteredGen;
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig9b(c: &mut Criterion) {
+    let inputs = setup(&ClusteredGen, DEFAULT_SIZE_CL, 0.02, DEFAULT_GRID_SYNTH, 2017);
+    let mut group = c.benchmark_group("fig9b_cl_keywords");
+    group.sample_size(10);
+    for kw in KEYWORD_SWEEP {
+        let query = inputs.query(DEFAULT_TOPK, 10.0, kw, 99);
+        for algo in [Algorithm::ESpqLen, Algorithm::ESpqSco] {
+            let exec = SpqExecutor::new(Rect::unit())
+                .grid_size(DEFAULT_GRID_SYNTH)
+                .algorithm(algo)
+                .cluster(ClusterConfig::auto());
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), kw),
+                &query,
+                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9b);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the hot primitives: Jaccard scoring, grid routing
+//! with Lemma-1 duplication, and the top-k list.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spq_core::TopKList;
+use spq_spatial::{Grid, Point, Rect};
+use spq_text::{KeywordSet, Score, SetSimilarity};
+use std::hint::black_box;
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jaccard");
+    let query = KeywordSet::from_ids([3, 250, 777]);
+    for flen in [5usize, 20, 100] {
+        let feature = KeywordSet::from_ids((0..flen as u32).map(|i| i * 7 % 1000));
+        group.bench_function(format!("q3_f{flen}"), |b| {
+            b.iter(|| SetSimilarity::Jaccard.score(black_box(&query), black_box(&feature)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    let grid = Grid::square(Rect::unit(), 50);
+    let points: Vec<Point> = (0..10_000)
+        .map(|i| {
+            let t = i as f64 / 10_000.0;
+            Point::new((t * 997.0).fract(), (t * 631.0).fract())
+        })
+        .collect();
+    group.bench_function("cell_of_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in &points {
+                acc = acc.wrapping_add(grid.cell_of(black_box(p)).0);
+            }
+            acc
+        })
+    });
+    for pct in [10.0, 50.0] {
+        let r = grid.cell_width() * pct / 100.0;
+        group.bench_function(format!("duplication_targets_10k_r{pct}pct"), |b| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for p in &points {
+                    grid.for_each_duplication_target(black_box(p), r, |_| count += 1);
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let offers: Vec<(u64, Score)> = (0..10_000u64)
+        .map(|i| (i % 500, Score::ratio((i * 37 % 100) as usize + 1, 101)))
+        .collect();
+    c.bench_function("topk_update_10k_offers_k10", |b| {
+        b.iter_batched(
+            || TopKList::new(10),
+            |mut list| {
+                for &(id, s) in &offers {
+                    list.update(id, Point::new(0.0, 0.0), s);
+                }
+                list
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_jaccard, bench_grid_routing, bench_topk);
+criterion_main!(benches);

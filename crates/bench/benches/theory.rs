@@ -1,0 +1,46 @@
+//! Section-6 ablation benches: the cost of Lemma-1 duplication-target
+//! enumeration across radius/cell ratios, and the df Monte-Carlo check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_core::theory;
+use spq_spatial::{Grid, Point, Rect};
+use std::hint::black_box;
+
+fn bench_duplication_enumeration(c: &mut Criterion) {
+    let grid = Grid::square(Rect::unit(), 50);
+    let points: Vec<Point> = (0..20_000)
+        .map(|i| {
+            let t = i as f64;
+            Point::new((t * 0.61803).fract(), (t * 0.75488).fract())
+        })
+        .collect();
+    let mut group = c.benchmark_group("lemma1_enumeration");
+    for pct in [5.0, 10.0, 25.0, 50.0, 100.0] {
+        let r = grid.cell_width() * pct / 100.0;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{pct}pct")), &r, |b, &r| {
+            b.iter(|| {
+                let mut dups = 0usize;
+                for p in &points {
+                    grid.for_each_duplication_target(black_box(p), r, |_| dups += 1);
+                }
+                dups
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_df_formula(c: &mut Criterion) {
+    c.bench_function("df_closed_form", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=100 {
+                acc += theory::duplication_factor(1.0, black_box(i as f64 / 250.0));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_duplication_enumeration, bench_df_formula);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the paper's figures as console tables and CSV files.
+//!
+//! ```text
+//! experiments [--all] [--figure fig5]... [--scale F] [--seed N]
+//!             [--workers N] [--queries N] [--sim-slots N] [--out DIR]
+//!             [--no-csv] [--list]
+//! ```
+//!
+//! Examples:
+//!
+//! * `experiments --all` — every figure at the harness default scale.
+//! * `experiments --figure fig8 --scale 4` — scalability sweep at 4× the
+//!   default sizes (closer to the paper's 512M, given enough patience).
+
+use spq_bench::figures::{run_and_render, FIGURES};
+use spq_bench::BenchConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--all] [--figure <id>]... [--scale F] [--seed N] \
+         [--workers N] [--queries N] [--sim-slots N] [--out DIR] [--no-csv] [--list]\n\
+         figures: {}",
+        FIGURES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = BenchConfig::default();
+    let mut figures: Vec<String> = Vec::new();
+    let mut i = 0;
+
+    let next = |i: &mut usize, args: &[String]| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => figures = FIGURES.iter().map(|s| (*s).to_owned()).collect(),
+            "--figure" => figures.push(next(&mut i, &args)),
+            "--scale" => cfg.scale = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--queries" => {
+                cfg.queries_per_point = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
+            }
+            "--sim-slots" => {
+                cfg.sim_slots = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => cfg.out_dir = Some(next(&mut i, &args).into()),
+            "--no-csv" => cfg.out_dir = None,
+            "--list" => {
+                println!("{}", FIGURES.join("\n"));
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    if figures.is_empty() {
+        usage();
+    }
+    for f in &figures {
+        if !FIGURES.contains(&f.as_str()) {
+            eprintln!("unknown figure {f:?}");
+            usage();
+        }
+    }
+
+    println!(
+        "# SPQ experiment harness — scale {}, seed {}, {} workers, {} queries/point, {} sim slots",
+        cfg.scale, cfg.seed, cfg.workers, cfg.queries_per_point, cfg.sim_slots
+    );
+    if let Some(dir) = &cfg.out_dir {
+        println!("# CSVs -> {}", dir.display());
+    }
+    println!();
+
+    for figure in &figures {
+        let t0 = std::time::Instant::now();
+        let rendered = run_and_render(figure, &cfg);
+        println!("{rendered}");
+        println!("# {figure} finished in {:.1?}\n", t0.elapsed());
+    }
+}

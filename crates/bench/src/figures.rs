@@ -1,0 +1,639 @@
+//! One entry point per figure of the paper's evaluation.
+
+use crate::params::*;
+use crate::report;
+use crate::{measure_avg, BenchConfig, Measurement, Panel, PanelRow};
+
+use spq_core::{theory, Algorithm, SpqExecutor, SpqObject, SpqQuery};
+use spq_data::{
+    ClusteredGen, DatasetGenerator, FlickrLike, KeywordSelection, QueryGenerator,
+    TwitterLike, UniformGen,
+};
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::{Grid, Point, Rect};
+use spq_text::KeywordSet;
+use std::time::Duration;
+
+/// All figure ids the harness understands.
+pub const FIGURES: [&str; 9] = ["fig5", "fig6", "fig7", "fig8", "fig9", "df", "cellsize", "prune", "balance"];
+
+/// Output of one figure run: timing panels, or a free-form analysis text.
+#[derive(Debug, Clone)]
+pub enum FigureOutput {
+    /// Chart-like panels (Figures 5–9).
+    Panels(Vec<Panel>),
+    /// Rendered analysis table (df / cellsize).
+    Text(String),
+}
+
+/// Runs one figure by id.
+///
+/// # Panics
+///
+/// Panics on an unknown figure id; callers validate against [`FIGURES`].
+pub fn run(figure: &str, cfg: &BenchConfig) -> FigureOutput {
+    match figure {
+        "fig5" => FigureOutput::Panels(four_panels(&FlickrLike, real_family("fig5", "Figure 5", "FL", DEFAULT_SIZE_FL), cfg)),
+        "fig6" => FigureOutput::Panels(four_panels(&TwitterLike, real_family("fig6", "Figure 6", "TW", DEFAULT_SIZE_TW), cfg)),
+        "fig7" => FigureOutput::Panels(four_panels(&UniformGen, synth_family("fig7", "Figure 7", "UN", DEFAULT_SIZE_UN, Algorithm::ALL.to_vec()), cfg)),
+        "fig8" => FigureOutput::Panels(vec![fig8(cfg)]),
+        "fig9" => FigureOutput::Panels(fig9(cfg)),
+        "df" => FigureOutput::Text(duplication_report(cfg)),
+        "cellsize" => FigureOutput::Text(cellsize_report(cfg)),
+        "prune" => FigureOutput::Panels(vec![pruning_ablation(cfg)]),
+        "balance" => FigureOutput::Panels(vec![balance_ablation(cfg)]),
+        other => panic!("unknown figure {other:?} (expected one of {FIGURES:?})"),
+    }
+}
+
+/// Sweep configuration shared by the four-panel figures.
+struct Family {
+    id: &'static str,
+    figure: &'static str,
+    dataset: &'static str,
+    base_size: usize,
+    default_grid: u32,
+    grid_sweep: Vec<u32>,
+    radius_sweep: Vec<f64>,
+    algorithms: Vec<Algorithm>,
+    selection: KeywordSelection,
+}
+
+fn real_family(id: &'static str, figure: &'static str, dataset: &'static str, base: usize) -> Family {
+    Family {
+        id,
+        figure,
+        dataset,
+        base_size: base,
+        default_grid: DEFAULT_GRID_REAL,
+        grid_sweep: GRID_SWEEP_REAL.to_vec(),
+        radius_sweep: RADIUS_PCT_SWEEP_REAL.to_vec(),
+        algorithms: Algorithm::ALL.to_vec(),
+        // Frequency-weighted query terms restore the paper-scale match
+        // counts on the Zipf dictionaries (see KeywordSelection::Weighted).
+        selection: KeywordSelection::Weighted { exponent: 1.0 },
+    }
+}
+
+fn synth_family(
+    id: &'static str,
+    figure: &'static str,
+    dataset: &'static str,
+    base: usize,
+    algorithms: Vec<Algorithm>,
+) -> Family {
+    Family {
+        id,
+        figure,
+        dataset,
+        base_size: base,
+        default_grid: DEFAULT_GRID_SYNTH,
+        grid_sweep: GRID_SWEEP_SYNTH.to_vec(),
+        radius_sweep: RADIUS_PCT_SWEEP_SYNTH.to_vec(),
+        algorithms,
+        selection: KeywordSelection::Random,
+    }
+}
+
+fn executor(grid: u32, cfg: &BenchConfig, algorithm: Algorithm) -> SpqExecutor {
+    SpqExecutor::new(Rect::unit())
+        .grid_size(grid)
+        .algorithm(algorithm)
+        .cluster(ClusterConfig::with_workers(cfg.workers))
+}
+
+fn sweep_point(
+    algorithms: &[Algorithm],
+    grid: u32,
+    cfg: &BenchConfig,
+    splits: &[Vec<SpqObject>],
+    queries: &[SpqQuery],
+) -> Vec<Measurement> {
+    algorithms
+        .iter()
+        .map(|&a| measure_avg(&executor(grid, cfg, a), splits, queries, cfg.sim_slots))
+        .collect()
+}
+
+/// Panels (a)–(d): grid size, query keywords, query radius, top-k.
+fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) -> Vec<Panel> {
+    let size = scaled(family.base_size, cfg.scale);
+    eprintln!(
+        "[{}] generating {} dataset: {} objects",
+        family.id, family.dataset, size
+    );
+    let dataset = gen.generate(size, cfg.seed);
+    let splits = dataset.to_splits(cfg.workers.max(4));
+    let default_cell = 1.0 / family.default_grid as f64;
+    let default_radius = default_cell * DEFAULT_RADIUS_PCT / 100.0;
+
+    // One *nested* keyword pool per averaged query: prefixes of the same
+    // draw serve every sweep point, so rows differ only in the swept
+    // parameter instead of in freshly drawn (wildly varying) keyword
+    // sets.
+    let mut qgen = QueryGenerator::new(dataset.vocab_size, family.selection, cfg.seed ^ 0x5151);
+    let max_kw = *KEYWORD_SWEEP.iter().max().expect("non-empty sweep");
+    let base_terms: Vec<Vec<spq_text::Term>> = (0..cfg.queries_per_point)
+        .map(|_| qgen.generate_terms(max_kw))
+        .collect();
+    let queries_with = |kw: usize, k: usize, radius: f64| -> Vec<SpqQuery> {
+        base_terms
+            .iter()
+            .map(|t| SpqQuery::new(k, radius, KeywordSet::new(t[..kw].to_vec())))
+            .collect()
+    };
+    let mut panels = Vec::new();
+
+    // (a) varying grid size.
+    {
+        let queries = queries_with(DEFAULT_KEYWORDS, DEFAULT_TOPK, default_radius);
+        let rows = family
+            .grid_sweep
+            .iter()
+            .map(|&n| PanelRow {
+                x: format!("{n}x{n}"),
+                cells: sweep_point(&family.algorithms, n, cfg, &splits, &queries),
+            })
+            .collect();
+        panels.push(Panel {
+            id: format!("{}a", family.id),
+            title: format!(
+                "{}(a) — {}: varying grid size (|q.W|={DEFAULT_KEYWORDS}, r={DEFAULT_RADIUS_PCT}% of cell, k={DEFAULT_TOPK})",
+                family.figure, family.dataset
+            ),
+            x_label: "grid".to_owned(),
+            algorithms: family.algorithms.clone(),
+            rows,
+        });
+    }
+
+    // (b) varying number of query keywords.
+    {
+        let rows = KEYWORD_SWEEP
+            .iter()
+            .map(|&kw| {
+                let queries = queries_with(kw, DEFAULT_TOPK, default_radius);
+                PanelRow {
+                    x: kw.to_string(),
+                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                }
+            })
+            .collect();
+        panels.push(Panel {
+            id: format!("{}b", family.id),
+            title: format!(
+                "{}(b) — {}: varying query keywords (grid {g}x{g}, r={DEFAULT_RADIUS_PCT}%, k={DEFAULT_TOPK})",
+                family.figure,
+                family.dataset,
+                g = family.default_grid,
+            ),
+            x_label: "keywords".to_owned(),
+            algorithms: family.algorithms.clone(),
+            rows,
+        });
+    }
+
+    // (c) varying query radius (% of the default cell side).
+    {
+        let rows = family
+            .radius_sweep
+            .iter()
+            .map(|&pct| {
+                let r = default_cell * pct / 100.0;
+                let queries = queries_with(DEFAULT_KEYWORDS, DEFAULT_TOPK, r);
+                PanelRow {
+                    x: format!("{pct}%"),
+                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                }
+            })
+            .collect();
+        panels.push(Panel {
+            id: format!("{}c", family.id),
+            title: format!(
+                "{}(c) — {}: varying query radius (grid default, |q.W|={DEFAULT_KEYWORDS}, k={DEFAULT_TOPK})",
+                family.figure, family.dataset
+            ),
+            x_label: "radius".to_owned(),
+            algorithms: family.algorithms.clone(),
+            rows,
+        });
+    }
+
+    // (d) varying k.
+    {
+        let rows = TOPK_SWEEP
+            .iter()
+            .map(|&k| {
+                let queries = queries_with(DEFAULT_KEYWORDS, k, default_radius);
+                PanelRow {
+                    x: k.to_string(),
+                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                }
+            })
+            .collect();
+        panels.push(Panel {
+            id: format!("{}d", family.id),
+            title: format!(
+                "{}(d) — {}: varying top-k (grid default, |q.W|={DEFAULT_KEYWORDS}, r={DEFAULT_RADIUS_PCT}%)",
+                family.figure, family.dataset
+            ),
+            x_label: "k".to_owned(),
+            algorithms: family.algorithms.clone(),
+            rows,
+        });
+    }
+    panels
+}
+
+/// Figure 8: scalability with dataset size (UN, all algorithms).
+fn fig8(cfg: &BenchConfig) -> Panel {
+    let max_size = scaled(DEFAULT_SIZE_UN, cfg.scale);
+    eprintln!("[fig8] generating UN dataset: {max_size} objects");
+    let full = UniformGen.generate(max_size, cfg.seed);
+    let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
+    let default_radius = default_cell * DEFAULT_RADIUS_PCT / 100.0;
+    let mut qgen = QueryGenerator::new(full.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, default_radius, DEFAULT_KEYWORDS);
+
+    let rows = FIG8_SIZE_RATIOS
+        .iter()
+        .zip(FIG8_PAPER_SIZES)
+        .map(|(&ratio, label)| {
+            let n_data = (full.data.len() as f64 * ratio) as usize;
+            let n_feat = (full.features.len() as f64 * ratio) as usize;
+            let subset = full.truncated(n_data, n_feat);
+            let splits = subset.to_splits(cfg.workers.max(4));
+            PanelRow {
+                x: format!("{label}M*"),
+                cells: sweep_point(&Algorithm::ALL, DEFAULT_GRID_SYNTH, cfg, &splits, &queries),
+            }
+        })
+        .collect();
+    Panel {
+        id: "fig8".to_owned(),
+        title: format!(
+            "Figure 8 — scalability with dataset size (UN; * = paper's millions, harness runs {} objects at the top size)",
+            max_size
+        ),
+        x_label: "size".to_owned(),
+        algorithms: Algorithm::ALL.to_vec(),
+        rows,
+    }
+}
+
+/// Figure 9: the clustered dataset. Panels (a)–(d) run the two
+/// early-termination algorithms (the paper omits pSPQ — it needed ~48h);
+/// panel (e) demonstrates the pSPQ blow-up at 1/8 scale against UN.
+fn fig9(cfg: &BenchConfig) -> Vec<Panel> {
+    let early = vec![Algorithm::ESpqLen, Algorithm::ESpqSco];
+    let mut panels = four_panels(
+        &ClusteredGen,
+        synth_family("fig9", "Figure 9", "CL", DEFAULT_SIZE_CL, early),
+        cfg,
+    );
+
+    // Panel (e): why pSPQ is absent from the panels above — at equal
+    // size, the clustered distribution funnels whole clusters into single
+    // reducers, and pSPQ's O(|Oi|·|Fi|) worst cell dominates the job.
+    let size = scaled(DEFAULT_SIZE_CL, cfg.scale);
+    let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
+    let default_radius = default_cell * DEFAULT_RADIUS_PCT / 100.0;
+    let mut rows = Vec::new();
+    for (name, dataset) in [
+        ("UN", UniformGen.generate(size, cfg.seed)),
+        ("CL", ClusteredGen.generate(size, cfg.seed)),
+    ] {
+        let mut qgen =
+            QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+        let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, default_radius, DEFAULT_KEYWORDS);
+        let splits = dataset.to_splits(cfg.workers.max(4));
+        rows.push(PanelRow {
+            x: name.to_owned(),
+            cells: sweep_point(&Algorithm::ALL, DEFAULT_GRID_SYNTH, cfg, &splits, &queries),
+        });
+    }
+    panels.push(Panel {
+        id: "fig9e".to_owned(),
+        title: format!(
+            "Figure 9(e) — pSPQ on clustered vs uniform data ({} objects; the paper reports ~48h on CL at 512M)",
+            size
+        ),
+        x_label: "dataset".to_owned(),
+        algorithms: Algorithm::ALL.to_vec(),
+        rows,
+    });
+    panels
+}
+
+/// Ablation of the partitioning scheme on the skew-hostile CL dataset:
+/// the paper's uniform grid vs the adaptive quadtree extension with the
+/// same cell budget. Time should drop and — decisively — the busiest
+/// reducer should shrink (the reduce_skew CSV column).
+pub fn balance_ablation(cfg: &BenchConfig) -> Panel {
+    use spq_core::LoadBalancing;
+    let size = scaled(DEFAULT_SIZE_CL, cfg.scale);
+    eprintln!("[balance] generating CL dataset: {size} objects");
+    let dataset = ClusteredGen.generate(size, cfg.seed);
+    let splits = dataset.to_splits(cfg.workers.max(4));
+    let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
+    let mut qgen =
+        QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let queries = qgen.batch(
+        cfg.queries_per_point,
+        DEFAULT_TOPK,
+        default_cell * DEFAULT_RADIUS_PCT / 100.0,
+        DEFAULT_KEYWORDS,
+    );
+    let rows = [
+        ("uniform grid", LoadBalancing::UniformGrid),
+        (
+            "quadtree",
+            LoadBalancing::AdaptiveQuadtree { sample_size: 8192 },
+        ),
+    ]
+    .into_iter()
+    .map(|(label, balancing)| PanelRow {
+        x: label.to_owned(),
+        cells: Algorithm::ALL
+            .iter()
+            .map(|&a| {
+                let exec = executor(DEFAULT_GRID_SYNTH, cfg, a).load_balancing(balancing);
+                crate::measure_avg(&exec, &splits, &queries, cfg.sim_slots)
+            })
+            .collect(),
+    })
+    .collect();
+    Panel {
+        id: "balance".to_owned(),
+        title: format!(
+            "Ablation — uniform grid vs adaptive quadtree on CL ({} cells budget, |q.W|={DEFAULT_KEYWORDS}, k={DEFAULT_TOPK})",
+            DEFAULT_GRID_SYNTH as usize * DEFAULT_GRID_SYNTH as usize
+        ),
+        x_label: "partition".to_owned(),
+        algorithms: Algorithm::ALL.to_vec(),
+        rows,
+    }
+}
+
+/// Ablation of the map-side keyword pruning rule (Algorithm 1 line 9):
+/// the same FL-like workload with pruning on vs off, per algorithm. The
+/// paper argues the rule "can significantly limit the number of feature
+/// objects that need to be sent to the Reduce phase" — this panel
+/// quantifies it (watch the shuffle column).
+pub fn pruning_ablation(cfg: &BenchConfig) -> Panel {
+    let size = scaled(DEFAULT_SIZE_FL, cfg.scale);
+    eprintln!("[prune] generating FL dataset: {size} objects");
+    let dataset = FlickrLike.generate(size, cfg.seed);
+    let splits = dataset.to_splits(cfg.workers.max(4));
+    let default_cell = 1.0 / DEFAULT_GRID_REAL as f64;
+    let mut qgen = QueryGenerator::new(
+        dataset.vocab_size,
+        KeywordSelection::Weighted { exponent: 1.0 },
+        cfg.seed ^ 0x5151,
+    );
+    let queries = qgen.batch(
+        cfg.queries_per_point,
+        DEFAULT_TOPK,
+        default_cell * DEFAULT_RADIUS_PCT / 100.0,
+        DEFAULT_KEYWORDS,
+    );
+    let rows = [("pruning on", true), ("pruning off", false)]
+        .into_iter()
+        .map(|(label, prune)| PanelRow {
+            x: label.to_owned(),
+            cells: Algorithm::ALL
+                .iter()
+                .map(|&a| {
+                    let exec = executor(DEFAULT_GRID_REAL, cfg, a).keyword_pruning(prune);
+                    crate::measure_avg(&exec, &splits, &queries, cfg.sim_slots)
+                })
+                .collect(),
+        })
+        .collect();
+    Panel {
+        id: "prune".to_owned(),
+        title: format!(
+            "Ablation — map-side keyword pruning (FL, grid {g}x{g}, |q.W|={DEFAULT_KEYWORDS}, k={DEFAULT_TOPK})",
+            g = DEFAULT_GRID_REAL
+        ),
+        x_label: "variant".to_owned(),
+        algorithms: Algorithm::ALL.to_vec(),
+        rows,
+    }
+}
+
+/// Section 6.2: Monte-Carlo duplication factor vs the closed form, as
+/// `(radius % of cell, measured df, predicted df)` rows.
+///
+/// Points are sampled over the grid's *interior* cells: the closed form
+/// models an unbounded tiling, while cells on the data-space boundary
+/// have clipped neighbourhoods (their features duplicate less). The full-
+/// space deficit is exactly the boundary-cell fraction and is reported by
+/// the `experiments --figure df` output of real runs via the
+/// `map.feature_duplicates` counter.
+pub fn duplication_table(cfg: &BenchConfig) -> Vec<(f64, f64, f64)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let grid = Grid::square(Rect::unit(), DEFAULT_GRID_SYNTH);
+    let cell = grid.cell_width();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = scaled(200_000, cfg.scale);
+    let interior = |v: f64| cell + v * (1.0 - 2.0 * cell);
+    let points: Vec<Point> = (0..n)
+        .map(|_| Point::new(interior(rng.gen()), interior(rng.gen())))
+        .collect();
+
+    [5.0, 10.0, 25.0, 50.0]
+        .into_iter()
+        .map(|pct| {
+            let r = cell * pct / 100.0;
+            let mut emissions = 0u64;
+            for p in &points {
+                emissions += 1; // own cell
+                grid.for_each_duplication_target(p, r, |_| emissions += 1);
+            }
+            let measured = emissions as f64 / n as f64;
+            (pct, measured, theory::duplication_factor(cell, r))
+        })
+        .collect()
+}
+
+fn duplication_report(cfg: &BenchConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Section 6.2 — duplication factor df = πr²/a² + 4r/a + 1 (grid {0}x{0}, uniform features)\n",
+        DEFAULT_GRID_SYNTH
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>12}\n",
+        "r (% cell)", "measured df", "predicted df", "error"
+    ));
+    let mut csv = String::from("radius_pct,measured_df,predicted_df\n");
+    for (pct, measured, predicted) in duplication_table(cfg) {
+        let err = (measured - predicted).abs() / predicted;
+        out.push_str(&format!(
+            "{:<12}{:>14.4}{:>14.4}{:>11.2}%\n",
+            format!("{pct}%"),
+            measured,
+            predicted,
+            err * 100.0
+        ));
+        csv.push_str(&format!("{pct},{measured:.6},{predicted:.6}\n"));
+    }
+    write_text_csv(cfg, "df", &csv);
+    out
+}
+
+/// Section 6.3: measured pSPQ reduce cost vs the `df·a⁴` model, as
+/// `(grid n, mean reduce-task duration, model value)` rows.
+pub fn cellsize_table(cfg: &BenchConfig) -> Vec<(u32, Duration, f64)> {
+    let size = scaled(DEFAULT_SIZE_UN / 4, cfg.scale);
+    let dataset = UniformGen.generate(size, cfg.seed);
+    let splits = dataset.to_splits(cfg.workers.max(4));
+    // Fixed absolute radius, valid (r <= a/2) for the finest grid swept.
+    let r = 0.004;
+    let mut qgen =
+        QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, r, DEFAULT_KEYWORDS);
+
+    [10u32, 15, 25, 50, 100]
+        .into_iter()
+        .map(|n| {
+            let exec = executor(n, cfg, Algorithm::PSpq);
+            let mut total = Duration::ZERO;
+            for q in &queries {
+                let res = exec.run_splits(&splits, q).expect("cellsize job");
+                let sum: Duration = res.stats.reduce_tasks.iter().map(|t| t.duration).sum();
+                total += sum / res.stats.reduce_tasks.len().max(1) as u32;
+            }
+            let mean = total / queries.len().max(1) as u32;
+            (n, mean, theory::cost_indicator(1.0 / n as f64, r))
+        })
+        .collect()
+}
+
+fn cellsize_report(cfg: &BenchConfig) -> String {
+    let rows = cellsize_table(cfg);
+    let mut out = String::new();
+    out.push_str(
+        "Section 6.3 — per-reducer cost vs cell size (pSPQ on UN, fixed radius; model df·a⁴)\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:>20}{:>16}{:>18}\n",
+        "grid", "mean reduce task", "model df·a⁴", "model (norm.)"
+    ));
+    let norm = rows.first().map_or(1.0, |r| r.2);
+    let mut csv = String::from("grid,mean_reduce_us,model\n");
+    for (n, mean, model) in &rows {
+        out.push_str(&format!(
+            "{:<10}{:>20?}{:>16.3e}{:>18.4}\n",
+            format!("{n}x{n}"),
+            mean,
+            model,
+            model / norm
+        ));
+        csv.push_str(&format!("{n},{},{model:.6e}\n", mean.as_micros()));
+    }
+    out.push_str("(both columns must fall as the grid gets finer)\n");
+    write_text_csv(cfg, "cellsize", &csv);
+    out
+}
+
+fn write_text_csv(cfg: &BenchConfig, id: &str, content: &str) {
+    if let Some(dir) = &cfg.out_dir {
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{id}.csv")), content);
+        }
+    }
+}
+
+/// Runs a figure and renders everything to one string (used by the binary
+/// and by smoke tests), writing CSVs as configured.
+pub fn run_and_render(figure: &str, cfg: &BenchConfig) -> String {
+    match run(figure, cfg) {
+        FigureOutput::Panels(panels) => {
+            let mut out = String::new();
+            for p in &panels {
+                report::write_csv(p, cfg).expect("csv write");
+                out.push_str(&report::render(p));
+                out.push('\n');
+            }
+            out
+        }
+        FigureOutput::Text(t) => t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> BenchConfig {
+        BenchConfig {
+            scale: 0.004, // ~1.6-8k objects per dataset
+            seed: 7,
+            workers: 4,
+            queries_per_point: 1,
+            sim_slots: 16,
+            out_dir: None,
+        }
+    }
+
+    #[test]
+    fn duplication_table_matches_theory() {
+        let rows = duplication_table(&tiny_cfg());
+        assert_eq!(rows.len(), 4);
+        for (pct, measured, predicted) in rows {
+            let err = (measured - predicted).abs() / predicted;
+            assert!(err < 0.05, "{pct}%: measured {measured} vs {predicted}");
+        }
+    }
+
+    #[test]
+    fn fig8_panel_shapes() {
+        let panel = fig8(&tiny_cfg());
+        assert_eq!(panel.rows.len(), 4);
+        assert_eq!(panel.algorithms.len(), 3);
+        for row in &panel.rows {
+            assert_eq!(row.cells.len(), 3);
+            // Every algorithm returns the same number of results.
+            let n = row.cells[0].results;
+            assert!(row.cells.iter().all(|c| c.results == n), "row {}", row.x);
+        }
+    }
+
+    #[test]
+    fn fig9_omits_pspq_from_main_panels() {
+        let panels = fig9(&tiny_cfg());
+        assert_eq!(panels.len(), 5);
+        for p in &panels[..4] {
+            assert!(!p.algorithms.contains(&Algorithm::PSpq), "{}", p.id);
+        }
+        assert!(panels[4].algorithms.contains(&Algorithm::PSpq));
+    }
+
+    #[test]
+    fn run_and_render_smoke_fig7() {
+        let out = run_and_render("fig7", &tiny_cfg());
+        assert!(out.contains("Figure 7(a)"));
+        assert!(out.contains("eSPQsco"));
+        assert!(out.contains("15x15"));
+    }
+
+    #[test]
+    fn cellsize_model_is_monotone() {
+        let rows = cellsize_table(&BenchConfig {
+            scale: 0.01,
+            ..tiny_cfg()
+        });
+        for w in rows.windows(2) {
+            assert!(w[1].2 < w[0].2, "model must fall with finer grids");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_figure_panics() {
+        let _ = run("fig99", &tiny_cfg());
+    }
+}

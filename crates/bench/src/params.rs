@@ -1,0 +1,99 @@
+//! The experimental parameters of Table 3, plus the harness' scaled-down
+//! default dataset sizes.
+//!
+//! Table 3 (defaults in bold in the paper):
+//!
+//! | Parameter | Values |
+//! |---|---|
+//! | Datasets | real {TW, FL}, synthetic {UN, CL} |
+//! | Query keywords `|q.W|` | 1, **3**, 5, 10 |
+//! | Query radius (% of cell side) | 5%, **10%**, 25%, 50% |
+//! | top-k | 5, **10**, 50, 100 |
+//! | Grid size (FL, TW) | 35², **50²**, 75², 100² |
+//! | Grid size (UN, CL) | 10², **15²**, 50², 100² |
+//!
+//! The figure x-axes extend some sweeps (radius up to 100% of the cell);
+//! the sweep constants below follow the figures.
+
+/// Sweeps of query keyword counts (Figures 5–7, 9 panel b).
+pub const KEYWORD_SWEEP: [usize; 4] = [1, 3, 5, 10];
+/// Default number of query keywords.
+pub const DEFAULT_KEYWORDS: usize = 3;
+
+/// Radius sweep for the real datasets, in % of the default cell side
+/// (Figures 5c, 6c).
+pub const RADIUS_PCT_SWEEP_REAL: [f64; 4] = [10.0, 25.0, 50.0, 100.0];
+/// Radius sweep for the synthetic datasets (Figures 7c, 9c).
+pub const RADIUS_PCT_SWEEP_SYNTH: [f64; 5] = [5.0, 10.0, 15.0, 50.0, 100.0];
+/// Default radius, % of the default cell side.
+pub const DEFAULT_RADIUS_PCT: f64 = 10.0;
+
+/// top-k sweep (panel d of Figures 5–7, 9).
+pub const TOPK_SWEEP: [usize; 4] = [5, 10, 50, 100];
+/// Default k.
+pub const DEFAULT_TOPK: usize = 10;
+
+/// Grid sweep for the real datasets (Figures 5a, 6a).
+pub const GRID_SWEEP_REAL: [u32; 4] = [35, 50, 75, 100];
+/// Default grid for the real datasets.
+pub const DEFAULT_GRID_REAL: u32 = 50;
+
+/// Grid sweep for the synthetic datasets (Figures 7a, 9a).
+pub const GRID_SWEEP_SYNTH: [u32; 4] = [10, 15, 50, 100];
+/// Default grid for the synthetic datasets.
+pub const DEFAULT_GRID_SYNTH: u32 = 15;
+
+/// Harness default dataset sizes (total objects, data + features), chosen
+/// so `experiments --all` completes on a workstation. The paper's sizes —
+/// FL 40M, TW 80M, UN/CL 512M — are these defaults × ~100–256; the
+/// `--scale` knob multiplies toward them.
+pub const DEFAULT_SIZE_FL: usize = 400_000;
+/// Harness default for the Twitter-like dataset.
+pub const DEFAULT_SIZE_TW: usize = 800_000;
+/// Harness default for the uniform synthetic dataset.
+pub const DEFAULT_SIZE_UN: usize = 2_000_000;
+/// Harness default for the clustered synthetic dataset.
+pub const DEFAULT_SIZE_CL: usize = 1_000_000;
+
+/// Figure 8 sweep: the paper's 64/128/256/512 million entries, as ratios
+/// of [`DEFAULT_SIZE_UN`] (64M : 512M = 1 : 8).
+pub const FIG8_SIZE_RATIOS: [f64; 4] = [0.125, 0.25, 0.5, 1.0];
+/// The paper's x-axis labels for Figure 8 (millions of entries).
+pub const FIG8_PAPER_SIZES: [u32; 4] = [64, 128, 256, 512];
+
+/// Applies the global `--scale` multiplier to a dataset size, keeping at
+/// least a workable minimum.
+pub fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_members_of_their_sweeps() {
+        assert!(KEYWORD_SWEEP.contains(&DEFAULT_KEYWORDS));
+        assert!(TOPK_SWEEP.contains(&DEFAULT_TOPK));
+        assert!(GRID_SWEEP_REAL.contains(&DEFAULT_GRID_REAL));
+        assert!(GRID_SWEEP_SYNTH.contains(&DEFAULT_GRID_SYNTH));
+        assert!(RADIUS_PCT_SWEEP_REAL.contains(&DEFAULT_RADIUS_PCT));
+        assert!(RADIUS_PCT_SWEEP_SYNTH.contains(&DEFAULT_RADIUS_PCT));
+    }
+
+    #[test]
+    fn paper_size_ratios_match() {
+        // TW is twice FL; UN/CL base is 512M in the paper.
+        assert_eq!(DEFAULT_SIZE_TW, 2 * DEFAULT_SIZE_FL);
+        assert_eq!(FIG8_SIZE_RATIOS.len(), FIG8_PAPER_SIZES.len());
+        for w in FIG8_SIZE_RATIOS.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_clamps_to_minimum() {
+        assert_eq!(scaled(1_000_000, 0.5), 500_000);
+        assert_eq!(scaled(1_000_000, 1e-9), 1_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Panel rendering: aligned console tables and CSV files.
+
+use crate::{BenchConfig, Panel};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Duration;
+
+fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+/// Renders a panel as an aligned text table (the harness' analogue of one
+/// chart of the paper).
+pub fn render(panel: &Panel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", panel.title);
+    let mut header = format!("{:<12}", panel.x_label);
+    for a in &panel.algorithms {
+        let _ = write!(header, "{:>12}{:>12}", format!("{a}"), "(sim)");
+    }
+    let _ = writeln!(out, "{header}{:>14}{:>14}", "feat.exam.", "shuffle");
+    for row in &panel.rows {
+        let mut line = format!("{:<12}", row.x);
+        for cell in &row.cells {
+            let _ = write!(
+                line,
+                "{:>12}{:>12}",
+                fmt_secs(cell.measured),
+                fmt_secs(cell.simulated)
+            );
+        }
+        // Diagnostics for the *last* algorithm column (typically eSPQsco),
+        // showing how little work early termination leaves.
+        if let Some(last) = row.cells.last() {
+            let _ = write!(
+                line,
+                "{:>14}{:>14}",
+                last.features_examined, last.shuffle_records
+            );
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Writes a panel as CSV (one row per x-value × algorithm).
+pub fn write_csv(panel: &Panel, cfg: &BenchConfig) -> std::io::Result<()> {
+    let Some(dir) = &cfg.out_dir else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", panel.id));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        "panel,x,algorithm,measured_ms,simulated_ms,features_examined,shuffle_records,reduce_skew,results"
+    )?;
+    for row in &panel.rows {
+        for (algo, cell) in panel.algorithms.iter().zip(&row.cells) {
+            writeln!(
+                f,
+                "{},{},{},{:.3},{:.3},{},{},{:.3},{}",
+                panel.id,
+                row.x,
+                algo,
+                cell.measured.as_secs_f64() * 1000.0,
+                cell.simulated.as_secs_f64() * 1000.0,
+                cell.features_examined,
+                cell.shuffle_records,
+                cell.reduce_skew,
+                cell.results
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Measurement, PanelRow};
+    use spq_core::Algorithm;
+
+    fn panel() -> Panel {
+        Panel {
+            id: "test".to_owned(),
+            title: "Test panel".to_owned(),
+            x_label: "x".to_owned(),
+            algorithms: vec![Algorithm::PSpq, Algorithm::ESpqSco],
+            rows: vec![PanelRow {
+                x: "10".to_owned(),
+                cells: vec![
+                    Measurement {
+                        measured: Duration::from_millis(1500),
+                        ..Default::default()
+                    },
+                    Measurement {
+                        measured: Duration::from_micros(800),
+                        features_examined: 42,
+                        ..Default::default()
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_columns() {
+        let s = render(&panel());
+        assert!(s.contains("Test panel"));
+        assert!(s.contains("pSPQ"));
+        assert!(s.contains("eSPQsco"));
+        assert!(s.contains("1.50s"));
+        assert!(s.contains("0.8ms"));
+        assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_secs(Duration::from_millis(2)), "2.0ms");
+        assert_eq!(fmt_secs(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_secs(Duration::from_secs(250)), "250s");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("spq-bench-csv-{}", std::process::id()));
+        let cfg = BenchConfig {
+            out_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        write_csv(&panel(), &cfg).unwrap();
+        let content = std::fs::read_to_string(dir.join("test.csv")).unwrap();
+        assert!(content.lines().count() == 3); // header + 2 algorithm rows
+        assert!(content.contains("pSPQ"));
+        assert!(content.contains("1500.000"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn csv_skipped_without_out_dir() {
+        let cfg = BenchConfig {
+            out_dir: None,
+            ..Default::default()
+        };
+        write_csv(&panel(), &cfg).unwrap(); // no-op, must not error
+    }
+}

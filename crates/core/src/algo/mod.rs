@@ -1,0 +1,133 @@
+//! The three distributed SPQ algorithms as MapReduce tasks.
+//!
+//! | Algorithm | Map composite key | Reduce-side order | Early termination |
+//! |-----------|-------------------|-------------------|-------------------|
+//! | [`pspq`] (§4) | `(cell, tag)` | data before features | none |
+//! | [`espq_len`] (§5.1) | `(cell, \|f.W\|)` | features by increasing keyword length | `τ >= w̄(f,q)` (Lemma 2) |
+//! | [`espq_sco`] (§5.2) | `(cell, w(f,q))` | features by decreasing score | `k` objects reported (Lemma 3) |
+//!
+//! All three share the Map skeleton of [`crate::partitioning`] (grid
+//! assignment, keyword pruning, Lemma-1 duplication) and partition by the
+//! cell id with one reducer per grid cell, exactly as the paper configures
+//! Hadoop.
+
+pub mod espq_len;
+pub mod espq_sco;
+pub mod pspq;
+
+use crate::model::{ObjectId, SpqObject};
+use spq_spatial::Point;
+use spq_text::KeywordSet;
+use std::fmt;
+
+/// Selects one of the paper's three algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// The grid-partitioned baseline without early termination (Section 4).
+    PSpq,
+    /// Early termination by increasing keyword length (Section 5.1).
+    ESpqLen,
+    /// Early termination by decreasing map-side score (Section 5.2) — the
+    /// paper's consistently best performer.
+    #[default]
+    ESpqSco,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco];
+
+    /// The paper's name for the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::PSpq => "pSPQ",
+            Algorithm::ESpqLen => "eSPQlen",
+            Algorithm::ESpqSco => "eSPQsco",
+        }
+    }
+
+    /// Whether the algorithm can stop before exhausting a cell's features.
+    pub fn has_early_termination(self) -> bool {
+        !matches!(self, Algorithm::PSpq)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shuffle payload for pSPQ and eSPQlen, whose reducers compute the
+/// Jaccard score themselves and therefore need the feature keywords.
+#[derive(Debug, Clone)]
+pub enum ObjectPayload {
+    /// A data object (id, location).
+    Data(ObjectId, Point),
+    /// A feature object (id, location, keywords).
+    Feature(ObjectId, Point, KeywordSet),
+}
+
+impl ObjectPayload {
+    /// Builds the payload for a record (cloning, as the map phase reads
+    /// records from its input split).
+    pub fn from_record(record: &SpqObject) -> Self {
+        match record {
+            SpqObject::Data(o) => ObjectPayload::Data(o.id, o.location),
+            SpqObject::Feature(f) => {
+                ObjectPayload::Feature(f.id, f.location, f.keywords.clone())
+            }
+        }
+    }
+}
+
+/// Shuffle payload for eSPQsco: the score already lives in the composite
+/// key, so feature keywords are *not* shuffled — a bandwidth saving the
+/// paper's design implies (the Map phase bears the scoring cost instead,
+/// Section 5.2).
+#[derive(Debug, Clone, Copy)]
+pub enum SlimPayload {
+    /// A data object (id, location).
+    Data(ObjectId, Point),
+    /// A feature object (location only — the reducer never needs more).
+    Feature(Point),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DataObject, FeatureObject};
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algorithm::PSpq.name(), "pSPQ");
+        assert_eq!(Algorithm::ESpqLen.to_string(), "eSPQlen");
+        assert_eq!(Algorithm::ESpqSco.to_string(), "eSPQsco");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+
+    #[test]
+    fn early_termination_flags() {
+        assert!(!Algorithm::PSpq.has_early_termination());
+        assert!(Algorithm::ESpqLen.has_early_termination());
+        assert!(Algorithm::ESpqSco.has_early_termination());
+    }
+
+    #[test]
+    fn payload_from_record() {
+        let d = SpqObject::Data(DataObject::new(1, Point::new(0.0, 0.0)));
+        let f = SpqObject::Feature(FeatureObject::new(
+            2,
+            Point::new(1.0, 1.0),
+            KeywordSet::from_ids([3]),
+        ));
+        assert!(matches!(
+            ObjectPayload::from_record(&d),
+            ObjectPayload::Data(1, _)
+        ));
+        assert!(matches!(
+            ObjectPayload::from_record(&f),
+            ObjectPayload::Feature(2, _, _)
+        ));
+    }
+}

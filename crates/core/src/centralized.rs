@@ -1,0 +1,183 @@
+//! Centralized exact baselines — the ground truth for every test.
+//!
+//! The paper notes (Section 7.1) that centralized processing is infeasible
+//! at their data scale; here the baselines exist as *oracles*: an
+//! obviously correct `O(|O|·|F|)` brute force, and a grid-index variant
+//! that computes the same result fast enough to validate large runs.
+//! Both return the canonical result (score desc, id asc; only objects
+//! with `τ(p) > 0`, at most `k`).
+
+use crate::model::{DataObject, FeatureObject, RankedObject};
+use crate::query::SpqQuery;
+use spq_spatial::{GridIndex, Rect};
+use spq_text::Score;
+
+/// Computes `τ(p)` for one data object by scanning all features.
+pub fn tau(p: &DataObject, features: &[FeatureObject], query: &SpqQuery) -> Score {
+    let r_sq = query.radius * query.radius;
+    let mut best = Score::ZERO;
+    for f in features {
+        if p.location.dist_sq(&f.location) <= r_sq {
+            best = best.max(query.score(&f.keywords));
+        }
+    }
+    best
+}
+
+/// Exact top-k by nested-loop scan: `O(|O|·|F|)`.
+pub fn brute_force(
+    data: &[DataObject],
+    features: &[FeatureObject],
+    query: &SpqQuery,
+) -> Vec<RankedObject> {
+    let mut ranked: Vec<RankedObject> = data
+        .iter()
+        .filter_map(|p| {
+            let s = tau(p, features, query);
+            (!s.is_zero()).then(|| RankedObject::new(p.id, p.location, s))
+        })
+        .collect();
+    ranked.sort_by(RankedObject::canonical_cmp);
+    ranked.truncate(query.k);
+    ranked
+}
+
+/// Exact top-k using a grid index over the features: same result as
+/// [`brute_force`], cost `O(|O| · features-per-neighbourhood)`.
+pub fn grid_index_topk(
+    bounds: Rect,
+    data: &[DataObject],
+    features: &[FeatureObject],
+    query: &SpqQuery,
+) -> Vec<RankedObject> {
+    // Pre-score features once; drop irrelevant ones (the same pruning the
+    // distributed map phase performs).
+    let scored: Vec<(spq_spatial::Point, Score)> = features
+        .iter()
+        .filter_map(|f| {
+            let s = query.score(&f.keywords);
+            (!s.is_zero()).then_some((f.location, s))
+        })
+        .collect();
+    let index = GridIndex::build(bounds, scored);
+
+    let mut ranked: Vec<RankedObject> = data
+        .iter()
+        .filter_map(|p| {
+            let mut best = Score::ZERO;
+            index.for_each_within(&p.location, query.radius, |_, &s| {
+                best = best.max(s);
+            });
+            (!best.is_zero()).then(|| RankedObject::new(p.id, p.location, best))
+        })
+        .collect();
+    ranked.sort_by(RankedObject::canonical_cmp);
+    ranked.truncate(query.k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_spatial::Point;
+    use spq_text::KeywordSet;
+
+    /// Builds the exact datasets of Table 2 / Figure 1.
+    /// Keywords: 0=italian 1=gourmet 2=chinese 3=cheap 4=sushi 5=wine
+    /// 6=mexican 7=exotic 8=greek 9=traditional 10=spaghetti 11=indian.
+    pub(crate) fn paper_data() -> Vec<DataObject> {
+        vec![
+            DataObject::new(1, Point::new(4.6, 4.8)),
+            DataObject::new(2, Point::new(7.5, 1.7)),
+            DataObject::new(3, Point::new(8.9, 5.2)),
+            DataObject::new(4, Point::new(1.8, 1.8)),
+            DataObject::new(5, Point::new(1.9, 9.0)),
+        ]
+    }
+
+    pub(crate) fn paper_features() -> Vec<FeatureObject> {
+        let f = |id, x, y, kw: &[u32]| {
+            FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+        };
+        vec![
+            f(1, 2.8, 1.2, &[0, 1]),
+            f(2, 5.0, 3.8, &[2, 3]),
+            f(3, 8.7, 1.9, &[4, 5]),
+            f(4, 3.8, 5.5, &[0]),
+            f(5, 5.2, 5.1, &[6, 7]),
+            f(6, 7.4, 5.4, &[8, 9]),
+            f(7, 3.0, 8.1, &[0, 10]),
+            f(8, 9.5, 7.0, &[11]),
+        ]
+    }
+
+    fn paper_query(k: usize) -> SpqQuery {
+        SpqQuery::new(k, 1.5, KeywordSet::from_ids([0])) // "italian"
+    }
+
+    #[test]
+    fn paper_example_top1() {
+        // Example 1: the top-1 result is p1 with score 1 (via f4).
+        let out = brute_force(&paper_data(), &paper_features(), &paper_query(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].object, 1);
+        assert_eq!(out[0].score, Score::ONE);
+    }
+
+    #[test]
+    fn paper_example_all_scores() {
+        // "p4 has a score of 0.5 due to f1, p1 has 1 because of f4 and p5
+        // has 0.5 due to f7" — p2 and p3 have no italian neighbour.
+        let out = brute_force(&paper_data(), &paper_features(), &paper_query(5));
+        let pairs: Vec<(u64, Score)> = out.iter().map(|r| (r.object, r.score)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (1, Score::ONE),
+                (4, Score::ratio(1, 2)),
+                (5, Score::ratio(1, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force_on_paper_example() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        for k in [1, 2, 3, 5] {
+            let q = paper_query(k);
+            assert_eq!(
+                grid_index_topk(bounds, &paper_data(), &paper_features(), &q),
+                brute_force(&paper_data(), &paper_features(), &q),
+            );
+        }
+    }
+
+    #[test]
+    fn tau_of_isolated_object_is_zero() {
+        let p = DataObject::new(9, Point::new(0.0, 0.0));
+        assert_eq!(tau(&p, &paper_features(), &paper_query(1)), Score::ZERO);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let q = paper_query(3);
+        assert!(brute_force(&[], &paper_features(), &q).is_empty());
+        assert!(brute_force(&paper_data(), &[], &q).is_empty());
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        assert!(grid_index_topk(bounds, &[], &[], &q).is_empty());
+    }
+
+    #[test]
+    fn radius_zero_requires_colocation() {
+        let data = vec![DataObject::new(1, Point::new(2.0, 2.0))];
+        let features = vec![FeatureObject::new(
+            1,
+            Point::new(2.0, 2.0),
+            KeywordSet::from_ids([0]),
+        )];
+        let q = SpqQuery::new(1, 0.0, KeywordSet::from_ids([0]));
+        let out = brute_force(&data, &features, &q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, Score::ONE);
+    }
+}

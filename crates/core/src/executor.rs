@@ -1,0 +1,410 @@
+//! The high-level query executor: grid planning, job execution, merge.
+
+use crate::algo::espq_len::ESpqLenTask;
+use crate::algo::espq_sco::ESpqScoTask;
+use crate::algo::pspq::PSpqTask;
+use crate::algo::Algorithm;
+use crate::merge::merge_top_k;
+use crate::model::{DataObject, FeatureObject, RankedObject, SpqObject};
+use crate::query::SpqQuery;
+use crate::theory::auto_grid_size;
+use spq_mapreduce::{ClusterConfig, JobError, JobRunner, JobStats};
+use spq_spatial::{AdaptiveGrid, Grid, Rect, SpacePartition};
+use std::fmt;
+
+/// How the query-time grid is sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridSizing {
+    /// A fixed `n × n` grid (the paper's experimental sweeps).
+    Fixed(u32),
+    /// Choose the grid from the query radius per Section 6.3: as fine as
+    /// possible while keeping the cell side at least `r`, capped at
+    /// `max_cells_per_axis`.
+    Auto {
+        /// Upper bound on cells per axis (reduce-task appetite).
+        max_cells_per_axis: u32,
+    },
+}
+
+impl Default for GridSizing {
+    fn default() -> Self {
+        GridSizing::Auto {
+            max_cells_per_axis: 64,
+        }
+    }
+}
+
+/// How cells are shaped over the data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadBalancing {
+    /// The paper's uniform grid — every cell the same size.
+    #[default]
+    UniformGrid,
+    /// Extension: a quadtree partition built over a sample of the data
+    /// object locations, so dense regions get more (smaller) cells. Uses
+    /// the same total cell budget as the uniform grid would, and Lemma 1
+    /// still guarantees correctness. Targets the reducer imbalance the
+    /// paper observes on clustered data (Section 7.2.4).
+    AdaptiveQuadtree {
+        /// How many data locations to sample for the build.
+        sample_size: usize,
+    },
+}
+
+/// Errors surfaced by [`SpqExecutor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpqError {
+    /// The underlying MapReduce job failed.
+    Job(JobError),
+}
+
+impl fmt::Display for SpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpqError::Job(e) => write!(f, "mapreduce job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpqError {}
+
+impl From<JobError> for SpqError {
+    fn from(e: JobError) -> Self {
+        SpqError::Job(e)
+    }
+}
+
+/// The outcome of one distributed SPQ evaluation.
+#[derive(Debug, Clone)]
+pub struct SpqResult {
+    /// The global top-k, canonical order (score desc, id asc). May hold
+    /// fewer than `k` entries when fewer data objects have `τ(p) > 0`.
+    pub top_k: Vec<RankedObject>,
+    /// Execution statistics of the MapReduce job (timings, counters,
+    /// per-task durations for cluster simulation).
+    pub stats: JobStats,
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// The query-time space partition that was used.
+    pub partition: SpacePartition,
+}
+
+/// Configures and runs distributed spatial preference queries.
+///
+/// ```
+/// use spq_core::{Algorithm, DataObject, FeatureObject, SpqExecutor, SpqQuery};
+/// use spq_spatial::{Point, Rect};
+/// use spq_text::KeywordSet;
+///
+/// let data = vec![DataObject::new(1, Point::new(4.6, 4.8))];
+/// let features = vec![FeatureObject::new(
+///     4,
+///     Point::new(3.8, 5.5),
+///     KeywordSet::from_ids([0]),
+/// )];
+/// let query = SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]));
+///
+/// let result = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+///     .algorithm(Algorithm::ESpqSco)
+///     .grid_size(4)
+///     .run(&[data], &[features], &query)
+///     .unwrap();
+/// assert_eq!(result.top_k[0].object, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpqExecutor {
+    bounds: Rect,
+    algorithm: Algorithm,
+    sizing: GridSizing,
+    cluster: ClusterConfig,
+    keyword_pruning: bool,
+    balancing: LoadBalancing,
+}
+
+impl SpqExecutor {
+    /// Creates an executor for a data space, with the paper's best
+    /// algorithm (eSPQsco), automatic grid sizing and all host cores.
+    pub fn new(bounds: Rect) -> Self {
+        Self {
+            bounds,
+            algorithm: Algorithm::default(),
+            sizing: GridSizing::default(),
+            cluster: ClusterConfig::auto(),
+            keyword_pruning: true,
+            balancing: LoadBalancing::default(),
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Uses a fixed `n × n` grid.
+    pub fn grid_size(mut self, n: u32) -> Self {
+        self.sizing = GridSizing::Fixed(n);
+        self
+    }
+
+    /// Uses automatic grid sizing with the given cap.
+    pub fn auto_grid(mut self, max_cells_per_axis: u32) -> Self {
+        self.sizing = GridSizing::Auto { max_cells_per_axis };
+        self
+    }
+
+    /// Sets the cluster configuration.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Enables/disables the map-side keyword pruning rule (Algorithm 1
+    /// line 9). On by default; disabling it is an ablation that ships
+    /// every feature object through the shuffle without changing results.
+    pub fn keyword_pruning(mut self, enabled: bool) -> Self {
+        self.keyword_pruning = enabled;
+        self
+    }
+
+    /// Selects the cell-shaping strategy (uniform grid per the paper, or
+    /// the adaptive quadtree extension for skewed data).
+    pub fn load_balancing(mut self, balancing: LoadBalancing) -> Self {
+        self.balancing = balancing;
+        self
+    }
+
+    /// Plans the query-time grid for a query (Section 4.1: the grid is
+    /// defined after `r` is known).
+    pub fn plan_grid(&self, query: &SpqQuery) -> Grid {
+        let n = match self.sizing {
+            GridSizing::Fixed(n) => n,
+            GridSizing::Auto { max_cells_per_axis } => {
+                let extent = self.bounds.width().max(self.bounds.height());
+                auto_grid_size(extent, query.radius, max_cells_per_axis)
+            }
+        };
+        Grid::square(self.bounds, n)
+    }
+
+    /// Plans the query-time space partition: the uniform grid, or — under
+    /// [`LoadBalancing::AdaptiveQuadtree`] — a quadtree with the same cell
+    /// budget built over a sample of the data object locations in
+    /// `splits`.
+    pub fn plan_partition(&self, query: &SpqQuery, splits: &[Vec<SpqObject>]) -> SpacePartition {
+        let grid = self.plan_grid(query);
+        match self.balancing {
+            LoadBalancing::UniformGrid => grid.into(),
+            LoadBalancing::AdaptiveQuadtree { sample_size } => {
+                let budget = grid.num_cells();
+                let total: usize = splits.iter().map(Vec::len).sum();
+                let stride = (total / sample_size.max(1)).max(1);
+                let sample: Vec<spq_spatial::Point> = splits
+                    .iter()
+                    .flatten()
+                    .step_by(stride)
+                    .filter(|o| o.is_data())
+                    .map(|o| o.location())
+                    .take(sample_size)
+                    .collect();
+                AdaptiveGrid::build_with_min_cell(self.bounds, &sample, budget, query.radius).into()
+            }
+        }
+    }
+
+    /// Runs the query over horizontally partitioned inputs given as
+    /// separate data and feature splits (cloning records into the job, as
+    /// a Hadoop job re-reads its input from HDFS).
+    pub fn run(
+        &self,
+        data_splits: &[Vec<DataObject>],
+        feature_splits: &[Vec<FeatureObject>],
+        query: &SpqQuery,
+    ) -> Result<SpqResult, SpqError> {
+        let splits: Vec<Vec<SpqObject>> = data_splits
+            .iter()
+            .map(|s| s.iter().map(|o| SpqObject::Data(*o)).collect())
+            .chain(
+                feature_splits
+                    .iter()
+                    .map(|s| s.iter().map(|f| SpqObject::Feature(f.clone())).collect()),
+            )
+            .collect();
+        self.run_splits(&splits, query)
+    }
+
+    /// Runs the query over pre-built mixed splits (no input copying —
+    /// what the benchmark harness uses).
+    pub fn run_splits(
+        &self,
+        splits: &[Vec<SpqObject>],
+        query: &SpqQuery,
+    ) -> Result<SpqResult, SpqError> {
+        let grid = self.plan_partition(query, splits);
+        let runner = JobRunner::new(self.cluster);
+        let (flat, stats) = match self.algorithm {
+            Algorithm::PSpq => {
+                let mut task = PSpqTask::new(&grid, query);
+                if !self.keyword_pruning {
+                    task = task.without_pruning();
+                }
+                let out = runner.run(&task, splits)?;
+                let stats = out.stats.clone();
+                (out.into_flat(), stats)
+            }
+            Algorithm::ESpqLen => {
+                let mut task = ESpqLenTask::new(&grid, query);
+                if !self.keyword_pruning {
+                    task = task.without_pruning();
+                }
+                let out = runner.run(&task, splits)?;
+                let stats = out.stats.clone();
+                (out.into_flat(), stats)
+            }
+            Algorithm::ESpqSco => {
+                let mut task = ESpqScoTask::new(&grid, query);
+                if !self.keyword_pruning {
+                    task = task.without_pruning();
+                }
+                let out = runner.run(&task, splits)?;
+                let stats = out.stats.clone();
+                (out.into_flat(), stats)
+            }
+        };
+        Ok(SpqResult {
+            top_k: merge_top_k(flat, query.k),
+            stats,
+            algorithm: self.algorithm,
+            partition: grid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::brute_force;
+    use crate::validate::check_result;
+    use spq_spatial::Point;
+    use spq_text::{KeywordSet, Score};
+
+    fn paper_setup() -> (Vec<DataObject>, Vec<FeatureObject>) {
+        let data = vec![
+            DataObject::new(1, Point::new(4.6, 4.8)),
+            DataObject::new(2, Point::new(7.5, 1.7)),
+            DataObject::new(3, Point::new(8.9, 5.2)),
+            DataObject::new(4, Point::new(1.8, 1.8)),
+            DataObject::new(5, Point::new(1.9, 9.0)),
+        ];
+        let f = |id, x, y, kw: &[u32]| {
+            FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+        };
+        let features = vec![
+            f(1, 2.8, 1.2, &[0, 1]),
+            f(2, 5.0, 3.8, &[2, 3]),
+            f(3, 8.7, 1.9, &[4, 5]),
+            f(4, 3.8, 5.5, &[0]),
+            f(5, 5.2, 5.1, &[6, 7]),
+            f(6, 7.4, 5.4, &[8, 9]),
+            f(7, 3.0, 8.1, &[0, 10]),
+            f(8, 9.5, 7.0, &[11]),
+        ];
+        (data, features)
+    }
+
+    fn bounds() -> Rect {
+        Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn paper_example_via_every_algorithm() {
+        let (data, features) = paper_setup();
+        for k in [1, 3, 5] {
+            let query = SpqQuery::new(k, 1.5, KeywordSet::from_ids([0]));
+            let baseline = brute_force(&data, &features, &query);
+            for algo in Algorithm::ALL {
+                let result = SpqExecutor::new(bounds())
+                    .algorithm(algo)
+                    .grid_size(4)
+                    .cluster(ClusterConfig::with_workers(2))
+                    .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+                    .unwrap();
+                check_result(&result.top_k, &baseline, &data, &features, &query)
+                    .unwrap_or_else(|e| panic!("{algo} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn top1_is_p1_with_score_one() {
+        let (data, features) = paper_setup();
+        let query = SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]));
+        let result = SpqExecutor::new(bounds())
+            .grid_size(4)
+            .run(&[data], &[features], &query)
+            .unwrap();
+        assert_eq!(result.top_k.len(), 1);
+        assert_eq!(result.top_k[0].object, 1);
+        assert_eq!(result.top_k[0].score, Score::ONE);
+        assert_eq!(result.algorithm, Algorithm::ESpqSco);
+        assert_eq!(result.partition.num_cells(), 16);
+    }
+
+    #[test]
+    fn result_invariant_across_grid_sizes() {
+        let (data, features) = paper_setup();
+        let query = SpqQuery::new(3, 1.5, KeywordSet::from_ids([0]));
+        let baseline = brute_force(&data, &features, &query);
+        for n in [1, 2, 4, 7, 10] {
+            for algo in Algorithm::ALL {
+                let result = SpqExecutor::new(bounds())
+                    .algorithm(algo)
+                    .grid_size(n)
+                    .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+                    .unwrap();
+                check_result(&result.top_k, &baseline, &data, &features, &query)
+                    .unwrap_or_else(|e| panic!("{algo} grid {n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grid_respects_radius() {
+        let query = SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]));
+        let exec = SpqExecutor::new(bounds()).auto_grid(100);
+        let grid = exec.plan_grid(&query);
+        // extent 10, r 1.5 -> floor(10/1.5) = 6 cells per axis.
+        assert_eq!(grid.nx(), 6);
+        assert!(grid.cell_width() >= query.radius);
+    }
+
+    #[test]
+    fn empty_features_give_empty_result() {
+        let (data, _) = paper_setup();
+        let query = SpqQuery::new(3, 1.5, KeywordSet::from_ids([0]));
+        let result = SpqExecutor::new(bounds())
+            .grid_size(4)
+            .run(&[data], &[], &query)
+            .unwrap();
+        assert!(result.top_k.is_empty());
+    }
+
+    #[test]
+    fn many_splits_same_result() {
+        let (data, features) = paper_setup();
+        let query = SpqQuery::new(3, 1.5, KeywordSet::from_ids([0]));
+        // One object per split.
+        let data_splits: Vec<Vec<DataObject>> = data.iter().map(|o| vec![*o]).collect();
+        let feature_splits: Vec<Vec<FeatureObject>> =
+            features.iter().map(|f| vec![f.clone()]).collect();
+        let a = SpqExecutor::new(bounds())
+            .grid_size(4)
+            .run(&data_splits, &feature_splits, &query)
+            .unwrap();
+        let b = SpqExecutor::new(bounds())
+            .grid_size(4)
+            .run(&[data], &[features], &query)
+            .unwrap();
+        assert_eq!(a.top_k, b.top_k);
+    }
+}

@@ -1,0 +1,56 @@
+//! # spq-core — spatial preference queries using keywords
+//!
+//! The primary contribution of *"Parallel and Distributed Processing of
+//! Spatial Preference Queries using Keywords"* (EDBT 2017), implemented
+//! over the [`spq_mapreduce`] runtime.
+//!
+//! ## The query
+//!
+//! Given data objects `O`, spatio-textual feature objects `F` and a query
+//! `q(k, r, W)`, the score of a data object `p` is
+//!
+//! ```text
+//! τ(p) = max { w(f, q) : f ∈ F, d(p, f) <= r }        (Definition 2)
+//! w(f, q) = |q.W ∩ f.W| / |q.W ∪ f.W|                  (Definition 1)
+//! ```
+//!
+//! and the query returns the `k` data objects with the highest `τ`.
+//! Every data object is a potential result — the spatial predicate bounds
+//! the *scoring* neighbourhood, not the result set — which is what makes
+//! the query expensive and interesting to distribute.
+//!
+//! ## The algorithms
+//!
+//! All three run as a single MapReduce job over a query-time grid whose
+//! cells are independent work units (feature objects are duplicated into
+//! neighbouring cells per Lemma 1, data objects never are):
+//!
+//! * [`algo::pspq`] — the baseline: reducers score every feature against
+//!   every in-range data object (Section 4).
+//! * [`algo::espq_len`] — features sorted by increasing keyword length;
+//!   terminates once the Equation-1 bound of the next feature cannot beat
+//!   the current top-k threshold (Section 5.1).
+//! * [`algo::espq_sco`] — Jaccard scores computed map-side and used as the
+//!   sort key (descending); the reducer reports data objects in score
+//!   order and stops after `k` (Section 5.2).
+//!
+//! [`SpqExecutor`] is the high-level entry point; [`centralized`] holds
+//! the exact baselines used as ground truth; [`theory`] implements the
+//! Section-6 duplication-factor and cost analysis.
+
+pub mod algo;
+pub mod centralized;
+pub mod executor;
+pub mod merge;
+pub mod model;
+pub mod partitioning;
+pub mod query;
+pub mod theory;
+pub mod topk;
+pub mod validate;
+
+pub use algo::Algorithm;
+pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
+pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
+pub use query::SpqQuery;
+pub use topk::TopKList;

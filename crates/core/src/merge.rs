@@ -1,0 +1,60 @@
+//! Global merge of per-cell top-k results.
+//!
+//! Each reduce task reports the top-k data objects *of its cell*; "the
+//! final result is produced by merging the k results of each of the R
+//! cells and returning the top-k with the highest score. [...] this last
+//! step can be performed in a centralized way without significant
+//! overhead" (Section 4.2). Data objects are never duplicated across
+//! cells, so the merge needs no deduplication.
+
+use crate::model::RankedObject;
+
+/// Merges per-cell results into the global top-k (canonical order:
+/// score desc, id asc).
+pub fn merge_top_k(cell_results: Vec<RankedObject>, k: usize) -> Vec<RankedObject> {
+    let mut all = cell_results;
+    all.sort_by(RankedObject::canonical_cmp);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_spatial::Point;
+    use spq_text::Score;
+
+    fn r(id: u64, num: usize) -> RankedObject {
+        RankedObject::new(id, Point::new(0.0, 0.0), Score::ratio(num, 10))
+    }
+
+    #[test]
+    fn merges_across_cells() {
+        // Two cells' local top-2 lists.
+        let merged = merge_top_k(vec![r(1, 9), r(2, 3), r(3, 7), r(4, 5)], 2);
+        assert_eq!(
+            merged.iter().map(|e| e.object).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn fewer_results_than_k() {
+        let merged = merge_top_k(vec![r(1, 5)], 10);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn ties_resolved_by_id() {
+        let merged = merge_top_k(vec![r(9, 5), r(2, 5), r(5, 5)], 2);
+        assert_eq!(
+            merged.iter().map(|e| e.object).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_top_k(vec![], 5).is_empty());
+    }
+}

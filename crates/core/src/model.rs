@@ -1,0 +1,166 @@
+//! The object model: data objects, feature objects, ranked results.
+
+use spq_spatial::Point;
+use spq_text::{KeywordSet, Score};
+use std::fmt;
+
+/// Identifier of a data or feature object.
+///
+/// Ids are unique *within* each dataset (`O` and `F` are separate
+/// namespaces, as in the paper where `p_i` and `f_j` are distinct worlds).
+pub type ObjectId = u64;
+
+/// A spatial data object `p ∈ O` — the kind of object the query ranks and
+/// returns. Data objects carry no text (their relevance comes entirely
+/// from nearby feature objects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataObject {
+    /// Object identifier, unique within `O`.
+    pub id: ObjectId,
+    /// Spatial location (`p.x`, `p.y`).
+    pub location: Point,
+}
+
+impl DataObject {
+    /// Creates a data object.
+    pub fn new(id: ObjectId, location: Point) -> Self {
+        Self { id, location }
+    }
+}
+
+/// A spatio-textual feature object `f ∈ F`, annotated with keywords `f.W`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureObject {
+    /// Object identifier, unique within `F`.
+    pub id: ObjectId,
+    /// Spatial location (`f.x`, `f.y`).
+    pub location: Point,
+    /// Keyword annotations `f.W`.
+    pub keywords: KeywordSet,
+}
+
+impl FeatureObject {
+    /// Creates a feature object.
+    pub fn new(id: ObjectId, location: Point, keywords: KeywordSet) -> Self {
+        Self {
+            id,
+            location,
+            keywords,
+        }
+    }
+}
+
+/// One record of the horizontally partitioned input: either kind of
+/// object. Map tasks receive these "without any assumptions on their
+/// location" (Section 4.2) — a split may mix both kinds or hold only one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpqObject {
+    /// A data object.
+    Data(DataObject),
+    /// A feature object.
+    Feature(FeatureObject),
+}
+
+impl SpqObject {
+    /// The object's location, regardless of kind.
+    pub fn location(&self) -> Point {
+        match self {
+            SpqObject::Data(o) => o.location,
+            SpqObject::Feature(f) => f.location,
+        }
+    }
+
+    /// True for data objects.
+    pub fn is_data(&self) -> bool {
+        matches!(self, SpqObject::Data(_))
+    }
+}
+
+impl From<DataObject> for SpqObject {
+    fn from(o: DataObject) -> Self {
+        SpqObject::Data(o)
+    }
+}
+
+impl From<FeatureObject> for SpqObject {
+    fn from(f: FeatureObject) -> Self {
+        SpqObject::Feature(f)
+    }
+}
+
+/// One entry of a query result: a data object together with its exact
+/// score `τ(p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedObject {
+    /// The data object's id.
+    pub object: ObjectId,
+    /// The data object's location.
+    pub location: Point,
+    /// The score `τ(p)` (always > 0 for reported objects — objects with no
+    /// relevant feature in range are never reported).
+    pub score: Score,
+}
+
+impl RankedObject {
+    /// Creates a ranked entry.
+    pub fn new(object: ObjectId, location: Point, score: Score) -> Self {
+        Self {
+            object,
+            location,
+            score,
+        }
+    }
+
+    /// The canonical result order: score descending, then id ascending.
+    ///
+    /// Used by the centralized baselines and the global merge so that the
+    /// reference results are unique even under score ties.
+    pub fn canonical_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .cmp(&self.score)
+            .then(self.object.cmp(&other.object))
+    }
+}
+
+impl fmt::Display for RankedObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{} @ {} τ={}", self.object, self.location, self.score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spq_object_accessors() {
+        let d: SpqObject = DataObject::new(1, Point::new(0.5, 0.25)).into();
+        let f: SpqObject =
+            FeatureObject::new(2, Point::new(1.0, 2.0), KeywordSet::from_ids([3])).into();
+        assert!(d.is_data());
+        assert!(!f.is_data());
+        assert_eq!(d.location(), Point::new(0.5, 0.25));
+        assert_eq!(f.location(), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn canonical_order_breaks_ties_by_id() {
+        let a = RankedObject::new(5, Point::new(0.0, 0.0), Score::ratio(1, 2));
+        let b = RankedObject::new(3, Point::new(0.0, 0.0), Score::ratio(1, 2));
+        let c = RankedObject::new(9, Point::new(0.0, 0.0), Score::ONE);
+        let mut v = [a, b, c];
+        v.sort_by(RankedObject::canonical_cmp);
+        assert_eq!(
+            v.iter().map(|r| r.object).collect::<Vec<_>>(),
+            vec![9, 3, 5]
+        );
+    }
+
+    #[test]
+    fn display_shows_id_and_score() {
+        let r = RankedObject::new(7, Point::new(1.0, 2.0), Score::ONE);
+        let s = r.to_string();
+        assert!(s.contains("p7") && s.contains("1.0000"));
+    }
+}

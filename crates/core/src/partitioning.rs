@@ -1,0 +1,143 @@
+//! Shared Map-phase logic: grid assignment, keyword pruning, Lemma-1
+//! feature duplication.
+//!
+//! All three algorithms share the same Map skeleton (Algorithms 1, 3, 5
+//! differ only in the composite key they attach):
+//!
+//! * a **data object** is routed to its enclosing cell, once;
+//! * a **feature object** with no common keyword with `q.W` is dropped
+//!   (the pruning rule of Algorithm 1 line 9 — such features cannot
+//!   contribute to any score);
+//! * a surviving feature object is routed to its enclosing cell *and*
+//!   duplicated into every cell within `MINDIST <= r` (Lemma 1).
+
+use crate::model::FeatureObject;
+use crate::query::SpqQuery;
+use spq_spatial::{CellId, Point, SpacePartition};
+
+/// Counter: data objects routed by the map phase.
+pub const COUNTER_MAP_DATA: &str = "map.data_records";
+/// Counter: feature objects that survived keyword pruning.
+pub const COUNTER_MAP_FEATURES: &str = "map.feature_records";
+/// Counter: feature objects dropped by the keyword pruning rule.
+pub const COUNTER_MAP_PRUNED: &str = "map.features_pruned";
+/// Counter: extra copies of feature objects created by Lemma-1 duplication
+/// (the own-cell copy is not counted).
+pub const COUNTER_MAP_DUPLICATES: &str = "map.feature_duplicates";
+/// Counter: feature objects examined by reducers (score computations
+/// attempted). Early termination shows up as this staying tiny.
+pub const COUNTER_REDUCE_FEATURES_EXAMINED: &str = "reduce.features_examined";
+/// Counter: distance evaluations `d(p, f) <= r` performed by reducers —
+/// the `O(|Oi|·|Fi|)` term of the Section-6 cost analysis.
+pub const COUNTER_REDUCE_DISTANCE_CHECKS: &str = "reduce.distance_checks";
+/// Counter: reduce groups (cells) that terminated before exhausting their
+/// feature stream.
+pub const COUNTER_REDUCE_EARLY_TERMINATIONS: &str = "reduce.early_terminations";
+
+/// Routes a data object: its enclosing cell only.
+#[inline]
+pub fn route_data(grid: &SpacePartition, location: &Point) -> CellId {
+    grid.cell_of(location)
+}
+
+/// Routes a feature object, applying the keyword pruning rule and Lemma-1
+/// duplication. Calls `emit(cell)` for the enclosing cell and every
+/// duplication target; returns `false` (without emitting) when the
+/// feature is pruned.
+#[inline]
+pub fn route_feature<F: FnMut(CellId)>(
+    grid: &SpacePartition,
+    query: &SpqQuery,
+    feature: &FeatureObject,
+    emit: F,
+) -> bool {
+    route_feature_with_pruning(grid, query, feature, true, emit)
+}
+
+/// [`route_feature`] with the pruning rule made optional — the ablation
+/// knob behind [`crate::SpqExecutor::keyword_pruning`]. With pruning
+/// disabled, every feature object is shuffled (and duplicated) regardless
+/// of its keywords; the reducers still compute correct results because a
+/// zero-score feature can never beat the top-k threshold.
+#[inline]
+pub fn route_feature_with_pruning<F: FnMut(CellId)>(
+    grid: &SpacePartition,
+    query: &SpqQuery,
+    feature: &FeatureObject,
+    prune: bool,
+    mut emit: F,
+) -> bool {
+    if prune && !query.keywords.intersects(&feature.keywords) {
+        return false;
+    }
+    emit(grid.cell_of(&feature.location));
+    grid.for_each_duplication_target(&feature.location, query.radius, &mut emit);
+    true
+}
+
+/// Number of duplicate emissions a routed feature produces (convenience
+/// used by the duplication-factor experiments; equals
+/// `emissions - 1`).
+pub fn duplicate_count(grid: &SpacePartition, query: &SpqQuery, feature: &FeatureObject) -> u64 {
+    let mut n = 0u64;
+    if route_feature(grid, query, feature, |_| n += 1) {
+        n - 1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_spatial::{Grid, Rect};
+    use spq_text::KeywordSet;
+
+    fn grid() -> SpacePartition {
+        Grid::square(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4).into()
+    }
+
+    fn query(r: f64) -> SpqQuery {
+        SpqQuery::new(1, r, KeywordSet::from_ids([0]))
+    }
+
+    fn feat(x: f64, y: f64, ids: &[u32]) -> FeatureObject {
+        FeatureObject::new(1, Point::new(x, y), KeywordSet::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn data_routes_to_enclosing_cell() {
+        assert_eq!(route_data(&grid(), &Point::new(1.8, 1.8)), CellId(0));
+        assert_eq!(route_data(&grid(), &Point::new(9.9, 9.9)), CellId(15));
+    }
+
+    #[test]
+    fn pruned_feature_emits_nothing() {
+        let f = feat(5.0, 5.0, &[7, 8]); // no keyword 0
+        let mut cells = vec![];
+        let kept = route_feature(&grid(), &query(1.5), &f, |c| cells.push(c));
+        assert!(!kept);
+        assert!(cells.is_empty());
+        assert_eq!(duplicate_count(&grid(), &query(1.5), &f), 0);
+    }
+
+    #[test]
+    fn matching_feature_emits_own_cell_plus_duplicates() {
+        // f7 of the paper: (3.0, 8.1) with r=1.5 duplicates to 3 cells.
+        let f = feat(3.0, 8.1, &[0, 9]);
+        let mut cells = vec![];
+        let kept = route_feature(&grid(), &query(1.5), &f, |c| cells.push(c));
+        assert!(kept);
+        cells.sort();
+        assert_eq!(cells, vec![CellId(8), CellId(9), CellId(12), CellId(13)]);
+        assert_eq!(duplicate_count(&grid(), &query(1.5), &f), 3);
+    }
+
+    #[test]
+    fn interior_feature_emits_once() {
+        let f = feat(3.75, 3.75, &[0]);
+        let mut cells = vec![];
+        assert!(route_feature(&grid(), &query(1.0), &f, |c| cells.push(c)));
+        assert_eq!(cells, vec![CellId(5)]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The query definition `q(k, r, W)`.
+
+use spq_text::{KeywordSet, SetSimilarity};
+use std::fmt;
+
+/// A spatial preference query using keywords (Problem 1 of the paper).
+///
+/// * `k` — how many data objects to return,
+/// * `radius` — the neighbourhood distance threshold `r`: only feature
+///   objects within distance `r` of a data object contribute to its score,
+/// * `keywords` — the query keyword set `q.W` matched against feature
+///   annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpqQuery {
+    /// Number of results `k`.
+    pub k: usize,
+    /// Neighbourhood radius `r`.
+    pub radius: f64,
+    /// Query keywords `q.W`.
+    pub keywords: KeywordSet,
+    /// The set-similarity used as the non-spatial score. The paper fixes
+    /// Jaccard (Definition 1); Dice/overlap are supported extensions.
+    pub similarity: SetSimilarity,
+}
+
+impl SpqQuery {
+    /// Creates a query with the paper's Jaccard similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the radius is negative or not finite, or the
+    /// keyword set is empty (an empty `q.W` makes every score zero and the
+    /// query degenerate).
+    pub fn new(k: usize, radius: f64, keywords: KeywordSet) -> Self {
+        Self::with_similarity(k, radius, keywords, SetSimilarity::Jaccard)
+    }
+
+    /// Creates a query with an explicit similarity function.
+    pub fn with_similarity(
+        k: usize,
+        radius: f64,
+        keywords: KeywordSet,
+        similarity: SetSimilarity,
+    ) -> Self {
+        assert!(k > 0, "query must request at least one result");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative"
+        );
+        assert!(!keywords.is_empty(), "query keyword set must be non-empty");
+        Self {
+            k,
+            radius,
+            keywords,
+            similarity,
+        }
+    }
+
+    /// Convenience: the similarity score `w(f, q)` of a feature keyword
+    /// set against this query.
+    #[inline]
+    pub fn score(&self, feature_keywords: &KeywordSet) -> spq_text::Score {
+        self.similarity.score(&self.keywords, feature_keywords)
+    }
+
+    /// Convenience: the Equation-1 style upper bound for a feature with
+    /// `feature_len` keywords.
+    #[inline]
+    pub fn upper_bound(&self, feature_len: usize) -> spq_text::Score {
+        self.similarity
+            .upper_bound_by_len(self.keywords.len(), feature_len)
+    }
+}
+
+impl fmt::Display for SpqQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "q(k={}, r={}, |W|={})",
+            self.k,
+            self.radius,
+            self.keywords.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_text::Score;
+
+    #[test]
+    fn constructs_with_defaults() {
+        let q = SpqQuery::new(5, 1.5, KeywordSet::from_ids([1, 2]));
+        assert_eq!(q.k, 5);
+        assert_eq!(q.similarity, SetSimilarity::Jaccard);
+        assert_eq!(q.to_string(), "q(k=5, r=1.5, |W|=2)");
+    }
+
+    #[test]
+    fn score_and_bound_delegate() {
+        let q = SpqQuery::new(1, 1.0, KeywordSet::from_ids([1]));
+        assert_eq!(q.score(&KeywordSet::from_ids([1, 2])), Score::ratio(1, 2));
+        assert_eq!(q.upper_bound(4), Score::ratio(1, 4));
+        assert_eq!(q.upper_bound(0), Score::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = SpqQuery::new(0, 1.0, KeywordSet::from_ids([1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_radius_rejected() {
+        let _ = SpqQuery::new(1, -1.0, KeywordSet::from_ids([1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_keywords_rejected() {
+        let _ = SpqQuery::new(1, 1.0, KeywordSet::empty());
+    }
+
+    #[test]
+    fn zero_radius_is_allowed() {
+        // r = 0 means "exactly co-located features" — degenerate but legal.
+        let q = SpqQuery::new(1, 0.0, KeywordSet::from_ids([1]));
+        assert_eq!(q.radius, 0.0);
+    }
+}

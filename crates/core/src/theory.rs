@@ -1,0 +1,208 @@
+//! The Section-6 analysis: duplication factor, reducer cost model and
+//! cell-size selection.
+//!
+//! Under uniformly distributed feature objects and a square cell of side
+//! `a` with query radius `r <= a/2`, a feature is duplicated to 3, 2, 1 or
+//! 0 neighbouring cells depending on which corner/border band it falls in
+//! (areas A1–A4 of Figure 3), giving the closed form
+//!
+//! ```text
+//! df = πr²/a² + 4r/a + 1,        1 <= df <= 3 + π/4
+//! ```
+//!
+//! The per-reducer cost is proportional to `|O|·|F|·df / R²` (Section
+//! 6.1), and normalising the space to `[0,1]²` with `R = 1/a` cells per
+//! axis, minimising cost means minimising `df·a⁴ = πr²a² + 4ra³ + a⁴`
+//! (Section 6.3) — i.e. *smaller cells are better*, bounded below by the
+//! duplication explosion once `a` approaches `r`.
+
+/// The worst-case duplication factor `3 + π/4`, reached at `a = 2r`.
+pub const MAX_DUPLICATION_FACTOR: f64 = 3.0 + std::f64::consts::PI / 4.0;
+
+/// The expected duplication factor `df = πr²/a² + 4r/a + 1` for uniformly
+/// distributed features (Section 6.2).
+///
+/// The closed form is derived under `r <= a/2`; the function still
+/// evaluates the polynomial outside that regime (the experiments sweep
+/// radii up to `a`), but the analytical guarantees only hold inside it.
+///
+/// # Panics
+///
+/// Panics if either argument is negative, non-finite, or `cell_side == 0`.
+pub fn duplication_factor(cell_side: f64, radius: f64) -> f64 {
+    assert!(
+        cell_side.is_finite() && cell_side > 0.0,
+        "cell side must be positive"
+    );
+    assert!(radius.is_finite() && radius >= 0.0, "radius must be >= 0");
+    let ratio = radius / cell_side;
+    std::f64::consts::PI * ratio * ratio + 4.0 * ratio + 1.0
+}
+
+/// Probabilities of the four duplication areas of Figure 3:
+/// `(P(A1), P(A2), P(A3), P(A4))` — corner (3 duplicates), double-border
+/// (2), single border (1), interior (0). Valid for `r <= a/2`.
+pub fn area_probabilities(cell_side: f64, radius: f64) -> (f64, f64, f64, f64) {
+    assert!(
+        radius * 2.0 <= cell_side * (1.0 + 1e-12),
+        "area decomposition requires r <= a/2"
+    );
+    let a = cell_side;
+    let r = radius;
+    let cell = a * a;
+    let a1 = std::f64::consts::PI * r * r;
+    let a2 = (4.0 - std::f64::consts::PI) * r * r;
+    let a3 = 4.0 * (a - 2.0 * r) * r;
+    let a4 = (a - 2.0 * r) * (a - 2.0 * r);
+    (a1 / cell, a2 / cell, a3 / cell, a4 / cell)
+}
+
+/// The per-reducer cost `|Oi|·|Fi| = |O|·|F|·df / R²` of Section 6.1,
+/// where `R` is the number of cells.
+pub fn reducer_cost(num_data: u64, num_features: u64, df: f64, num_cells: usize) -> f64 {
+    assert!(num_cells > 0, "need at least one cell");
+    let r = num_cells as f64;
+    num_data as f64 * num_features as f64 * df / (r * r)
+}
+
+/// The §6.3 cost indicator `df·a⁴ = πr²a² + 4ra³ + a⁴` for a normalised
+/// `[0,1]²` space — monotonically increasing in `a`, which is the paper's
+/// argument that finer grids are cheaper per reducer.
+pub fn cost_indicator(cell_side: f64, radius: f64) -> f64 {
+    duplication_factor(cell_side, radius) * cell_side.powi(4)
+}
+
+/// Picks a query-time grid size (cells per axis) for a square data space
+/// of the given extent.
+///
+/// Follows the paper's guidance: as fine as possible (Section 6.3) while
+/// keeping `a >= r` to avoid excessive replication (Section 4.1), and
+/// bounded by `max_cells_per_axis` (the cluster's appetite for reduce
+/// tasks; the paper uses up to 100x100).
+///
+/// # Panics
+///
+/// Panics on non-positive extent or `max_cells_per_axis == 0`.
+pub fn auto_grid_size(extent: f64, radius: f64, max_cells_per_axis: u32) -> u32 {
+    assert!(extent.is_finite() && extent > 0.0, "extent must be positive");
+    assert!(radius.is_finite() && radius >= 0.0, "radius must be >= 0");
+    assert!(max_cells_per_axis > 0, "need at least one cell per axis");
+    if radius <= 0.0 {
+        return max_cells_per_axis;
+    }
+    let max_by_radius = (extent / radius).floor();
+    let n = max_by_radius.clamp(1.0, max_cells_per_axis as f64);
+    n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn df_bounds() {
+        // No duplication when r = 0.
+        assert_eq!(duplication_factor(1.0, 0.0), 1.0);
+        // Worst case at a = 2r.
+        let worst = duplication_factor(2.0, 1.0);
+        assert!((worst - MAX_DUPLICATION_FACTOR).abs() < 1e-12);
+    }
+
+    #[test]
+    fn df_monotone_in_radius() {
+        let mut last = 0.0;
+        for i in 0..=50 {
+            let r = i as f64 / 100.0; // r in [0, a/2] for a = 1
+            let df = duplication_factor(1.0, r);
+            assert!(df >= last);
+            last = df;
+        }
+    }
+
+    #[test]
+    fn df_scale_invariant() {
+        // df depends only on r/a.
+        let a = duplication_factor(1.0, 0.1);
+        let b = duplication_factor(10.0, 1.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_probabilities_sum_to_one() {
+        for &(a, r) in &[(1.0, 0.1), (1.0, 0.5), (2.5, 0.3), (4.0, 2.0)] {
+            let (p1, p2, p3, p4) = area_probabilities(a, r);
+            assert!((p1 + p2 + p3 + p4 - 1.0).abs() < 1e-12, "a={a} r={r}");
+            assert!(p1 >= 0.0 && p2 >= 0.0 && p3 >= 0.0 && p4 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn area_probabilities_reproduce_df() {
+        // df = 3·P(A1) + 2·P(A2) + P(A3) + 1 (Section 6.2).
+        let (a, r) = (1.0, 0.25);
+        let (p1, p2, p3, _) = area_probabilities(a, r);
+        let from_areas = 3.0 * p1 + 2.0 * p2 + p3 + 1.0;
+        assert!((from_areas - duplication_factor(a, r)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn area_decomposition_rejects_large_radius() {
+        let _ = area_probabilities(1.0, 0.6);
+    }
+
+    #[test]
+    fn reducer_cost_formula() {
+        // |O|=|F|=1000, df=2, R=100 -> 1000*1000*2/10000 = 200.
+        assert_eq!(reducer_cost(1000, 1000, 2.0, 100), 200.0);
+    }
+
+    #[test]
+    fn cost_indicator_increases_with_cell_size() {
+        let r = 0.01;
+        let mut last = 0.0;
+        for i in 1..=100 {
+            let a = i as f64 / 100.0;
+            let c = cost_indicator(a, r);
+            assert!(c > last, "a={a}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn auto_grid_respects_radius_floor() {
+        // extent 1.0, r = 0.04: finest grid with a >= r is 25 cells/axis.
+        assert_eq!(auto_grid_size(1.0, 0.04, 100), 25);
+        // Capped by max.
+        assert_eq!(auto_grid_size(1.0, 0.001, 100), 100);
+        // Huge radius: single cell.
+        assert_eq!(auto_grid_size(1.0, 5.0, 100), 1);
+        // Zero radius: cap applies.
+        assert_eq!(auto_grid_size(1.0, 0.0, 64), 64);
+    }
+
+    proptest! {
+        /// df stays within [1, 3 + π/4] for the analysed regime r <= a/2.
+        #[test]
+        fn prop_df_in_bounds(a in 0.01f64..100.0, t in 0.0f64..=0.5) {
+            let r = a * t;
+            let df = duplication_factor(a, r);
+            prop_assert!(df >= 1.0 - 1e-12);
+            prop_assert!(df <= MAX_DUPLICATION_FACTOR + 1e-12);
+        }
+
+        /// The chosen grid always satisfies a >= r (up to fp rounding) and
+        /// the cap.
+        #[test]
+        fn prop_auto_grid_valid(extent in 0.1f64..100.0, r in 0.0001f64..10.0,
+                                cap in 1u32..200) {
+            let n = auto_grid_size(extent, r, cap);
+            prop_assert!(n >= 1 && n <= cap);
+            let a = extent / n as f64;
+            if n > 1 {
+                prop_assert!(a >= r * (1.0 - 1e-9), "a={a} r={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The top-k candidate list `Lk` with its threshold `τ`.
+//!
+//! Algorithms 2 and 4 of the paper maintain "a sorted list Lk of the k
+//! data objects with best scores" and use `τ`, the k-th best score so far,
+//! both to prune feature objects (`w(x,q) > τ`) and — for eSPQlen — to
+//! terminate early (`τ >= w̄(x,q)`).
+
+use crate::model::{ObjectId, RankedObject};
+use spq_spatial::Point;
+use spq_text::Score;
+
+/// A bounded list of the best-scoring data objects seen so far.
+///
+/// Kept sorted by `(score desc, id asc)`. An object appears at most once;
+/// [`update`](TopKList::update) raises its score in place (scores only
+/// ever improve, since `τ(p)` is a running maximum). Capacity `k` is tiny
+/// (the paper sweeps 5–100), so linear operations beat any heap here.
+#[derive(Debug, Clone)]
+pub struct TopKList {
+    k: usize,
+    entries: Vec<RankedObject>,
+}
+
+impl TopKList {
+    /// Creates an empty list with capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k list needs k >= 1");
+        Self {
+            k,
+            entries: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// The threshold `τ`: the k-th best score so far, or zero while the
+    /// list is not yet full (any positive score still qualifies).
+    #[inline]
+    pub fn tau(&self) -> Score {
+        if self.entries.len() < self.k {
+            Score::ZERO
+        } else {
+            self.entries[self.entries.len() - 1].score
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry qualified yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True once `k` entries are held.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// Offers `(object, score)`; inserts, raises an existing entry, or
+    /// ignores the offer if it cannot enter the list.
+    ///
+    /// Mirrors line 13 of Algorithm 2: "if p already exists in Lk we only
+    /// update its score, otherwise p is inserted". Under ties the smaller
+    /// id is preferred, matching [`RankedObject::canonical_cmp`].
+    pub fn update(&mut self, object: ObjectId, location: Point, score: Score) {
+        if score.is_zero() {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|e| e.object == object) {
+            if self.entries[pos].score >= score {
+                return; // running max: never lower an entry
+            }
+            self.entries.remove(pos);
+        } else if self.is_full() {
+            let worst = self.entries[self.entries.len() - 1];
+            let candidate = RankedObject::new(object, location, score);
+            if candidate.canonical_cmp(&worst).is_ge() {
+                return; // cannot displace the current k-th entry
+            }
+            self.entries.pop();
+        }
+        let candidate = RankedObject::new(object, location, score);
+        let pos = self
+            .entries
+            .partition_point(|e| e.canonical_cmp(&candidate).is_lt());
+        self.entries.insert(pos, candidate);
+    }
+
+    /// The entries in canonical order (score desc, id asc).
+    pub fn as_slice(&self) -> &[RankedObject] {
+        &self.entries
+    }
+
+    /// Consumes the list, returning the entries in canonical order.
+    pub fn into_vec(self) -> Vec<RankedObject> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> Point {
+        Point::new(0.0, 0.0)
+    }
+
+    fn ids(list: &TopKList) -> Vec<ObjectId> {
+        list.as_slice().iter().map(|e| e.object).collect()
+    }
+
+    #[test]
+    fn tau_is_zero_until_full() {
+        let mut l = TopKList::new(2);
+        assert_eq!(l.tau(), Score::ZERO);
+        l.update(1, p(), Score::ratio(1, 2));
+        assert_eq!(l.tau(), Score::ZERO);
+        l.update(2, p(), Score::ratio(1, 4));
+        assert_eq!(l.tau(), Score::ratio(1, 4));
+    }
+
+    #[test]
+    fn keeps_best_k_in_order() {
+        let mut l = TopKList::new(3);
+        for (id, num) in [(1, 1), (2, 5), (3, 3), (4, 4), (5, 2)] {
+            l.update(id, p(), Score::ratio(num, 10));
+        }
+        assert_eq!(ids(&l), vec![2, 4, 3]);
+        assert_eq!(l.tau(), Score::ratio(3, 10));
+    }
+
+    #[test]
+    fn update_raises_existing_entry() {
+        let mut l = TopKList::new(2);
+        l.update(1, p(), Score::ratio(1, 10));
+        l.update(2, p(), Score::ratio(2, 10));
+        l.update(1, p(), Score::ratio(9, 10));
+        assert_eq!(ids(&l), vec![1, 2]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn update_never_lowers_a_score() {
+        let mut l = TopKList::new(1);
+        l.update(1, p(), Score::ratio(9, 10));
+        l.update(1, p(), Score::ratio(1, 10));
+        assert_eq!(l.as_slice()[0].score, Score::ratio(9, 10));
+    }
+
+    #[test]
+    fn zero_scores_never_enter() {
+        let mut l = TopKList::new(2);
+        l.update(1, p(), Score::ZERO);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn ties_prefer_smaller_id() {
+        let mut l = TopKList::new(2);
+        l.update(9, p(), Score::ratio(1, 2));
+        l.update(3, p(), Score::ratio(1, 2));
+        l.update(6, p(), Score::ratio(1, 2));
+        assert_eq!(ids(&l), vec![3, 6]);
+        // An equal-score larger id cannot displace the current k-th.
+        l.update(7, p(), Score::ratio(1, 2));
+        assert_eq!(ids(&l), vec![3, 6]);
+        // But an equal-score *smaller* id can.
+        l.update(1, p(), Score::ratio(1, 2));
+        assert_eq!(ids(&l), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = TopKList::new(0);
+    }
+
+    proptest! {
+        /// The list always equals the canonical top-k of everything offered,
+        /// where per-object score is the max offered for that object.
+        #[test]
+        fn prop_matches_reference(offers in proptest::collection::vec(
+            (0u64..20, 0usize..30), 0..60), k in 1usize..8) {
+            let mut l = TopKList::new(k);
+            for &(id, num) in &offers {
+                l.update(id, p(), Score::ratio(num, 30));
+            }
+            // Reference: max score per id, positive only, canonical top-k.
+            let mut best: std::collections::HashMap<u64, usize> = Default::default();
+            for &(id, num) in &offers {
+                if num > 0 {
+                    let e = best.entry(id).or_insert(0);
+                    *e = (*e).max(num);
+                }
+            }
+            let mut expected: Vec<RankedObject> = best
+                .into_iter()
+                .map(|(id, num)| RankedObject::new(id, p(), Score::ratio(num, 30)))
+                .collect();
+            expected.sort_by(RankedObject::canonical_cmp);
+            expected.truncate(k);
+            let got = l.into_vec();
+            prop_assert_eq!(
+                got.iter().map(|e| (e.object, e.score)).collect::<Vec<_>>(),
+                expected.iter().map(|e| (e.object, e.score)).collect::<Vec<_>>()
+            );
+        }
+
+        /// τ is monotonically non-decreasing over any offer sequence.
+        #[test]
+        fn prop_tau_monotone(offers in proptest::collection::vec(
+            (0u64..10, 0usize..20), 0..40)) {
+            let mut l = TopKList::new(3);
+            let mut last_tau = Score::ZERO;
+            for &(id, num) in &offers {
+                l.update(id, p(), Score::ratio(num, 20));
+                let tau = l.tau();
+                prop_assert!(tau >= last_tau);
+                last_tau = tau;
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Result validation under score ties.
+//!
+//! The paper's early-termination algorithms are *score-correct*: they
+//! return `k` objects whose score multiset equals the exact top-k score
+//! multiset, and every reported score is the object's true `τ(p)`. Under
+//! ties they may legitimately pick different (equally good) objects than
+//! the canonical baseline. These helpers express that contract so that
+//! every test can assert it precisely.
+
+use crate::centralized::tau;
+use crate::model::{DataObject, FeatureObject, RankedObject};
+use crate::query::SpqQuery;
+use spq_text::Score;
+
+/// True when two results carry the same multiset of scores.
+pub fn same_score_multiset(a: &[RankedObject], b: &[RankedObject]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut sa: Vec<Score> = a.iter().map(|r| r.score).collect();
+    let mut sb: Vec<Score> = b.iter().map(|r| r.score).collect();
+    sa.sort();
+    sb.sort();
+    sa == sb
+}
+
+/// Checks a distributed result against the exact baseline:
+///
+/// 1. same length and same score multiset as the baseline,
+/// 2. every reported `(p, s)` satisfies `τ(p) = s` exactly,
+/// 3. no object reported twice,
+/// 4. result sorted canonically (score desc, id asc).
+///
+/// Returns a description of the first violation, if any.
+pub fn check_result(
+    result: &[RankedObject],
+    baseline: &[RankedObject],
+    data: &[DataObject],
+    features: &[FeatureObject],
+    query: &SpqQuery,
+) -> Result<(), String> {
+    if result.len() != baseline.len() {
+        return Err(format!(
+            "result has {} entries, baseline {}",
+            result.len(),
+            baseline.len()
+        ));
+    }
+    if !same_score_multiset(result, baseline) {
+        return Err("score multisets differ from baseline".to_owned());
+    }
+    let mut seen = std::collections::HashSet::new();
+    for r in result {
+        if !seen.insert(r.object) {
+            return Err(format!("object {} reported twice", r.object));
+        }
+        let p = data
+            .iter()
+            .find(|p| p.id == r.object)
+            .ok_or_else(|| format!("object {} not in the data set", r.object))?;
+        let true_tau = tau(p, features, query);
+        if true_tau != r.score {
+            return Err(format!(
+                "object {} reported with {} but τ = {}",
+                r.object, r.score, true_tau
+            ));
+        }
+    }
+    for w in result.windows(2) {
+        if w[0].canonical_cmp(&w[1]).is_gt() {
+            return Err(format!(
+                "result not canonically sorted at {} / {}",
+                w[0], w[1]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_spatial::Point;
+    use spq_text::KeywordSet;
+
+    fn setup() -> (Vec<DataObject>, Vec<FeatureObject>, SpqQuery) {
+        let data = vec![
+            DataObject::new(1, Point::new(1.0, 1.0)),
+            DataObject::new(2, Point::new(2.0, 2.0)),
+        ];
+        let features = vec![
+            FeatureObject::new(1, Point::new(1.1, 1.0), KeywordSet::from_ids([0])),
+            FeatureObject::new(2, Point::new(2.1, 2.0), KeywordSet::from_ids([0, 1])),
+        ];
+        let query = SpqQuery::new(2, 0.5, KeywordSet::from_ids([0]));
+        (data, features, query)
+    }
+
+    #[test]
+    fn accepts_the_exact_result() {
+        let (data, features, query) = setup();
+        let baseline = crate::centralized::brute_force(&data, &features, &query);
+        assert!(check_result(&baseline, &baseline, &data, &features, &query).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_score() {
+        let (data, features, query) = setup();
+        let baseline = crate::centralized::brute_force(&data, &features, &query);
+        let mut forged = baseline.clone();
+        forged[1].score = forged[0].score; // lie about τ
+        // Multiset check fires first.
+        assert!(check_result(&forged, &baseline, &data, &features, &query).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknown_objects() {
+        let (data, features, query) = setup();
+        let baseline = crate::centralized::brute_force(&data, &features, &query);
+        // Duplicating the top entry perturbs the score multiset (and would
+        // be caught as a duplicate even with equal scores).
+        let dup = vec![baseline[0], baseline[0]];
+        assert!(check_result(&dup, &baseline, &data, &features, &query).is_err());
+        // An equal-score duplicate passes the multiset check and must be
+        // caught by the dedup check.
+        let same = vec![baseline[0], baseline[0]];
+        let fake_baseline = vec![baseline[0], baseline[0]];
+        assert!(
+            check_result(&same, &fake_baseline, &data, &features, &query)
+                .unwrap_err()
+                .contains("twice")
+        );
+        let mut unknown = baseline.clone();
+        unknown[0].object = 999;
+        let err = check_result(&unknown, &baseline, &data, &features, &query).unwrap_err();
+        assert!(err.contains("999"));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let (data, features, query) = setup();
+        let baseline = crate::centralized::brute_force(&data, &features, &query);
+        assert!(check_result(&baseline[..1], &baseline, &data, &features, &query).is_err());
+    }
+
+    #[test]
+    fn multiset_comparison() {
+        let (data, features, query) = setup();
+        let baseline = crate::centralized::brute_force(&data, &features, &query);
+        assert!(same_score_multiset(&baseline, &baseline));
+        assert!(!same_score_multiset(&baseline, &baseline[..1]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sampling primitives the generators need beyond `rand`'s built-ins:
+//! normal (Box–Muller) and Poisson (Knuth) variates.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be >= 0");
+    mean + standard_normal(rng) * std_dev
+}
+
+/// Draws a Poisson variate with mean `lambda` (Knuth's product method —
+/// fine for the small λ ≈ 7–10 used by the keyword-count models).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and >= 0"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // λ is small in all callers; this bound is a safety net against
+        // pathological RNG streams, not a statistical correction.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// The number of keywords attached to a generated feature object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeywordCount {
+    /// Uniform in `[min, max]` — the paper's synthetic datasets use
+    /// `[10, 100]`.
+    UniformRange {
+        /// Inclusive lower bound (>= 1).
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    },
+    /// `1 + Poisson(mean - 1)` — at least one keyword, with the requested
+    /// mean; models the short annotations of the real datasets.
+    ShiftedPoisson {
+        /// Target mean number of keywords (> 1).
+        mean: f64,
+    },
+}
+
+impl KeywordCount {
+    /// Draws a keyword count (always >= 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            KeywordCount::UniformRange { min, max } => {
+                assert!(min >= 1 && min <= max, "invalid keyword range");
+                rng.gen_range(min..=max)
+            }
+            KeywordCount::ShiftedPoisson { mean } => {
+                assert!(mean >= 1.0, "mean keyword count must be >= 1");
+                1 + poisson(rng, mean - 1.0) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 6.9)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.9).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn keyword_counts_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = KeywordCount::UniformRange { min: 10, max: 100 };
+        for _ in 0..1000 {
+            let c = model.sample(&mut rng);
+            assert!((10..=100).contains(&c));
+        }
+    }
+
+    #[test]
+    fn shifted_poisson_mean_and_floor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = KeywordCount::ShiftedPoisson { mean: 7.9 };
+        let n = 20_000;
+        let mut total = 0usize;
+        for _ in 0..n {
+            let c = model.sample(&mut rng);
+            assert!(c >= 1);
+            total += c;
+        }
+        let mean = total as f64 / n as f64;
+        // Matches the Flickr statistic the generator advertises.
+        assert!((mean - 7.9).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_lambda_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

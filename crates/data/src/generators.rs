@@ -1,0 +1,382 @@
+//! The four dataset generators of the experimental study.
+//!
+//! All generators work in the unit square, split objects 50/50 into data
+//! and feature objects (Section 7.1: "we randomly select half of the
+//! objects to act as data objects and the other half as feature objects"),
+//! and are fully deterministic given a seed.
+
+use crate::dataset::Dataset;
+use crate::distributions::{normal, KeywordCount};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spq_core::{DataObject, FeatureObject};
+use spq_spatial::{Point, Rect};
+use spq_text::{KeywordSet, Term, Zipf};
+
+/// A source of synthetic SPQ datasets.
+pub trait DatasetGenerator {
+    /// Short dataset name as used in the paper's figures (UN, CL, FL, TW).
+    fn name(&self) -> &'static str;
+
+    /// Dictionary cardinality the generator draws terms from.
+    fn vocab_size(&self) -> usize;
+
+    /// Generates `total_objects` objects (half data, half features),
+    /// deterministically for a given seed.
+    fn generate(&self, total_objects: usize, seed: u64) -> Dataset;
+}
+
+/// Spatial placement model shared by the generators.
+#[derive(Debug, Clone)]
+enum SpatialModel {
+    /// Uniform over the unit square.
+    Uniform,
+    /// A mixture of Gaussian hotspots (optionally Zipf-weighted, with
+    /// per-cluster spreads) plus a uniform background fraction.
+    Hotspots {
+        clusters: usize,
+        /// Spread range `[min_sigma, max_sigma]` sampled per cluster.
+        sigma: (f64, f64),
+        /// Fraction of points drawn uniformly instead of from a cluster.
+        background: f64,
+        /// Zipf exponent over cluster popularity (0 = equal-sized
+        /// clusters, as in the paper's CL dataset).
+        weight_exponent: f64,
+    },
+}
+
+impl SpatialModel {
+    fn build(&self, rng: &mut StdRng) -> PlacedModel {
+        match *self {
+            SpatialModel::Uniform => PlacedModel::Uniform,
+            SpatialModel::Hotspots {
+                clusters,
+                sigma,
+                background,
+                weight_exponent,
+            } => {
+                let centers: Vec<(Point, f64)> = (0..clusters)
+                    .map(|_| {
+                        let c = Point::new(rng.gen(), rng.gen());
+                        let s = rng.gen_range(sigma.0..=sigma.1);
+                        (c, s)
+                    })
+                    .collect();
+                PlacedModel::Hotspots {
+                    centers,
+                    background,
+                    picker: Zipf::new(clusters, weight_exponent),
+                }
+            }
+        }
+    }
+}
+
+/// A spatial model with its cluster centres fixed for one generation run.
+enum PlacedModel {
+    Uniform,
+    Hotspots {
+        centers: Vec<(Point, f64)>,
+        background: f64,
+        picker: Zipf,
+    },
+}
+
+impl PlacedModel {
+    fn sample(&self, rng: &mut StdRng) -> Point {
+        match self {
+            PlacedModel::Uniform => Point::new(rng.gen(), rng.gen()),
+            PlacedModel::Hotspots {
+                centers,
+                background,
+                picker,
+            } => {
+                if rng.gen::<f64>() < *background {
+                    return Point::new(rng.gen(), rng.gen());
+                }
+                let (center, sigma) = centers[picker.sample(rng)];
+                Point::new(
+                    normal(rng, center.x, sigma).clamp(0.0, 1.0),
+                    normal(rng, center.y, sigma).clamp(0.0, 1.0),
+                )
+            }
+        }
+    }
+}
+
+/// Shared generation core.
+#[derive(Debug, Clone)]
+struct GenCore {
+    name: &'static str,
+    spatial: SpatialModel,
+    keyword_count: KeywordCount,
+    vocab_size: usize,
+    /// Zipf exponent over term popularity (0 = the paper's uniform term
+    /// selection for UN/CL; ~1 mimics natural-language dictionaries).
+    term_exponent: f64,
+}
+
+impl GenCore {
+    fn generate(&self, total_objects: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = self.spatial.build(&mut rng);
+        let terms = Zipf::new(self.vocab_size, self.term_exponent);
+        let n_data = total_objects / 2;
+        let n_features = total_objects - n_data;
+
+        let data: Vec<DataObject> = (0..n_data)
+            .map(|i| DataObject::new(i as u64, model.sample(&mut rng)))
+            .collect();
+        let features: Vec<FeatureObject> = (0..n_features)
+            .map(|i| {
+                let location = model.sample(&mut rng);
+                let count = self.keyword_count.sample(&mut rng).min(self.vocab_size);
+                let kw: Vec<Term> = terms
+                    .sample_distinct(&mut rng, count)
+                    .into_iter()
+                    .map(|t| Term(t as u32))
+                    .collect();
+                FeatureObject::new(i as u64, location, KeywordSet::new(kw))
+            })
+            .collect();
+
+        Dataset {
+            bounds: Rect::unit(),
+            data,
+            features,
+            vocab_size: self.vocab_size,
+        }
+    }
+}
+
+macro_rules! generator {
+    ($(#[$doc:meta])* $name:ident, $core:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name;
+
+        impl DatasetGenerator for $name {
+            fn name(&self) -> &'static str {
+                $core.name
+            }
+            fn vocab_size(&self) -> usize {
+                $core.vocab_size
+            }
+            fn generate(&self, total_objects: usize, seed: u64) -> Dataset {
+                $core.generate(total_objects, seed)
+            }
+        }
+    };
+}
+
+generator!(
+    /// The paper's **UN** dataset: uniform spatial distribution, 10–100
+    /// keywords per feature drawn uniformly from a 1,000-term vocabulary.
+    UniformGen,
+    GenCore {
+        name: "UN",
+        spatial: SpatialModel::Uniform,
+        keyword_count: KeywordCount::UniformRange { min: 10, max: 100 },
+        vocab_size: 1000,
+        term_exponent: 0.0,
+    }
+);
+
+generator!(
+    /// The paper's **CL** dataset: 16 Gaussian clusters at random
+    /// positions, all other parameters as UN. Deliberately hostile to the
+    /// grid: reducers are imbalanced and boundary clusters duplicate
+    /// heavily (Section 7.2.4).
+    ClusteredGen,
+    GenCore {
+        name: "CL",
+        spatial: SpatialModel::Hotspots {
+            clusters: 16,
+            sigma: (0.01, 0.03),
+            background: 0.0,
+            weight_exponent: 0.0,
+        },
+        keyword_count: KeywordCount::UniformRange { min: 10, max: 100 },
+        vocab_size: 1000,
+        term_exponent: 0.0,
+    }
+);
+
+generator!(
+    /// A **Flickr-like** dataset: hotspot spatial skew, shifted-Poisson
+    /// keyword counts with mean 7.9 and Zipf term frequencies over a
+    /// 34,716-term dictionary — the statistics reported for the paper's
+    /// FL dataset.
+    FlickrLike,
+    GenCore {
+        name: "FL",
+        spatial: SpatialModel::Hotspots {
+            clusters: 256,
+            sigma: (0.005, 0.05),
+            background: 0.15,
+            weight_exponent: 1.0,
+        },
+        keyword_count: KeywordCount::ShiftedPoisson { mean: 7.9 },
+        vocab_size: 34_716,
+        term_exponent: 1.0,
+    }
+);
+
+generator!(
+    /// A **Twitter-like** dataset: denser hotspot skew, shifted-Poisson
+    /// keyword counts with mean 9.8 and Zipf term frequencies over an
+    /// 88,706-term dictionary — the statistics reported for the paper's
+    /// TW dataset.
+    TwitterLike,
+    GenCore {
+        name: "TW",
+        spatial: SpatialModel::Hotspots {
+            clusters: 400,
+            sigma: (0.004, 0.04),
+            background: 0.2,
+            weight_exponent: 1.0,
+        },
+        keyword_count: KeywordCount::ShiftedPoisson { mean: 9.8 },
+        vocab_size: 88_706,
+        term_exponent: 1.0,
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_spatial::Grid;
+
+    fn all() -> Vec<Box<dyn DatasetGenerator>> {
+        vec![
+            Box::new(UniformGen),
+            Box::new(ClusteredGen),
+            Box::new(FlickrLike),
+            Box::new(TwitterLike),
+        ]
+    }
+
+    #[test]
+    fn names_and_vocab_sizes_match_paper() {
+        let names: Vec<&str> = all().iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["UN", "CL", "FL", "TW"]);
+        assert_eq!(UniformGen.vocab_size(), 1000);
+        assert_eq!(FlickrLike.vocab_size(), 34_716);
+        assert_eq!(TwitterLike.vocab_size(), 88_706);
+    }
+
+    #[test]
+    fn halves_and_bounds() {
+        for g in all() {
+            let d = g.generate(2001, 7);
+            assert_eq!(d.data.len(), 1000, "{}", g.name());
+            assert_eq!(d.features.len(), 1001, "{}", g.name());
+            for o in &d.data {
+                assert!(d.bounds.contains(&o.location), "{}", g.name());
+            }
+            for f in &d.features {
+                assert!(d.bounds.contains(&f.location), "{}", g.name());
+                assert!(!f.keywords.is_empty());
+                assert!(f
+                    .keywords
+                    .iter()
+                    .all(|t| t.index() < g.vocab_size()));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for g in all() {
+            let a = g.generate(500, 42);
+            let b = g.generate(500, 42);
+            assert_eq!(a.data, b.data, "{}", g.name());
+            assert_eq!(a.features, b.features, "{}", g.name());
+            let c = g.generate(500, 43);
+            assert_ne!(
+                a.features, c.features,
+                "{} should differ across seeds",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn un_keyword_counts_in_paper_range() {
+        let d = UniformGen.generate(2000, 1);
+        for f in &d.features {
+            assert!((10..=100).contains(&f.keywords.len()));
+        }
+        let mean = d.mean_keywords();
+        assert!((50.0..60.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn fl_tw_keyword_means_match_reported_statistics() {
+        let fl = FlickrLike.generate(20_000, 2);
+        assert!(
+            (fl.mean_keywords() - 7.9).abs() < 0.3,
+            "FL mean {}",
+            fl.mean_keywords()
+        );
+        let tw = TwitterLike.generate(20_000, 3);
+        assert!(
+            (tw.mean_keywords() - 9.8).abs() < 0.3,
+            "TW mean {}",
+            tw.mean_keywords()
+        );
+    }
+
+    /// Coefficient of variation of per-cell object counts — a direct
+    /// measure of the reducer imbalance the paper attributes to CL.
+    fn density_cv(d: &Dataset) -> f64 {
+        let grid = Grid::square(d.bounds, 8);
+        let mut counts = vec![0f64; grid.num_cells()];
+        for o in &d.data {
+            counts[grid.cell_of(&o.location).index()] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
+            / counts.len() as f64;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn clustered_is_much_more_skewed_than_uniform() {
+        let un = UniformGen.generate(20_000, 5);
+        let cl = ClusteredGen.generate(20_000, 5);
+        let (cv_un, cv_cl) = (density_cv(&un), density_cv(&cl));
+        assert!(
+            cv_cl > 4.0 * cv_un,
+            "CL cv {cv_cl} not >> UN cv {cv_un}"
+        );
+    }
+
+    #[test]
+    fn zipf_terms_skew_head_of_dictionary() {
+        let fl = FlickrLike.generate(4000, 9);
+        let head_hits: usize = fl
+            .features
+            .iter()
+            .flat_map(|f| f.keywords.iter())
+            .filter(|t| t.index() < 100)
+            .count();
+        let total: usize = fl.features.iter().map(|f| f.keywords.len()).sum();
+        // Under Zipf(1) over ~35k terms, the top-100 terms carry ~40% of
+        // occurrences; uniform selection would give ~0.3%.
+        assert!(
+            head_hits as f64 / total as f64 > 0.2,
+            "head fraction {}",
+            head_hits as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn tiny_and_odd_totals() {
+        let d = UniformGen.generate(1, 0);
+        assert_eq!(d.data.len(), 0);
+        assert_eq!(d.features.len(), 1);
+        let e = UniformGen.generate(0, 0);
+        assert_eq!(e.total(), 0);
+    }
+}

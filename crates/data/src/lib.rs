@@ -1,0 +1,34 @@
+//! Dataset generation, partitioning and workloads for SPQ experiments.
+//!
+//! The paper evaluates on four datasets (Section 7.1): two real ones
+//! (Flickr — 40M images, avg 7.9 keywords, 34,716-term dictionary;
+//! Twitter — 80M tweets, avg 9.8 keywords, 88,706 terms) and two synthetic
+//! ones (UN — uniform, 10–100 keywords from a 1,000-term vocabulary;
+//! CL — 16 random clusters, otherwise like UN). In every case half of the
+//! objects act as data objects and half as feature objects.
+//!
+//! The real dumps are not redistributable, so this crate provides
+//! generators that reproduce their *algorithm-relevant* statistics —
+//! spatial density profile, keyword-count distribution, and term-frequency
+//! skew (see DESIGN.md for the substitution argument):
+//!
+//! * [`UniformGen`] — the paper's UN dataset, exactly as described.
+//! * [`ClusteredGen`] — the paper's CL dataset (16 Gaussian clusters).
+//! * [`FlickrLike`] / [`TwitterLike`] — hotspot-mixture spatial skew with
+//!   shifted-Poisson keyword counts and Zipf term frequencies matching the
+//!   reported dictionary sizes and means.
+//!
+//! [`Dataset::to_splits`] produces the horizontally partitioned input the
+//! distributed algorithms consume, [`tsv`] round-trips datasets to disk,
+//! and [`QueryGenerator`] draws query keyword sets (random / frequent /
+//! infrequent, footnote 2 of the paper).
+
+pub mod dataset;
+pub mod distributions;
+pub mod generators;
+pub mod tsv;
+pub mod workload;
+
+pub use dataset::Dataset;
+pub use generators::{ClusteredGen, DatasetGenerator, FlickrLike, TwitterLike, UniformGen};
+pub use workload::{KeywordSelection, QueryGenerator};

@@ -1,0 +1,189 @@
+//! Tab-separated persistence for datasets.
+//!
+//! The on-disk format mirrors how the paper's datasets live in HDFS: one
+//! object per line, loadable as independent splits.
+//!
+//! ```text
+//! D\t<id>\t<x>\t<y>
+//! F\t<id>\t<x>\t<y>\t<term,term,...>
+//! ```
+
+use crate::dataset::Dataset;
+use spq_core::{DataObject, FeatureObject};
+use spq_spatial::{Point, Rect};
+use spq_text::KeywordSet;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a dataset to a TSV file.
+pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        out,
+        "# bounds\t{}\t{}\t{}\t{}\t{}",
+        dataset.bounds.min().x,
+        dataset.bounds.min().y,
+        dataset.bounds.max().x,
+        dataset.bounds.max().y,
+        dataset.vocab_size
+    )?;
+    for o in &dataset.data {
+        writeln!(out, "D\t{}\t{}\t{}", o.id, o.location.x, o.location.y)?;
+    }
+    for f in &dataset.features {
+        let kw: Vec<String> = f.keywords.iter().map(|t| t.0.to_string()).collect();
+        writeln!(
+            out,
+            "F\t{}\t{}\t{}\t{}",
+            f.id,
+            f.location.x,
+            f.location.y,
+            kw.join(",")
+        )?;
+    }
+    out.flush()
+}
+
+fn parse_err(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {line_no}: {msg}"),
+    )
+}
+
+/// Reads a dataset from a TSV file written by [`save`].
+pub fn load(path: &Path) -> io::Result<Dataset> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut bounds = Rect::unit();
+    let mut vocab_size = 0usize;
+    let mut data = Vec::new();
+    let mut features = Vec::new();
+
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let num = |s: &str| -> io::Result<f64> {
+            s.parse::<f64>()
+                .map_err(|_| parse_err(line_no, &format!("bad number {s:?}")))
+        };
+        match fields[0] {
+            "# bounds" => {
+                if fields.len() != 6 {
+                    return Err(parse_err(line_no, "bounds header needs 5 fields"));
+                }
+                bounds = Rect::from_coords(
+                    num(fields[1])?,
+                    num(fields[2])?,
+                    num(fields[3])?,
+                    num(fields[4])?,
+                );
+                vocab_size = fields[5]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad vocab size"))?;
+            }
+            "D" => {
+                if fields.len() != 4 {
+                    return Err(parse_err(line_no, "data line needs 3 fields"));
+                }
+                let id = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad id"))?;
+                data.push(DataObject::new(
+                    id,
+                    Point::new(num(fields[2])?, num(fields[3])?),
+                ));
+            }
+            "F" => {
+                if fields.len() != 5 {
+                    return Err(parse_err(line_no, "feature line needs 4 fields"));
+                }
+                let id = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad id"))?;
+                let location = Point::new(num(fields[2])?, num(fields[3])?);
+                let mut terms = Vec::new();
+                if !fields[4].is_empty() {
+                    for t in fields[4].split(',') {
+                        terms.push(spq_text::Term(
+                            t.parse()
+                                .map_err(|_| parse_err(line_no, &format!("bad term {t:?}")))?,
+                        ));
+                    }
+                }
+                features.push(FeatureObject::new(id, location, KeywordSet::new(terms)));
+            }
+            other => return Err(parse_err(line_no, &format!("unknown record tag {other:?}"))),
+        }
+    }
+
+    Ok(Dataset {
+        bounds,
+        data,
+        features,
+        vocab_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{DatasetGenerator, UniformGen};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spq-tsv-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = UniformGen.generate(200, 11);
+        let path = temp_path("roundtrip.tsv");
+        save(&d, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.bounds, d.bounds);
+        assert_eq!(loaded.vocab_size, d.vocab_size);
+        assert_eq!(loaded.data, d.data);
+        assert_eq!(loaded.features, d.features);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let d = Dataset {
+            bounds: Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            data: vec![],
+            features: vec![],
+            vocab_size: 9,
+        };
+        let path = temp_path("empty.tsv");
+        save(&d, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.bounds, d.bounds);
+        assert_eq!(loaded.vocab_size, 9);
+        assert!(loaded.data.is_empty() && loaded.features.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let path = temp_path("bad.tsv");
+        std::fs::write(&path, "D\t1\tnot-a-number\t2\n").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        std::fs::write(&path, "X\t1\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "F\t1\t0.5\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(load(Path::new("/nonexistent/spq.tsv")).is_err());
+    }
+}

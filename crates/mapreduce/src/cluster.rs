@@ -1,0 +1,197 @@
+//! Cluster configuration and virtual-cluster makespan simulation.
+//!
+//! The paper's experiments report MapReduce *job execution time* on a
+//! 16-node cluster. Reproducing the shape of those curves needs two
+//! things this module provides:
+//!
+//! * [`ClusterConfig`] — how many real worker threads execute tasks on the
+//!   host machine (the measured baseline), and
+//! * [`SimulatedCluster`] — a deterministic list scheduler that replays the
+//!   measured per-task durations onto `slots` virtual task slots, to
+//!   estimate what the makespan would be on a cluster of a different size.
+//!   This is a classic `P || Cmax` greedy schedule — tasks are assigned in
+//!   submission order to the earliest-free slot, which is exactly what a
+//!   FIFO Hadoop scheduler does for a single job's task queue.
+
+use crate::stats::JobStats;
+use std::time::Duration;
+
+/// Execution configuration for [`crate::JobRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of real worker threads (task slots) on the host.
+    pub workers: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster using every available core.
+    pub fn auto() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+
+    /// A cluster with an explicit number of worker slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "cluster needs at least one worker");
+        Self { workers }
+    }
+
+    /// A single-threaded cluster — useful for deterministic debugging.
+    pub fn sequential() -> Self {
+        Self { workers: 1 }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// A deterministic virtual cluster for makespan estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulatedCluster {
+    /// Number of parallel task slots.
+    pub slots: usize,
+}
+
+impl SimulatedCluster {
+    /// Creates a virtual cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "simulated cluster needs at least one slot");
+        Self { slots }
+    }
+
+    /// Greedy list-schedule of `durations` (in submission order) onto the
+    /// slots; returns the makespan.
+    pub fn makespan(&self, durations: &[Duration]) -> Duration {
+        let mut slots = vec![Duration::ZERO; self.slots];
+        for &d in durations {
+            // Earliest-free slot; ties resolved by lowest index, so the
+            // schedule is deterministic.
+            let (idx, _) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &t)| (t, i))
+                .expect("slots is non-empty");
+            slots[idx] += d;
+        }
+        slots.into_iter().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Estimated job execution time on this virtual cluster: map-phase
+    /// makespan + shuffle + reduce-phase makespan, using the real measured
+    /// per-task durations recorded in `stats`.
+    ///
+    /// The paper sets the number of reducers equal to the number of grid
+    /// cells and lets the cluster's ~100 cores process them in waves
+    /// (footnote 1 of Section 6.3); the greedy schedule reproduces that
+    /// wave behaviour including stragglers on skewed data.
+    pub fn job_makespan(&self, stats: &JobStats) -> Duration {
+        let map: Vec<Duration> = stats.map_tasks.iter().map(|t| t.duration).collect();
+        let red: Vec<Duration> = stats.reduce_tasks.iter().map(|t| t.duration).collect();
+        self.makespan(&map) + stats.shuffle_wall + self.makespan(&red)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TaskStats;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn single_slot_sums_everything() {
+        let c = SimulatedCluster::new(1);
+        assert_eq!(c.makespan(&[ms(5), ms(10), ms(1)]), ms(16));
+    }
+
+    #[test]
+    fn enough_slots_take_the_maximum() {
+        let c = SimulatedCluster::new(8);
+        assert_eq!(c.makespan(&[ms(5), ms(10), ms(1)]), ms(10));
+    }
+
+    #[test]
+    fn greedy_wave_scheduling() {
+        // 4 equal tasks on 2 slots -> two waves.
+        let c = SimulatedCluster::new(2);
+        assert_eq!(c.makespan(&[ms(10); 4]), ms(20));
+        // A straggler dominates: [10,10,10,30] on 2 slots.
+        // slot0: 10+10=20, slot1: 10+30=40 (greedy assigns in order).
+        assert_eq!(c.makespan(&[ms(10), ms(10), ms(10), ms(30)]), ms(40));
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        assert_eq!(SimulatedCluster::new(4).makespan(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn job_makespan_combines_phases() {
+        let stats = JobStats {
+            map_tasks: vec![
+                TaskStats {
+                    duration: ms(10),
+                    ..Default::default()
+                },
+                TaskStats {
+                    duration: ms(10),
+                    ..Default::default()
+                },
+            ],
+            reduce_tasks: vec![TaskStats {
+                duration: ms(7),
+                ..Default::default()
+            }],
+            shuffle_wall: ms(3),
+            ..Default::default()
+        };
+        // 2 slots: map makespan 10, shuffle 3, reduce 7.
+        assert_eq!(SimulatedCluster::new(2).job_makespan(&stats), ms(20));
+        // 1 slot: 20 + 3 + 7.
+        assert_eq!(SimulatedCluster::new(1).job_makespan(&stats), ms(30));
+    }
+
+    #[test]
+    fn more_slots_never_hurt() {
+        let durations: Vec<Duration> = (1..40u64).map(ms).collect();
+        let mut prev = SimulatedCluster::new(1).makespan(&durations);
+        for slots in 2..12 {
+            let cur = SimulatedCluster::new(slots).makespan(&durations);
+            assert!(cur <= prev, "slots {slots}: {cur:?} > {prev:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slots_rejected() {
+        let _ = SimulatedCluster::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _ = ClusterConfig::with_workers(0);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(ClusterConfig::auto().workers >= 1);
+        assert_eq!(ClusterConfig::sequential().workers, 1);
+        assert_eq!(ClusterConfig::with_workers(5).workers, 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Hadoop-style named counters.
+//!
+//! Every map and reduce task accumulates counters locally (no contention on
+//! the hot path); the runtime merges them into the job-level totals after
+//! each phase. The SPQ algorithms use them to report how much work early
+//! termination avoided (features examined vs. skipped, duplicates created,
+//! map-side pruning), which is the quantitative backbone of EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named monotonic counters.
+///
+/// Backed by a `BTreeMap` so that rendered output is deterministically
+/// ordered; counter cardinality is tiny (tens), so lookup cost is
+/// irrelevant next to the work being counted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero if absent.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (&name, &v) in &other.values {
+            self.add(name, v);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// True if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in self.iter() {
+            writeln!(f, "  {name:<32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        c.add("a", 3);
+        c.inc("a");
+        c.inc("b");
+        assert_eq!(c.get("a"), 4);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Counters::new();
+        a.add("x", 2);
+        a.add("y", 5);
+        let mut b = Counters::new();
+        b.add("y", 1);
+        b.add("z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 2);
+        assert_eq!(a.get("y"), 6);
+        assert_eq!(a.get("z"), 7);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.inc("zeta");
+        c.inc("alpha");
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let mut c = Counters::new();
+        c.add("records", 12);
+        let s = c.to_string();
+        assert!(s.contains("records"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn empty_state() {
+        let c = Counters::new();
+        assert!(c.is_empty());
+        assert_eq!(c.to_string(), "");
+    }
+}

@@ -1,0 +1,542 @@
+//! The job runner: map → shuffle → reduce over a bounded worker pool.
+
+use crate::cluster::ClusterConfig;
+use crate::counters::Counters;
+use crate::pool::run_tasks;
+use crate::stats::{JobStats, Phase, TaskStats};
+use crate::task::{GroupValues, MapContext, MapReduceTask, ReduceContext};
+use parking_lot::Mutex;
+use std::fmt;
+use std::time::Instant;
+
+/// Counter: reduce-group values left unconsumed by early termination.
+pub const COUNTER_REDUCE_SKIPPED: &str = "reduce.records_skipped";
+/// Counter: number of reduce groups processed.
+pub const COUNTER_REDUCE_GROUPS: &str = "reduce.groups";
+
+/// Error produced when a job fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A map or reduce task panicked.
+    TaskPanicked {
+        /// The phase the task belonged to.
+        phase: Phase,
+        /// Task index within the phase.
+        task_index: usize,
+        /// Captured panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::TaskPanicked {
+                phase,
+                task_index,
+                message,
+            } => write!(f, "{phase} task {task_index} panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The result of a successful job.
+#[derive(Debug, Clone)]
+pub struct JobOutput<O> {
+    /// Outputs per reducer, in reducer order.
+    pub per_reducer: Vec<Vec<O>>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+impl<O> JobOutput<O> {
+    /// Flattens the per-reducer outputs into one vector (reducer order).
+    pub fn into_flat(self) -> Vec<O> {
+        self.per_reducer.into_iter().flatten().collect()
+    }
+
+    /// Iterates over all outputs without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &O> {
+        self.per_reducer.iter().flatten()
+    }
+
+    /// Total number of output records.
+    pub fn len(&self) -> usize {
+        self.per_reducer.iter().map(Vec::len).sum()
+    }
+
+    /// True when no reducer produced output.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Executes [`MapReduceTask`]s over horizontally partitioned input.
+#[derive(Debug, Clone, Default)]
+pub struct JobRunner {
+    config: ClusterConfig,
+}
+
+type MapTaskResult<T> = (
+    Vec<Vec<(<T as MapReduceTask>::Key, <T as MapReduceTask>::Value)>>,
+    TaskStats,
+    Counters,
+);
+
+/// One reducer's shuffled input, handed off to its reduce task exactly once.
+type ReduceSlot<T> = Mutex<Option<Vec<(<T as MapReduceTask>::Key, <T as MapReduceTask>::Value)>>>;
+
+impl JobRunner {
+    /// Creates a runner with the given cluster configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured cluster.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Runs one job: each element of `splits` becomes a map task; each of
+    /// the task's `num_reducers()` partitions becomes a reduce task.
+    ///
+    /// The execution is deterministic for a fixed task and input: results
+    /// and statistics record-counts do not depend on the number of
+    /// workers (only the measured durations do).
+    pub fn run<T: MapReduceTask>(
+        &self,
+        task: &T,
+        splits: &[Vec<T::Input>],
+    ) -> Result<JobOutput<T::Output>, JobError> {
+        let num_reducers = task.num_reducers();
+        assert!(num_reducers > 0, "job needs at least one reducer");
+        let job_start = Instant::now();
+
+        // ---- Map phase -------------------------------------------------
+        let map_start = Instant::now();
+        let map_results: Vec<MapTaskResult<T>> =
+            run_tasks(self.config.workers, splits.len(), |i| {
+                let t0 = Instant::now();
+                let mut buckets: Vec<Vec<(T::Key, T::Value)>> =
+                    (0..num_reducers).map(|_| Vec::new()).collect();
+                let mut counters = Counters::new();
+                let mut records_out = 0u64;
+                let mut ctx = MapContext {
+                    buckets: &mut buckets,
+                    counters: &mut counters,
+                    records_out: &mut records_out,
+                };
+                for record in &splits[i] {
+                    task.map(record, &mut ctx);
+                }
+                let stats = TaskStats {
+                    duration: t0.elapsed(),
+                    records_in: splits[i].len() as u64,
+                    records_out,
+                };
+                (buckets, stats, counters)
+            })
+            .map_err(|p| JobError::TaskPanicked {
+                phase: Phase::Map,
+                task_index: p.task_index,
+                message: p.message,
+            })?;
+        let map_wall = map_start.elapsed();
+
+        // ---- Shuffle: regroup map buckets by reducer --------------------
+        // Buckets are concatenated in map-task order, which together with
+        // the stable reducer-side sort makes the job deterministic under
+        // any worker count.
+        let shuffle_start = Instant::now();
+        let mut counters = Counters::new();
+        let mut map_tasks = Vec::with_capacity(map_results.len());
+        let mut reducer_inputs: Vec<Vec<(T::Key, T::Value)>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut shuffle_records = 0u64;
+        for (buckets, stats, task_counters) in map_results {
+            counters.merge(&task_counters);
+            shuffle_records += stats.records_out;
+            map_tasks.push(stats);
+            for (r, bucket) in buckets.into_iter().enumerate() {
+                reducer_inputs[r].extend(bucket);
+            }
+        }
+        let shuffle_wall = shuffle_start.elapsed();
+
+        // ---- Reduce phase ----------------------------------------------
+        // The reducer-side sort (Hadoop's merge) is attributed to the
+        // reduce task's duration, as in Hadoop.
+        let reduce_start = Instant::now();
+        let slots: Vec<ReduceSlot<T>> =
+            reducer_inputs.into_iter().map(|v| Mutex::new(Some(v))).collect();
+        let reduce_results: Vec<(Vec<T::Output>, TaskStats, Counters)> =
+            run_tasks(self.config.workers, num_reducers, |r| {
+                let t0 = Instant::now();
+                let mut buffer = slots[r].lock().take().expect("reduce input taken once");
+                let records_in = buffer.len() as u64;
+                // Unstable sort: Hadoop's merge likewise leaves the order
+                // of equal composite keys unspecified; pdqsort is
+                // deterministic for a given input order, which the
+                // map-task-ordered concatenation above fixes.
+                buffer.sort_unstable_by(|a, b| task.sort_cmp(&a.0, &b.0));
+
+                let mut out = Vec::new();
+                let mut task_counters = Counters::new();
+                let mut source = buffer.into_iter().peekable();
+                while let Some((group_key, _)) = source.peek() {
+                    let group_key = group_key.clone();
+                    let mut values = GroupValues::new(task, &group_key, &mut source);
+                    let mut ctx = ReduceContext {
+                        out: &mut out,
+                        counters: &mut task_counters,
+                    };
+                    task.reduce(&group_key, &mut values, &mut ctx);
+                    let skipped = values.drain_remaining();
+                    task_counters.add(COUNTER_REDUCE_SKIPPED, skipped);
+                    task_counters.inc(COUNTER_REDUCE_GROUPS);
+                }
+                let stats = TaskStats {
+                    duration: t0.elapsed(),
+                    records_in,
+                    records_out: out.len() as u64,
+                };
+                (out, stats, task_counters)
+            })
+            .map_err(|p| JobError::TaskPanicked {
+                phase: Phase::Reduce,
+                task_index: p.task_index,
+                message: p.message,
+            })?;
+        let reduce_wall = reduce_start.elapsed();
+
+        let mut per_reducer = Vec::with_capacity(num_reducers);
+        let mut reduce_tasks = Vec::with_capacity(num_reducers);
+        for (out, stats, task_counters) in reduce_results {
+            counters.merge(&task_counters);
+            reduce_tasks.push(stats);
+            per_reducer.push(out);
+        }
+
+        Ok(JobOutput {
+            per_reducer,
+            stats: JobStats {
+                map_tasks,
+                reduce_tasks,
+                map_wall,
+                shuffle_wall,
+                reduce_wall,
+                total_wall: job_start.elapsed(),
+                shuffle_records,
+                counters,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Classic word count: natural key = word, no secondary sort.
+    struct WordCount {
+        reducers: usize,
+    }
+
+    impl MapReduceTask for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+
+        fn num_reducers(&self) -> usize {
+            self.reducers
+        }
+
+        fn map(&self, record: &String, ctx: &mut MapContext<'_, Self>) {
+            for word in record.split_whitespace() {
+                ctx.emit(self, word.to_owned(), 1);
+            }
+        }
+
+        fn partition(&self, key: &String) -> usize {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() as usize) % self.reducers
+        }
+
+        fn sort_cmp(&self, a: &String, b: &String) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn reduce(
+            &self,
+            group: &String,
+            values: &mut GroupValues<'_, Self>,
+            ctx: &mut ReduceContext<'_, (String, u64)>,
+        ) {
+            let total: u64 = values.map(|(_, v)| v).sum();
+            ctx.emit((group.clone(), total));
+        }
+    }
+
+    fn word_count_input() -> Vec<Vec<String>> {
+        vec![
+            vec!["a b a".to_owned(), "c".to_owned()],
+            vec!["b a".to_owned()],
+            vec![],
+            vec!["c c c b".to_owned()],
+        ]
+    }
+
+    fn run_word_count(workers: usize, reducers: usize) -> Vec<(String, u64)> {
+        let runner = JobRunner::new(ClusterConfig::with_workers(workers));
+        let mut out = runner
+            .run(&WordCount { reducers }, &word_count_input())
+            .unwrap()
+            .into_flat();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let expected = vec![
+            ("a".to_owned(), 3),
+            ("b".to_owned(), 3),
+            ("c".to_owned(), 4),
+        ];
+        assert_eq!(run_word_count(1, 1), expected);
+        assert_eq!(run_word_count(4, 3), expected);
+        assert_eq!(run_word_count(16, 8), expected);
+    }
+
+    #[test]
+    fn stats_record_counts() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(2));
+        let out = runner
+            .run(&WordCount { reducers: 2 }, &word_count_input())
+            .unwrap();
+        assert_eq!(out.stats.map_input_records(), 4); // 4 lines
+        assert_eq!(out.stats.shuffle_records, 10); // 10 words
+        assert_eq!(out.stats.reduce_output_records(), 3);
+        assert_eq!(out.stats.counters.get(COUNTER_REDUCE_GROUPS), 3);
+        assert_eq!(out.stats.counters.get(COUNTER_REDUCE_SKIPPED), 0);
+        assert_eq!(out.stats.map_tasks.len(), 4);
+        assert_eq!(out.stats.reduce_tasks.len(), 2);
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+    }
+
+    /// Secondary sort: natural key = bucket id, composite key carries a
+    /// sequence number; the reducer asserts values arrive ordered and can
+    /// stop early.
+    struct SecondarySort {
+        take: usize,
+    }
+
+    impl MapReduceTask for SecondarySort {
+        type Input = (u32, i64); // (bucket, sequence)
+        type Key = (u32, i64);
+        type Value = i64;
+        type Output = (u32, Vec<i64>);
+
+        fn num_reducers(&self) -> usize {
+            3
+        }
+
+        fn map(&self, record: &(u32, i64), ctx: &mut MapContext<'_, Self>) {
+            ctx.emit(self, *record, record.1);
+        }
+
+        fn partition(&self, key: &(u32, i64)) -> usize {
+            key.0 as usize % 3
+        }
+
+        fn sort_cmp(&self, a: &(u32, i64), b: &(u32, i64)) -> Ordering {
+            a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+        }
+
+        fn group_eq(&self, a: &(u32, i64), b: &(u32, i64)) -> bool {
+            a.0 == b.0
+        }
+
+        fn reduce(
+            &self,
+            group: &(u32, i64),
+            values: &mut GroupValues<'_, Self>,
+            ctx: &mut ReduceContext<'_, (u32, Vec<i64>)>,
+        ) {
+            let taken: Vec<i64> = values.take(self.take).map(|(_, v)| v).collect();
+            ctx.emit((group.0, taken));
+        }
+    }
+
+    fn secondary_sort_input() -> Vec<Vec<(u32, i64)>> {
+        vec![
+            vec![(1, 5), (2, -1), (1, 3)],
+            vec![(1, 9), (2, 8), (1, 1)],
+            vec![(7, 0)],
+        ]
+    }
+
+    #[test]
+    fn values_arrive_in_secondary_sort_order() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(4));
+        let out = runner
+            .run(&SecondarySort { take: usize::MAX }, &secondary_sort_input())
+            .unwrap();
+        let mut flat = out.into_flat();
+        flat.sort();
+        assert_eq!(
+            flat,
+            vec![
+                (1, vec![1, 3, 5, 9]),
+                (2, vec![-1, 8]),
+                (7, vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn early_termination_counts_skipped_records() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(4));
+        let out = runner
+            .run(&SecondarySort { take: 2 }, &secondary_sort_input())
+            .unwrap();
+        // Group 1 has 4 values (2 skipped); groups 2 and 7 fit within 2.
+        assert_eq!(out.stats.counters.get(COUNTER_REDUCE_SKIPPED), 2);
+        let mut flat = out.into_flat();
+        flat.sort();
+        assert_eq!(flat[0], (1, vec![1, 3]));
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let run = |workers| {
+            let runner = JobRunner::new(ClusterConfig::with_workers(workers));
+            let out = runner
+                .run(&SecondarySort { take: usize::MAX }, &secondary_sort_input())
+                .unwrap();
+            out.per_reducer
+        };
+        let base = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(run(workers), base);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let runner = JobRunner::new(ClusterConfig::sequential());
+        let out = runner.run(&WordCount { reducers: 4 }, &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.stats.map_tasks.len(), 0);
+        assert_eq!(out.stats.reduce_tasks.len(), 4);
+        assert_eq!(out.stats.counters.get(COUNTER_REDUCE_GROUPS), 0);
+    }
+
+    struct PanickyMap;
+
+    impl MapReduceTask for PanickyMap {
+        type Input = u32;
+        type Key = u32;
+        type Value = u32;
+        type Output = u32;
+
+        fn num_reducers(&self) -> usize {
+            1
+        }
+
+        fn map(&self, record: &u32, ctx: &mut MapContext<'_, Self>) {
+            if *record == 13 {
+                panic!("unlucky record");
+            }
+            ctx.emit(self, *record, *record);
+        }
+
+        fn partition(&self, _: &u32) -> usize {
+            0
+        }
+
+        fn sort_cmp(&self, a: &u32, b: &u32) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn reduce(
+            &self,
+            group: &u32,
+            values: &mut GroupValues<'_, Self>,
+            ctx: &mut ReduceContext<'_, u32>,
+        ) {
+            if *group == 99 {
+                panic!("bad group");
+            }
+            for _ in values.by_ref() {}
+            ctx.emit(*group);
+        }
+    }
+
+    #[test]
+    fn map_panic_becomes_job_error() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(2));
+        let err = runner
+            .run(&PanickyMap, &[vec![1, 2], vec![13]])
+            .unwrap_err();
+        match err {
+            JobError::TaskPanicked {
+                phase,
+                task_index,
+                ref message,
+            } => {
+                assert_eq!(phase, Phase::Map);
+                assert_eq!(task_index, 1);
+                assert!(message.contains("unlucky"));
+            }
+        }
+        assert!(err.to_string().contains("map task 1"));
+    }
+
+    #[test]
+    fn reduce_panic_becomes_job_error() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(2));
+        let err = runner.run(&PanickyMap, &[vec![1, 99]]).unwrap_err();
+        match err {
+            JobError::TaskPanicked { phase, .. } => assert_eq!(phase, Phase::Reduce),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reducers_rejected() {
+        struct NoReducers;
+        impl MapReduceTask for NoReducers {
+            type Input = ();
+            type Key = ();
+            type Value = ();
+            type Output = ();
+            fn num_reducers(&self) -> usize {
+                0
+            }
+            fn map(&self, _: &(), _: &mut MapContext<'_, Self>) {}
+            fn partition(&self, _: &()) -> usize {
+                0
+            }
+            fn sort_cmp(&self, _: &(), _: &()) -> Ordering {
+                Ordering::Equal
+            }
+            fn reduce(
+                &self,
+                _: &(),
+                _: &mut GroupValues<'_, Self>,
+                _: &mut ReduceContext<'_, ()>,
+            ) {
+            }
+        }
+        let _ = JobRunner::new(ClusterConfig::sequential()).run(&NoReducers, &[]);
+    }
+}

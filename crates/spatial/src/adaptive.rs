@@ -1,0 +1,374 @@
+//! An adaptive (quadtree) space partitioner — the load-balancing
+//! extension for skewed data.
+//!
+//! The paper's uniform grid assigns each cell to one reducer; on the
+//! clustered CL dataset "it is hard to fairly assign the objects to
+//! Reducers, thus typically some Reducers are overburdened" (Section
+//! 7.2.4). This module provides the classic remedy: partition the space
+//! by a quadtree built over a *sample* of the data locations, so that
+//! dense regions get many small cells and sparse regions few large ones,
+//! while Lemma 1 continues to hold verbatim (leaves tile the space, and a
+//! feature object is duplicated into every other leaf within `MINDIST <=
+//! r`). This mirrors how SpatialHadoop and friends size their partitions
+//! from a sample, and is evaluated by the `balance` figure of the
+//! benchmark harness.
+
+use crate::grid::CellId;
+use crate::point::Point;
+use crate::rect::Rect;
+use std::collections::BinaryHeap;
+
+/// Arena node of the quadtree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Four children in quadrant order (SW, SE, NW, NE).
+    Internal { children: [u32; 4] },
+    /// A leaf owning a partition cell.
+    Leaf { cell: CellId },
+}
+
+/// A quadtree-based partition of a bounded 2-D space into leaf cells.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGrid {
+    bounds: Rect,
+    nodes: Vec<Node>,
+    rects: Vec<Rect>,
+    /// Leaf rectangles by cell id (dense, `0..num_cells`).
+    cells: Vec<Rect>,
+}
+
+/// Max tree depth — cells no finer than 2^-12 of the extent.
+const MAX_DEPTH: u32 = 12;
+
+impl AdaptiveGrid {
+    /// Builds a partition with at most `max_cells` leaves by repeatedly
+    /// quartering the leaf containing the most sample points.
+    ///
+    /// The sample stands in for the full dataset (a driver would obtain
+    /// it from a pre-scan or an existing histogram); an empty sample
+    /// yields the single-cell partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cells == 0` or the bounds are degenerate.
+    pub fn build(bounds: Rect, sample: &[Point], max_cells: usize) -> Self {
+        Self::build_with_min_cell(bounds, sample, max_cells, 0.0)
+    }
+
+    /// [`build`](AdaptiveGrid::build) with a lower bound on the leaf side
+    /// length. Section 4.1 of the paper requires cell sides of at least
+    /// the query radius `r` — otherwise Lemma-1 duplication explodes
+    /// (each feature fans out to `O((r/α)²)` cells). Pass the query
+    /// radius here so dense regions stop splitting once leaves reach it.
+    pub fn build_with_min_cell(
+        bounds: Rect,
+        sample: &[Point],
+        max_cells: usize,
+        min_cell: f64,
+    ) -> Self {
+        assert!(max_cells > 0, "need at least one cell");
+        assert!(
+            min_cell >= 0.0 && min_cell.is_finite(),
+            "min cell side must be finite and >= 0"
+        );
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "partition bounds must have positive area"
+        );
+        let mut tree = Self {
+            bounds,
+            nodes: vec![Node::Leaf { cell: CellId(0) }],
+            rects: vec![bounds],
+            cells: vec![bounds],
+        };
+
+        // Max-heap of splittable leaves: (sample count, node index, depth,
+        // point indices into `sample`).
+        let mut heap: BinaryHeap<(usize, usize, u32, Vec<u32>)> = BinaryHeap::new();
+        let all: Vec<u32> = (0..sample.len() as u32).collect();
+        heap.push((sample.len(), 0, 0, all));
+        let mut leaves = 1usize;
+
+        while leaves + 3 <= max_cells {
+            let Some((count, node_idx, depth, points)) = heap.pop() else {
+                break;
+            };
+            // Nothing left worth splitting: every remaining leaf holds at
+            // most one sample point or is at max depth.
+            if count <= 1 || depth >= MAX_DEPTH {
+                break;
+            }
+            let rect = tree.rects[node_idx];
+            // Children would undercut the query radius: leave this leaf
+            // alone and keep splitting elsewhere.
+            if rect.width() / 2.0 < min_cell || rect.height() / 2.0 < min_cell {
+                continue;
+            }
+            let center = rect.center();
+            let quads = [
+                Rect::new(rect.min(), center),
+                Rect::from_coords(center.x, rect.min().y, rect.max().x, center.y),
+                Rect::from_coords(rect.min().x, center.y, center.x, rect.max().y),
+                Rect::new(center, rect.max()),
+            ];
+            let mut buckets: [Vec<u32>; 4] = Default::default();
+            for &pi in &points {
+                let p = &sample[pi as usize];
+                let q = quadrant_of(&center, p);
+                buckets[q].push(pi);
+            }
+            let mut children = [0u32; 4];
+            for (q, quad_rect) in quads.into_iter().enumerate() {
+                let child = tree.nodes.len() as u32;
+                children[q] = child;
+                tree.nodes.push(Node::Leaf { cell: CellId(0) }); // cell set later
+                tree.rects.push(quad_rect);
+                heap.push((
+                    buckets[q].len(),
+                    child as usize,
+                    depth + 1,
+                    std::mem::take(&mut buckets[q]),
+                ));
+            }
+            tree.nodes[node_idx] = Node::Internal { children };
+            leaves += 3;
+        }
+
+        // Assign dense cell ids to the leaves in node order.
+        tree.cells.clear();
+        for i in 0..tree.nodes.len() {
+            if let Node::Leaf { .. } = tree.nodes[i] {
+                let cell = CellId(tree.cells.len() as u32);
+                tree.cells.push(tree.rects[i]);
+                tree.nodes[i] = Node::Leaf { cell };
+            }
+        }
+        tree
+    }
+
+    /// The partitioned bounds.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// Number of leaf cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The rectangle of a leaf cell.
+    pub fn cell_rect(&self, c: CellId) -> Rect {
+        self.cells[c.index()]
+    }
+
+    /// The leaf enclosing a point (points outside the bounds are clamped,
+    /// matching [`crate::Grid::cell_of`]).
+    pub fn cell_of(&self, p: &Point) -> CellId {
+        let clamped = Point::new(
+            p.x.clamp(self.bounds.min().x, self.bounds.max().x),
+            p.y.clamp(self.bounds.min().y, self.bounds.max().y),
+        );
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { cell } => return *cell,
+                Node::Internal { children } => {
+                    let center = self.rects[node].center();
+                    node = children[quadrant_of(&center, &clamped)] as usize;
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every *other* leaf with `MINDIST(p, leaf) <= r` —
+    /// the Lemma-1 duplication targets under the adaptive partition.
+    pub fn for_each_duplication_target<F: FnMut(CellId)>(&self, p: &Point, r: f64, mut f: F) {
+        assert!(r >= 0.0 && r.is_finite(), "radius must be finite and >= 0");
+        let own = self.cell_of(p);
+        let r_sq = r * r * (1.0 + 1e-12);
+        let mut stack = vec![0usize];
+        while let Some(node) = stack.pop() {
+            if self.rects[node].mindist_sq(p) > r_sq {
+                continue;
+            }
+            match &self.nodes[node] {
+                Node::Leaf { cell } => {
+                    if *cell != own {
+                        f(*cell);
+                    }
+                }
+                Node::Internal { children } => {
+                    stack.extend(children.iter().map(|&c| c as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Quadrant index for a point relative to a center (SW=0, SE=1, NW=2,
+/// NE=3; boundary points go to the higher quadrant, matching the uniform
+/// grid's half-open cells).
+#[inline]
+fn quadrant_of(center: &Point, p: &Point) -> usize {
+    (usize::from(p.x >= center.x)) | (usize::from(p.y >= center.y) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_sample(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Point::new(rng.gen(), rng.gen())
+                } else {
+                    // Dense blob near (0.2, 0.2).
+                    Point::new(
+                        (0.2 + rng.gen::<f64>() * 0.05).clamp(0.0, 1.0),
+                        (0.2 + rng.gen::<f64>() * 0.05).clamp(0.0, 1.0),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_sample_is_single_cell() {
+        let t = AdaptiveGrid::build(Rect::unit(), &[], 64);
+        assert_eq!(t.num_cells(), 1);
+        assert_eq!(t.cell_of(&Point::new(0.3, 0.9)), CellId(0));
+        assert!(t
+            .duplication_targets_vec(&Point::new(0.5, 0.5), 1.0)
+            .is_empty());
+    }
+
+    impl AdaptiveGrid {
+        fn duplication_targets_vec(&self, p: &Point, r: f64) -> Vec<CellId> {
+            let mut v = Vec::new();
+            self.for_each_duplication_target(p, r, |c| v.push(c));
+            v.sort();
+            v
+        }
+    }
+
+    #[test]
+    fn respects_max_cells() {
+        let sample = clustered_sample(5000, 1);
+        for max in [1, 4, 16, 100, 225] {
+            let t = AdaptiveGrid::build(Rect::unit(), &sample, max);
+            assert!(t.num_cells() <= max, "max {max}: got {}", t.num_cells());
+            assert!(t.num_cells() >= max.saturating_sub(3).max(1) || max < 4);
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_space() {
+        let sample = clustered_sample(2000, 2);
+        let t = AdaptiveGrid::build(Rect::unit(), &sample, 64);
+        // Total leaf area equals the bounds area.
+        let total: f64 = (0..t.num_cells())
+            .map(|i| t.cell_rect(CellId(i as u32)).area())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "area {total}");
+        // Every probe point lands in a leaf whose rect contains it.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen(), rng.gen());
+            let c = t.cell_of(&p);
+            assert!(t.cell_rect(c).contains(&p), "{p} not in its leaf");
+        }
+    }
+
+    #[test]
+    fn dense_regions_get_smaller_cells() {
+        let sample = clustered_sample(5000, 4);
+        let t = AdaptiveGrid::build(Rect::unit(), &sample, 64);
+        let dense = t.cell_rect(t.cell_of(&Point::new(0.22, 0.22)));
+        let sparse = t.cell_rect(t.cell_of(&Point::new(0.8, 0.8)));
+        assert!(
+            dense.area() * 8.0 < sparse.area(),
+            "dense {} vs sparse {}",
+            dense.area(),
+            sparse.area()
+        );
+    }
+
+    #[test]
+    fn lemma1_coverage_randomised() {
+        // Same coverage property as the uniform grid: for pairs within r,
+        // the feature's own cell or a duplication target contains p.
+        let sample = clustered_sample(3000, 5);
+        let t = AdaptiveGrid::build(Rect::unit(), &sample, 100);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = 0.05;
+        for _ in 0..2000 {
+            let f = Point::new(rng.gen(), rng.gen());
+            let angle: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+            let dist: f64 = rng.gen::<f64>() * r;
+            let p = Point::new(
+                (f.x + angle.cos() * dist).clamp(0.0, 1.0),
+                (f.y + angle.sin() * dist).clamp(0.0, 1.0),
+            );
+            if !p.within(&f, r) {
+                continue;
+            }
+            let p_cell = t.cell_of(&p);
+            let covered =
+                t.cell_of(&f) == p_cell || t.duplication_targets_vec(&f, r).contains(&p_cell);
+            assert!(covered, "pair p={p} f={f} not covered");
+        }
+    }
+
+    #[test]
+    fn duplication_excludes_own_cell_and_far_cells() {
+        let sample = clustered_sample(3000, 7);
+        let t = AdaptiveGrid::build(Rect::unit(), &sample, 64);
+        let p = Point::new(0.22, 0.22);
+        let own = t.cell_of(&p);
+        let targets = t.duplication_targets_vec(&p, 0.02);
+        assert!(!targets.contains(&own));
+        for c in &targets {
+            assert!(t.cell_rect(*c).mindist(&p) <= 0.02 * 1.001);
+        }
+    }
+
+    #[test]
+    fn boundary_points_clamp() {
+        let sample = clustered_sample(1000, 8);
+        let t = AdaptiveGrid::build(Rect::unit(), &sample, 32);
+        // Outside points clamp onto the boundary leaf.
+        let c = t.cell_of(&Point::new(-1.0, 0.5));
+        assert!(t.cell_rect(c).min().x == 0.0);
+    }
+
+    #[test]
+    fn min_cell_floor_is_respected() {
+        let sample = clustered_sample(5000, 11);
+        let min_cell = 0.1;
+        let t = AdaptiveGrid::build_with_min_cell(Rect::unit(), &sample, 1024, min_cell);
+        for i in 0..t.num_cells() {
+            let rect = t.cell_rect(CellId(i as u32));
+            assert!(
+                rect.width() >= min_cell - 1e-12 && rect.height() >= min_cell - 1e-12,
+                "leaf {i} side {}x{} below the floor",
+                rect.width(),
+                rect.height()
+            );
+        }
+        // The floor also caps the leaf count: at most a 16x16 tiling here.
+        assert!(t.num_cells() <= 256);
+        // A floor wider than the bounds forbids any split.
+        let single = AdaptiveGrid::build_with_min_cell(Rect::unit(), &sample, 64, 2.0);
+        assert_eq!(single.num_cells(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_rejected() {
+        let _ = AdaptiveGrid::build(Rect::unit(), &[], 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! A bucketed point index for radius queries.
+//!
+//! Used by the centralized baselines (`spq-core::centralized`) to find the
+//! feature objects within distance `r` of a data object without scanning
+//! the full feature set. This is *not* part of the paper's distributed
+//! algorithms — it exists so the test suite has an independent, obviously
+//! correct oracle that is still fast enough to validate large runs.
+
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A static grid-bucketed index over items with a point location.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    grid: Grid,
+    buckets: Vec<Vec<(Point, T)>>,
+}
+
+impl<T> GridIndex<T> {
+    /// Builds an index with roughly `sqrt(n)` cells per axis over `bounds`.
+    pub fn build<I>(bounds: Rect, items: I) -> Self
+    where
+        I: IntoIterator<Item = (Point, T)>,
+    {
+        let items: Vec<(Point, T)> = items.into_iter().collect();
+        let n_axis = ((items.len() as f64).sqrt().ceil() as u32).clamp(1, 1024);
+        Self::build_with_grid(Grid::new(bounds, n_axis, n_axis), items)
+    }
+
+    /// Builds an index over an explicit grid.
+    pub fn build_with_grid<I>(grid: Grid, items: I) -> Self
+    where
+        I: IntoIterator<Item = (Point, T)>,
+    {
+        let mut buckets: Vec<Vec<(Point, T)>> = (0..grid.num_cells()).map(|_| Vec::new()).collect();
+        for (p, item) in items {
+            buckets[grid.cell_of(&p).index()].push((p, item));
+        }
+        Self { grid, buckets }
+    }
+
+    /// Total number of indexed items.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True when the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Calls `f` for every item within distance `r` of `center`.
+    pub fn for_each_within<'a, F: FnMut(&'a Point, &'a T)>(&'a self, center: &Point, r: f64, mut f: F) {
+        assert!(r >= 0.0 && r.is_finite(), "radius must be finite and >= 0");
+        let r_sq = r * r;
+        // Visit the center's own cell plus every Lemma-1 neighbour; that is
+        // exactly the set of cells whose MINDIST to the center is <= r.
+        let mut visit = |cell: crate::grid::CellId| {
+            for (p, item) in &self.buckets[cell.index()] {
+                if p.dist_sq(center) <= r_sq {
+                    f(p, item);
+                }
+            }
+        };
+        visit(self.grid.cell_of(center));
+        self.grid.for_each_duplication_target(center, r, &mut visit);
+    }
+
+    /// Collects the items within distance `r` of `center`.
+    pub fn within(&self, center: &Point, r: f64) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_within(center, r, |_, item| out.push(item));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn finds_only_items_in_radius() {
+        let idx = GridIndex::build(
+            Rect::unit(),
+            vec![
+                (Point::new(0.10, 0.10), "a"),
+                (Point::new(0.20, 0.10), "b"),
+                (Point::new(0.90, 0.90), "c"),
+            ],
+        );
+        let mut hits = idx.within(&Point::new(0.12, 0.10), 0.1);
+        hits.sort();
+        assert_eq!(hits, vec![&"a", &"b"]);
+        assert!(idx.within(&Point::new(0.5, 0.5), 0.05).is_empty());
+    }
+
+    #[test]
+    fn radius_zero_matches_exact_location() {
+        let idx = GridIndex::build(Rect::unit(), vec![(Point::new(0.5, 0.5), 1)]);
+        assert_eq!(idx.within(&Point::new(0.5, 0.5), 0.0), vec![&1]);
+        assert!(idx.within(&Point::new(0.5001, 0.5), 0.0).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: GridIndex<u8> = GridIndex::build(Rect::unit(), vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.within(&Point::new(0.5, 0.5), 1.0).is_empty());
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<(Point, usize)> = (0..500)
+            .map(|i| (Point::new(rng.gen(), rng.gen()), i))
+            .collect();
+        let idx = GridIndex::build(Rect::unit(), pts.clone());
+        assert_eq!(idx.len(), 500);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen(), rng.gen());
+            let r = rng.gen::<f64>() * 0.3;
+            let mut expected: Vec<usize> = pts
+                .iter()
+                .filter(|(p, _)| p.within(&c, r))
+                .map(|&(_, i)| i)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<usize> = idx.within(&c, r).into_iter().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn query_point_outside_bounds_still_works() {
+        let idx = GridIndex::build(Rect::unit(), vec![(Point::new(0.01, 0.5), 7)]);
+        // Center outside the data space; its clamped cell plus neighbours
+        // must still find the item.
+        assert_eq!(idx.within(&Point::new(-0.05, 0.5), 0.1), vec![&7]);
+    }
+}

@@ -1,0 +1,99 @@
+//! A unified view over the two space-partitioning schemes.
+
+use crate::adaptive::AdaptiveGrid;
+use crate::grid::{CellId, Grid};
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Either the paper's uniform grid (Section 4.1) or the adaptive quadtree
+/// extension ([`AdaptiveGrid`]). Both expose the same three operations
+/// the Map phase needs — cell assignment, Lemma-1 duplication targets,
+/// and the cell count that sizes the Reduce phase.
+#[derive(Debug, Clone)]
+pub enum SpacePartition {
+    /// Regular uniform grid.
+    Uniform(Grid),
+    /// Sample-driven quadtree partition.
+    Adaptive(AdaptiveGrid),
+}
+
+impl SpacePartition {
+    /// Number of cells (= reduce tasks).
+    pub fn num_cells(&self) -> usize {
+        match self {
+            SpacePartition::Uniform(g) => g.num_cells(),
+            SpacePartition::Adaptive(t) => t.num_cells(),
+        }
+    }
+
+    /// The cell enclosing a point.
+    #[inline]
+    pub fn cell_of(&self, p: &Point) -> CellId {
+        match self {
+            SpacePartition::Uniform(g) => g.cell_of(p),
+            SpacePartition::Adaptive(t) => t.cell_of(p),
+        }
+    }
+
+    /// Every other cell within `MINDIST <= r` of the point.
+    #[inline]
+    pub fn for_each_duplication_target<F: FnMut(CellId)>(&self, p: &Point, r: f64, f: F) {
+        match self {
+            SpacePartition::Uniform(g) => g.for_each_duplication_target(p, r, f),
+            SpacePartition::Adaptive(t) => t.for_each_duplication_target(p, r, f),
+        }
+    }
+
+    /// The rectangle of a cell.
+    pub fn cell_rect(&self, c: CellId) -> Rect {
+        match self {
+            SpacePartition::Uniform(g) => g.cell_rect(c),
+            SpacePartition::Adaptive(t) => t.cell_rect(c),
+        }
+    }
+
+    /// The underlying uniform grid, when this is one.
+    pub fn as_uniform(&self) -> Option<&Grid> {
+        match self {
+            SpacePartition::Uniform(g) => Some(g),
+            SpacePartition::Adaptive(_) => None,
+        }
+    }
+}
+
+impl From<Grid> for SpacePartition {
+    fn from(g: Grid) -> Self {
+        SpacePartition::Uniform(g)
+    }
+}
+
+impl From<AdaptiveGrid> for SpacePartition {
+    fn from(t: AdaptiveGrid) -> Self {
+        SpacePartition::Adaptive(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_delegates() {
+        let p: SpacePartition = Grid::square(Rect::unit(), 4).into();
+        assert_eq!(p.num_cells(), 16);
+        assert!(p.as_uniform().is_some());
+        let c = p.cell_of(&Point::new(0.1, 0.1));
+        assert!(p.cell_rect(c).contains(&Point::new(0.1, 0.1)));
+    }
+
+    #[test]
+    fn adaptive_delegates() {
+        let pts = [Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+        let p: SpacePartition = AdaptiveGrid::build(Rect::unit(), &pts, 16).into();
+        assert!(p.num_cells() >= 1);
+        assert!(p.as_uniform().is_none());
+        let mut targets = 0;
+        p.for_each_duplication_target(&Point::new(0.5, 0.5), 0.3, |_| targets += 1);
+        assert!(targets >= 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! 2-D points and Euclidean distance.
+
+use std::fmt;
+
+/// A point in the 2-dimensional data space (`p.x`, `p.y` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// The x coordinate.
+    pub x: f64,
+    /// The y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// The range predicate `d(p, f) <= r` is evaluated as
+    /// `dist_sq <= r*r` throughout the codebase: it avoids the square
+    /// root in the innermost loop of every reducer, and is exact for the
+    /// comparison because both sides are non-negative.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// True when the point lies within distance `r` of `other`.
+    #[inline]
+    pub fn within(&self, other: &Point, r: f64) -> bool {
+        self.dist_sq(other) <= r * r
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(b.dist(&a), 5.0);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = Point::new(1.5, -2.5);
+        assert_eq!(p.dist(&p), 0.0);
+        assert!(p.within(&p, 0.0));
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.5, 0.0);
+        assert!(a.within(&b, 1.5));
+        assert!(!a.within(&b, 1.4999));
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // Figure 1: p4=(1.8,1.8), f1=(2.8,1.2) are within r=1.5.
+        let p4 = Point::new(1.8, 1.8);
+        let f1 = Point::new(2.8, 1.2);
+        assert!(p4.within(&f1, 1.5));
+        // p1=(4.6,4.8), f4=(3.8,5.5) within 1.5; f5=(5.2,5.1) also close.
+        let p1 = Point::new(4.6, 4.8);
+        assert!(p1.within(&Point::new(3.8, 5.5), 1.5));
+        assert!(p1.within(&Point::new(5.2, 5.1), 1.5));
+        // p2=(7.5,1.7) vs f3=(8.7,1.9): dist ~1.216 <= 1.5.
+        assert!(Point::new(7.5, 1.7).within(&Point::new(8.7, 1.9), 1.5));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (2.0, 3.0).into();
+        assert_eq!(p, Point::new(2.0, 3.0));
+    }
+}

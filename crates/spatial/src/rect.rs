@@ -1,0 +1,174 @@
+//! Axis-aligned rectangles and the `MINDIST` primitive.
+
+use crate::point::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Grid cells are rectangles; `MINDIST(f, Ci)` (Section 4.1) is the distance
+/// from the feature's location to the nearest edge of the cell, and zero if
+/// the feature lies inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` on either axis or any coordinate is not finite.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x.is_finite() && min.y.is_finite() && max.x.is_finite() && max.y.is_finite(),
+            "rect coordinates must be finite"
+        );
+        assert!(min.x <= max.x && min.y <= max.y, "rect min must be <= max");
+        Self { min, max }
+    }
+
+    /// Creates a rectangle from coordinate extents.
+    pub fn from_coords(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// The unit square `[0,1] × [0,1]` — the normalised data space used by
+    /// the paper's Section 6.3 analysis and by the synthetic generators.
+    pub fn unit() -> Self {
+        Self::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Side length along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Side length along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// True if the point lies inside (inclusive of all edges).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Squared `MINDIST` from a point to this rectangle: 0 when the point
+    /// is inside, otherwise the squared distance to the nearest edge.
+    #[inline]
+    pub fn mindist_sq(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// `MINDIST(p, rect)` as defined in Section 4.1.
+    #[inline]
+    pub fn mindist(&self, p: &Point) -> f64 {
+        self.mindist_sq(p).sqrt()
+    }
+
+    /// The centre of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} — {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Rect {
+        Rect::from_coords(1.0, 1.0, 3.0, 2.0)
+    }
+
+    #[test]
+    fn dimensions() {
+        assert_eq!(r().width(), 2.0);
+        assert_eq!(r().height(), 1.0);
+        assert_eq!(r().area(), 2.0);
+        assert_eq!(r().center(), Point::new(2.0, 1.5));
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_all_edges() {
+        let rect = r();
+        assert!(rect.contains(&Point::new(1.0, 1.0)));
+        assert!(rect.contains(&Point::new(3.0, 2.0)));
+        assert!(rect.contains(&Point::new(2.0, 1.5)));
+        assert!(!rect.contains(&Point::new(0.999, 1.5)));
+        assert!(!rect.contains(&Point::new(2.0, 2.001)));
+    }
+
+    #[test]
+    fn mindist_zero_inside() {
+        assert_eq!(r().mindist(&Point::new(2.0, 1.5)), 0.0);
+        assert_eq!(r().mindist(&Point::new(1.0, 1.0)), 0.0); // on corner
+    }
+
+    #[test]
+    fn mindist_to_edges() {
+        // Left of the rect: horizontal gap only.
+        assert_eq!(r().mindist(&Point::new(0.0, 1.5)), 1.0);
+        // Above: vertical gap only.
+        assert_eq!(r().mindist(&Point::new(2.0, 4.0)), 2.0);
+    }
+
+    #[test]
+    fn mindist_to_corner_is_euclidean() {
+        // Below-left of (1,1) by (3,4)-scaled offsets.
+        let p = Point::new(1.0 - 3.0, 1.0 - 4.0);
+        assert_eq!(r().mindist(&p), 5.0);
+    }
+
+    #[test]
+    fn unit_square() {
+        let u = Rect::unit();
+        assert_eq!(u.area(), 1.0);
+        assert!(u.contains(&Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_rect_rejected() {
+        let _ = Rect::from_coords(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_rejected() {
+        let _ = Rect::from_coords(0.0, 0.0, f64::INFINITY, 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Sorted keyword sets and merge-based set arithmetic.
+//!
+//! Feature objects carry a set of keywords `f.W`; queries carry `q.W`
+//! (Table 1 of the paper). Both are represented as sorted, deduplicated
+//! slices of interned [`Term`] ids so that intersection and union sizes —
+//! the only operations the scoring functions need — are a single linear
+//! merge without hashing or allocation.
+
+use std::fmt;
+
+/// An interned keyword id assigned by a [`crate::Vocabulary`].
+///
+/// Term ids are dense (`0..vocab.len()`), which lets generators sample them
+/// directly and keeps keyword sets compact (4 bytes per keyword).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(pub u32);
+
+impl Term {
+    /// The raw id as a usize, for indexing frequency tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An immutable, sorted, deduplicated set of keywords.
+///
+/// This is the representation of both `f.W` (feature annotations) and `q.W`
+/// (query keywords). The invariant — strictly increasing term ids — is
+/// established at construction and relied upon by the merge routines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct KeywordSet {
+    terms: Box<[Term]>,
+}
+
+impl KeywordSet {
+    /// Builds a set from arbitrary terms, sorting and deduplicating.
+    pub fn new(mut terms: Vec<Term>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        Self {
+            terms: terms.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a set from raw u32 ids (convenience for tests and loaders).
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::new(ids.into_iter().map(Term).collect())
+    }
+
+    /// Builds a set from a slice already known to be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted(terms: Vec<Term>) -> Self {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly increasing terms"
+        );
+        Self {
+            terms: terms.into_boxed_slice(),
+        }
+    }
+
+    /// The empty keyword set (used for data objects, which carry no text).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of keywords `|W|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the set has no keywords.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The sorted terms.
+    #[inline]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, t: Term) -> bool {
+        self.terms.binary_search(&t).is_ok()
+    }
+
+    /// Size of the intersection `|A ∩ B|` via a linear merge.
+    pub fn intersection_len(&self, other: &KeywordSet) -> usize {
+        let (mut a, mut b) = (self.terms.iter(), other.terms.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        let mut n = 0;
+        while let (Some(&ta), Some(&tb)) = (x, y) {
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    x = a.next();
+                    y = b.next();
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union `|A ∪ B|` (inclusion–exclusion over the merge).
+    pub fn union_len(&self, other: &KeywordSet) -> usize {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// True if the sets share at least one keyword.
+    ///
+    /// This is the Map-phase pruning rule of Algorithm 1 (line 9): feature
+    /// objects with `q.W ∩ f.W = ∅` cannot contribute to any score and are
+    /// dropped before the shuffle. The merge exits on the first hit, so this
+    /// is cheaper than `intersection_len() > 0` in the common miss case.
+    pub fn intersects(&self, other: &KeywordSet) -> bool {
+        let (mut a, mut b) = (self.terms.iter(), other.terms.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(&ta), Some(&tb)) = (x, y) {
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterates over the terms.
+    pub fn iter(&self) -> impl Iterator<Item = Term> + '_ {
+        self.terms.iter().copied()
+    }
+}
+
+impl FromIterator<Term> for KeywordSet {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for KeywordSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ks(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.terms(), &[Term(1), Term(3), Term(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let e = KeywordSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.intersection_len(&ks(&[1, 2])), 0);
+        assert_eq!(e.union_len(&ks(&[1, 2])), 2);
+        assert!(!e.intersects(&ks(&[1, 2])));
+        assert!(!e.contains(Term(1)));
+    }
+
+    #[test]
+    fn intersection_and_union_lengths() {
+        let a = ks(&[1, 2, 3, 7, 9]);
+        let b = ks(&[2, 3, 4, 9, 11, 12]);
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(b.intersection_len(&a), 3);
+        assert_eq!(a.union_len(&b), 8);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = ks(&[1, 3, 5]);
+        let b = ks(&[2, 4, 6]);
+        assert_eq!(a.intersection_len(&b), 0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.union_len(&b), 6);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let a = ks(&[10, 20, 30]);
+        assert_eq!(a.intersection_len(&a.clone()), 3);
+        assert_eq!(a.union_len(&a.clone()), 3);
+        assert!(a.intersects(&a.clone()));
+    }
+
+    #[test]
+    fn intersects_finds_first_common_term_early() {
+        let a = ks(&[1, 100]);
+        let b = ks(&[1, 2, 3]);
+        assert!(a.intersects(&b));
+        let c = ks(&[99, 100]);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let a = ks(&[2, 4, 8, 16]);
+        assert!(a.contains(Term(8)));
+        assert!(!a.contains(Term(7)));
+    }
+
+    #[test]
+    fn from_sorted_accepts_valid_input() {
+        let s = KeywordSet::from_sorted(vec![Term(1), Term(2), Term(9)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn from_sorted_rejects_unsorted_in_debug() {
+        let _ = KeywordSet::from_sorted(vec![Term(2), Term(1)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ks(&[1, 2]).to_string(), "{t1,t2}");
+        assert_eq!(KeywordSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: KeywordSet = [Term(3), Term(1), Term(3)].into_iter().collect();
+        assert_eq!(s.terms(), &[Term(1), Term(3)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Textual substrate for spatial preference queries using keywords.
+//!
+//! The EDBT 2017 paper ranks data objects by the *textual relevance* of
+//! nearby feature objects: `w(f, q)` is the Jaccard similarity between the
+//! query keyword set `q.W` and the feature keyword set `f.W` (Definition 1),
+//! and the early-termination algorithm eSPQlen relies on the keyword-length
+//! upper bound of Equation 1. This crate provides those building blocks:
+//!
+//! * [`Vocabulary`] — interning between keyword strings and dense [`Term`]
+//!   ids, so the hot similarity path works on sorted integer slices.
+//! * [`KeywordSet`] — an immutable, sorted, deduplicated set of terms with
+//!   merge-based intersection/union counting.
+//! * [`similarity`] — Jaccard (the paper's choice) plus Dice and overlap
+//!   extensions, exact [`Score`] values with a total order, and the
+//!   length-based upper bounds that make early termination correct.
+//! * [`zipf`] — a Zipf sampler used by the synthetic dataset generators to
+//!   mimic the skewed term frequencies of the Flickr/Twitter dictionaries.
+
+pub mod keywords;
+pub mod similarity;
+pub mod vocab;
+pub mod zipf;
+
+pub use keywords::{KeywordSet, Term};
+pub use similarity::{Score, SetSimilarity};
+pub use vocab::Vocabulary;
+pub use zipf::Zipf;

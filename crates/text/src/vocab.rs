@@ -1,0 +1,150 @@
+//! String interning between keyword text and dense [`Term`] ids.
+//!
+//! The paper's datasets carry textual dictionaries (34,716 terms for Flickr,
+//! 88,706 for Twitter, 1,000 for the synthetic sets). All hot paths operate
+//! on interned ids; the vocabulary is only consulted at load/report time.
+
+use crate::keywords::{KeywordSet, Term};
+use std::collections::HashMap;
+
+/// A bidirectional mapping between keyword strings and [`Term`] ids.
+///
+/// Ids are assigned densely in insertion order, so a vocabulary built from a
+/// frequency-ranked word list gives rank-ordered ids — which is what the
+/// Zipf-based generators expect (`Term(0)` = most frequent word).
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_name: HashMap<String, Term>,
+    names: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a synthetic vocabulary `w0, w1, …` of the given size, used by
+    /// generators that only need term *ids* with realistic cardinality.
+    pub fn synthetic(size: usize) -> Self {
+        let mut v = Self::new();
+        for i in 0..size {
+            v.intern(&format!("w{i}"));
+        }
+        v
+    }
+
+    /// Interns a word, returning its (possibly pre-existing) term id.
+    pub fn intern(&mut self, word: &str) -> Term {
+        if let Some(&t) = self.by_name.get(word) {
+            return t;
+        }
+        let t = Term(u32::try_from(self.names.len()).expect("vocabulary exceeds u32 terms"));
+        self.by_name.insert(word.to_owned(), t);
+        self.names.push(word.to_owned());
+        t
+    }
+
+    /// Looks up a word without interning.
+    pub fn get(&self, word: &str) -> Option<Term> {
+        self.by_name.get(word).copied()
+    }
+
+    /// The word for a term id, if in range.
+    pub fn name(&self, t: Term) -> Option<&str> {
+        self.names.get(t.index()).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns every word of a whitespace-separated string into a set.
+    pub fn intern_set(&mut self, text: &str) -> KeywordSet {
+        KeywordSet::new(text.split_whitespace().map(|w| self.intern(w)).collect())
+    }
+
+    /// Resolves a keyword set back to words (unknown ids render as `t<id>`).
+    pub fn render(&self, set: &KeywordSet) -> String {
+        let mut out = String::new();
+        for (i, t) in set.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match self.name(t) {
+                Some(w) => out.push_str(w),
+                None => out.push_str(&t.to_string()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("italian");
+        let b = v.intern("gourmet");
+        assert_eq!(v.intern("italian"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), Term(0));
+        assert_eq!(v.intern("b"), Term(1));
+        assert_eq!(v.intern("c"), Term(2));
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocabulary::new();
+        let t = v.intern("sushi");
+        assert_eq!(v.get("sushi"), Some(t));
+        assert_eq!(v.get("wine"), None);
+        assert_eq!(v.name(t), Some("sushi"));
+        assert_eq!(v.name(Term(99)), None);
+    }
+
+    #[test]
+    fn synthetic_vocabulary() {
+        let v = Vocabulary::synthetic(1000);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v.get("w0"), Some(Term(0)));
+        assert_eq!(v.get("w999"), Some(Term(999)));
+    }
+
+    #[test]
+    fn intern_set_and_render_roundtrip() {
+        let mut v = Vocabulary::new();
+        let s = v.intern_set("italian gourmet italian");
+        assert_eq!(s.len(), 2);
+        assert_eq!(v.render(&s), "italian gourmet"); // sorted by id = insertion order
+    }
+
+    #[test]
+    fn render_unknown_terms() {
+        let v = Vocabulary::new();
+        let s = KeywordSet::from_ids([7]);
+        assert_eq!(v.render(&s), "t7");
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Section-6 analysis in practice: how the query radius and grid size
+//! drive feature duplication and per-reducer cost, and how the executor's
+//! automatic grid sizing uses that model.
+//!
+//! ```text
+//! cargo run --release --example grid_tuning
+//! ```
+
+use spq::core::{partitioning, theory};
+use spq::data::DatasetGenerator;
+use spq::prelude::*;
+
+fn main() {
+    // --- The closed-form duplication factor (Section 6.2) -------------
+    println!("duplication factor df = πr²/a² + 4r/a + 1 (cell side a = 1):");
+    println!("{:<12}{:>10}", "r / a", "df");
+    for pct in [5, 10, 25, 50] {
+        let df = theory::duplication_factor(1.0, pct as f64 / 100.0);
+        println!("{:<12}{:>10.4}", format!("{pct}%"), df);
+    }
+    println!(
+        "worst case at a = 2r: df = {:.4}\n",
+        theory::MAX_DUPLICATION_FACTOR
+    );
+
+    // --- Measured duplication on a real dataset ------------------------
+    let dataset = UniformGen.generate(100_000, 3);
+    let query = SpqQuery::new(10, 0.01, KeywordSet::from_ids([0]));
+    println!("measured duplicates per routed feature (uniform data, r = 0.01):");
+    println!("{:<12}{:>14}{:>14}", "grid", "measured df", "predicted df");
+    for n in [15u32, 25, 50] {
+        let grid: spq::spatial::SpacePartition = Grid::square(Rect::unit(), n).into();
+        let mut emissions = 0u64;
+        let mut routed = 0u64;
+        for f in &dataset.features {
+            // Count routing fan-out irrespective of keyword pruning.
+            let all_match = SpqQuery::new(10, 0.01, f.keywords.clone());
+            let d = partitioning::duplicate_count(&grid, &all_match, f);
+            emissions += 1 + d;
+            routed += 1;
+        }
+        let measured = emissions as f64 / routed as f64;
+        let predicted = theory::duplication_factor(1.0 / n as f64, query.radius);
+        println!("{:<12}{measured:>14.4}{predicted:>14.4}", format!("{n}x{n}"));
+    }
+
+    // --- The §6.3 cost indicator df·a⁴ ---------------------------------
+    println!("\ncost indicator df·a⁴ (normalised to the 10x10 grid):");
+    println!("{:<12}{:>14}", "grid", "relative cost");
+    let base = theory::cost_indicator(1.0 / 10.0, query.radius);
+    for n in [10u32, 15, 25, 50, 100] {
+        let c = theory::cost_indicator(1.0 / n as f64, query.radius) / base;
+        println!("{:<12}{c:>14.6}", format!("{n}x{n}"));
+    }
+    println!("(finer grids are cheaper per reducer — Section 6.3)\n");
+
+    // --- Automatic grid sizing in the executor -------------------------
+    for radius in [0.1, 0.02, 0.004] {
+        let q = SpqQuery::new(10, radius, KeywordSet::from_ids([0]));
+        let grid = SpqExecutor::new(Rect::unit()).auto_grid(64).plan_grid(&q);
+        println!(
+            "auto grid for r = {radius}: {}x{} (cell side {:.4} >= r, capped at 64)",
+            grid.nx(),
+            grid.ny(),
+            grid.cell_width()
+        );
+    }
+}

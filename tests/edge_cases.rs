@@ -1,0 +1,188 @@
+//! Degenerate and adversarial inputs: the distributed pipeline must
+//! behave like the oracle on all of them.
+
+use spq::core::{centralized, validate};
+use spq::prelude::*;
+use spq::text::Score;
+
+const ALGOS: [Algorithm; 3] = [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco];
+
+fn run(
+    algo: Algorithm,
+    grid: u32,
+    data: &[DataObject],
+    features: &[FeatureObject],
+    query: &SpqQuery,
+) -> Vec<RankedObject> {
+    SpqExecutor::new(Rect::unit())
+        .algorithm(algo)
+        .grid_size(grid)
+        .run(&[data.to_vec()], &[features.to_vec()], query)
+        .unwrap()
+        .top_k
+}
+
+#[test]
+fn empty_data_set() {
+    let features = vec![FeatureObject::new(
+        1,
+        Point::new(0.5, 0.5),
+        KeywordSet::from_ids([0]),
+    )];
+    let q = SpqQuery::new(3, 0.2, KeywordSet::from_ids([0]));
+    for algo in ALGOS {
+        assert!(run(algo, 4, &[], &features, &q).is_empty(), "{algo}");
+    }
+}
+
+#[test]
+fn empty_feature_set() {
+    let data = vec![DataObject::new(1, Point::new(0.5, 0.5))];
+    let q = SpqQuery::new(3, 0.2, KeywordSet::from_ids([0]));
+    for algo in ALGOS {
+        assert!(run(algo, 4, &data, &[], &q).is_empty(), "{algo}");
+    }
+}
+
+#[test]
+fn no_feature_matches_keywords() {
+    let data = vec![DataObject::new(1, Point::new(0.5, 0.5))];
+    let features = vec![FeatureObject::new(
+        1,
+        Point::new(0.5, 0.51),
+        KeywordSet::from_ids([7]),
+    )];
+    let q = SpqQuery::new(1, 0.2, KeywordSet::from_ids([0]));
+    for algo in ALGOS {
+        assert!(run(algo, 4, &data, &features, &q).is_empty(), "{algo}");
+    }
+}
+
+#[test]
+fn k_larger_than_any_possible_result() {
+    let data = vec![
+        DataObject::new(1, Point::new(0.2, 0.2)),
+        DataObject::new(2, Point::new(0.8, 0.8)),
+    ];
+    let features = vec![FeatureObject::new(
+        1,
+        Point::new(0.2, 0.21),
+        KeywordSet::from_ids([0]),
+    )];
+    let q = SpqQuery::new(100, 0.05, KeywordSet::from_ids([0]));
+    for algo in ALGOS {
+        let got = run(algo, 4, &data, &features, &q);
+        assert_eq!(got.len(), 1, "{algo}");
+        assert_eq!(got[0].object, 1, "{algo}");
+    }
+}
+
+#[test]
+fn zero_radius_requires_exact_colocation() {
+    let data = vec![
+        DataObject::new(1, Point::new(0.25, 0.25)),
+        DataObject::new(2, Point::new(0.75, 0.75)),
+    ];
+    let features = vec![
+        FeatureObject::new(1, Point::new(0.25, 0.25), KeywordSet::from_ids([0])),
+        FeatureObject::new(2, Point::new(0.75, 0.7501), KeywordSet::from_ids([0])),
+    ];
+    let q = SpqQuery::new(5, 0.0, KeywordSet::from_ids([0]));
+    for algo in ALGOS {
+        let got = run(algo, 4, &data, &features, &q);
+        assert_eq!(got.len(), 1, "{algo}");
+        assert_eq!(got[0].object, 1, "{algo}");
+        assert_eq!(got[0].score, Score::ONE, "{algo}");
+    }
+}
+
+#[test]
+fn single_cell_grid_degenerates_to_centralized() {
+    let dataset = UniformGen.generate(600, 3);
+    let q = SpqQuery::new(10, 0.1, KeywordSet::from_ids([1, 2]));
+    let baseline = centralized::brute_force(&dataset.data, &dataset.features, &q);
+    for algo in ALGOS {
+        let got = run(algo, 1, &dataset.data, &dataset.features, &q);
+        validate::check_result(&got, &baseline, &dataset.data, &dataset.features, &q)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+}
+
+#[test]
+fn radius_spanning_many_cells() {
+    // r = 0.3 over a 10x10 grid (cell 0.1): features duplicate across up
+    // to 7x7 windows — correctness must not depend on r <= cell size.
+    let dataset = UniformGen.generate(400, 5);
+    let q = SpqQuery::new(5, 0.3, KeywordSet::from_ids([1]));
+    let baseline = centralized::brute_force(&dataset.data, &dataset.features, &q);
+    for algo in ALGOS {
+        let got = run(algo, 10, &dataset.data, &dataset.features, &q);
+        validate::check_result(&got, &baseline, &dataset.data, &dataset.features, &q)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+}
+
+#[test]
+fn objects_exactly_on_cell_boundaries() {
+    // Data objects and features placed exactly on grid lines of a 4x4
+    // grid over the unit square (lines at multiples of 0.25).
+    let data = vec![
+        DataObject::new(1, Point::new(0.25, 0.25)),
+        DataObject::new(2, Point::new(0.5, 0.5)),
+        DataObject::new(3, Point::new(1.0, 1.0)),
+        DataObject::new(4, Point::new(0.0, 0.0)),
+    ];
+    let features = vec![
+        FeatureObject::new(1, Point::new(0.25, 0.25), KeywordSet::from_ids([0])),
+        FeatureObject::new(2, Point::new(0.5, 0.45), KeywordSet::from_ids([0, 1])),
+        FeatureObject::new(3, Point::new(1.0, 0.95), KeywordSet::from_ids([0, 1, 2])),
+    ];
+    let q = SpqQuery::new(4, 0.08, KeywordSet::from_ids([0]));
+    let baseline = centralized::brute_force(&data, &features, &q);
+    assert_eq!(baseline.len(), 3);
+    for algo in ALGOS {
+        let got = run(algo, 4, &data, &features, &q);
+        validate::check_result(&got, &baseline, &data, &features, &q)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+}
+
+#[test]
+fn coincident_objects_and_duplicate_locations() {
+    // Many objects stacked on one point, and several features at another.
+    let data: Vec<DataObject> = (0..20)
+        .map(|i| DataObject::new(i, Point::new(0.3, 0.3)))
+        .collect();
+    let features: Vec<FeatureObject> = (0..5)
+        .map(|i| {
+            FeatureObject::new(
+                i,
+                Point::new(0.31, 0.3),
+                KeywordSet::from_ids([0, i as u32 + 1]),
+            )
+        })
+        .collect();
+    let q = SpqQuery::new(7, 0.05, KeywordSet::from_ids([0]));
+    let baseline = centralized::brute_force(&data, &features, &q);
+    assert_eq!(baseline.len(), 7);
+    // All 20 objects tie at score 1/2; tie-break by id picks 0..7.
+    assert!(baseline.iter().all(|r| r.score == Score::ratio(1, 2)));
+    for algo in ALGOS {
+        let got = run(algo, 8, &data, &features, &q);
+        validate::check_result(&got, &baseline, &data, &features, &q)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+}
+
+#[test]
+fn query_keywords_absent_from_vocabulary() {
+    let dataset = UniformGen.generate(500, 9);
+    // Terms far beyond the generator's 1000-term vocabulary.
+    let q = SpqQuery::new(5, 0.1, KeywordSet::from_ids([50_000, 60_000]));
+    for algo in ALGOS {
+        assert!(
+            run(algo, 5, &dataset.data, &dataset.features, &q).is_empty(),
+            "{algo}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's worked example, end to end through the public API:
+//! Table 2 / Figure 1 (the hotels-and-restaurants query) and the
+//! Figure 2 duplication walkthrough.
+
+use spq::core::partitioning;
+use spq::prelude::*;
+use spq::text::Score;
+
+fn hotels() -> Vec<DataObject> {
+    vec![
+        DataObject::new(1, Point::new(4.6, 4.8)),
+        DataObject::new(2, Point::new(7.5, 1.7)),
+        DataObject::new(3, Point::new(8.9, 5.2)),
+        DataObject::new(4, Point::new(1.8, 1.8)),
+        DataObject::new(5, Point::new(1.9, 9.0)),
+    ]
+}
+
+/// Keyword ids: 0=italian 1=gourmet 2=chinese 3=cheap 4=sushi 5=wine
+/// 6=mexican 7=exotic 8=greek 9=traditional 10=spaghetti 11=indian.
+fn restaurants() -> Vec<FeatureObject> {
+    let f = |id, x, y, kw: &[u32]| {
+        FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+    };
+    vec![
+        f(1, 2.8, 1.2, &[0, 1]),
+        f(2, 5.0, 3.8, &[2, 3]),
+        f(3, 8.7, 1.9, &[4, 5]),
+        f(4, 3.8, 5.5, &[0]),
+        f(5, 5.2, 5.1, &[6, 7]),
+        f(6, 7.4, 5.4, &[8, 9]),
+        f(7, 3.0, 8.1, &[0, 10]),
+        f(8, 9.5, 7.0, &[11]),
+    ]
+}
+
+fn paper_query(k: usize) -> SpqQuery {
+    SpqQuery::new(k, 1.5, KeywordSet::from_ids([0]))
+}
+
+fn bounds() -> Rect {
+    Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+}
+
+#[test]
+fn example_1_top1_is_p1() {
+    for algo in [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco] {
+        let result = SpqExecutor::new(bounds())
+            .algorithm(algo)
+            .grid_size(4)
+            .run(&[hotels()], &[restaurants()], &paper_query(1))
+            .unwrap();
+        assert_eq!(result.top_k.len(), 1, "{algo}");
+        assert_eq!(result.top_k[0].object, 1, "{algo}");
+        assert_eq!(result.top_k[0].score, Score::ONE, "{algo}");
+    }
+}
+
+#[test]
+fn example_1_full_ranking() {
+    // τ(p1)=1 (f4), τ(p4)=0.5 (f1), τ(p5)=0.5 (f7); p2, p3 unranked.
+    let result = SpqExecutor::new(bounds())
+        .grid_size(4)
+        .run(&[hotels()], &[restaurants()], &paper_query(5))
+        .unwrap();
+    let got: Vec<(u64, Score)> = result.top_k.iter().map(|r| (r.object, r.score)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (1, Score::ONE),
+            (4, Score::ratio(1, 2)),
+            (5, Score::ratio(1, 2)),
+        ]
+    );
+}
+
+#[test]
+fn table_2_jaccard_scores() {
+    let q = paper_query(1);
+    let expected = [
+        Score::ratio(1, 2), // f1 italian,gourmet
+        Score::ZERO,        // f2
+        Score::ZERO,        // f3
+        Score::ONE,         // f4 italian
+        Score::ZERO,        // f5
+        Score::ZERO,        // f6 (the paper marks it notInRange; score 0 anyway)
+        Score::ratio(1, 2), // f7 italian,spaghetti
+        Score::ZERO,        // f8
+    ];
+    for (f, want) in restaurants().iter().zip(expected) {
+        assert_eq!(q.score(&f.keywords), want, "f{}", f.id);
+    }
+}
+
+#[test]
+fn figure_2_duplication_of_f7() {
+    // f7 sits in the paper's cell 14 (our id 13) and must duplicate into
+    // the paper's cells 9, 10, 13 (our ids 8, 9, 12) for r = 1.5.
+    let grid: spq::spatial::SpacePartition = Grid::square(bounds(), 4).into();
+    let f7 = &restaurants()[6];
+    assert_eq!(grid.cell_of(&f7.location).0, 13);
+    let mut cells = Vec::new();
+    let kept = partitioning::route_feature(&grid, &paper_query(1), f7, |c| cells.push(c.0));
+    assert!(kept);
+    cells.sort_unstable();
+    assert_eq!(cells, vec![8, 9, 12, 13]);
+}
+
+#[test]
+fn map_phase_prunes_non_matching_restaurants() {
+    // Only f1, f4, f7 share "italian"; the other five must be pruned.
+    let result = SpqExecutor::new(bounds())
+        .algorithm(Algorithm::PSpq)
+        .grid_size(4)
+        .run(&[hotels()], &[restaurants()], &paper_query(1))
+        .unwrap();
+    assert_eq!(result.stats.counters.get("map.features_pruned"), 5);
+    assert_eq!(result.stats.counters.get("map.feature_records"), 3);
+    assert_eq!(result.stats.counters.get("map.data_records"), 5);
+}

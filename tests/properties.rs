@@ -1,0 +1,123 @@
+//! Property-based integration tests: random datasets, random queries,
+//! random grids — the distributed algorithms must always agree with the
+//! brute-force oracle under the paper's tie semantics.
+
+use proptest::prelude::*;
+use spq::core::{centralized, validate};
+use spq::prelude::*;
+use spq::text::Term;
+
+/// Strategy: a small spatio-textual world.
+fn world() -> impl Strategy<
+    Value = (
+        Vec<DataObject>,
+        Vec<FeatureObject>,
+        Vec<u32>, // query keywords
+        f64,      // radius
+        u8,       // k
+        u8,       // grid cells per axis
+    ),
+> {
+    let coord = 0.0f64..1.0;
+    let data = proptest::collection::vec((coord.clone(), coord.clone()), 0..40);
+    let features = proptest::collection::vec(
+        (
+            coord.clone(),
+            coord,
+            proptest::collection::vec(0u32..12, 1..5),
+        ),
+        0..60,
+    );
+    let query_kw = proptest::collection::vec(0u32..12, 1..4);
+    (
+        data,
+        features,
+        query_kw,
+        0.001f64..0.5,
+        1u8..8,
+        1u8..12,
+    )
+        .prop_map(|(d, f, kw, r, k, g)| {
+            let data: Vec<DataObject> = d
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y))| DataObject::new(i as u64, Point::new(x, y)))
+                .collect();
+            let features: Vec<FeatureObject> = f
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w))| {
+                    FeatureObject::new(
+                        i as u64,
+                        Point::new(x, y),
+                        KeywordSet::new(w.into_iter().map(Term).collect()),
+                    )
+                })
+                .collect();
+            (data, features, kw, r, k, g)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every algorithm is score-correct on arbitrary inputs.
+    #[test]
+    fn prop_distributed_matches_oracle((data, features, kw, r, k, g) in world()) {
+        let query = SpqQuery::new(k as usize, r, KeywordSet::from_ids(kw));
+        let baseline = centralized::brute_force(&data, &features, &query);
+        for algo in [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco] {
+            let result = SpqExecutor::new(Rect::unit())
+                .algorithm(algo)
+                .grid_size(g as u32)
+                .cluster(ClusterConfig::with_workers(2))
+                .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+                .unwrap();
+            let check = validate::check_result(
+                &result.top_k, &baseline, &data, &features, &query,
+            );
+            prop_assert!(check.is_ok(), "{algo}: {}", check.unwrap_err());
+        }
+    }
+
+    /// The two oracles agree exactly (including tie-broken order).
+    #[test]
+    fn prop_oracles_agree((data, features, kw, r, k, _) in world()) {
+        let query = SpqQuery::new(k as usize, r, KeywordSet::from_ids(kw));
+        let a = centralized::brute_force(&data, &features, &query);
+        let b = centralized::grid_index_topk(Rect::unit(), &data, &features, &query);
+        prop_assert_eq!(a, b);
+    }
+
+    /// eSPQsco is *canonical* (it must equal the brute-force result
+    /// exactly, ids included), because its per-run flush resolves ties by
+    /// id — a stronger guarantee than the other two provide.
+    #[test]
+    fn prop_espqsco_is_canonical((data, features, kw, r, k, g) in world()) {
+        let query = SpqQuery::new(k as usize, r, KeywordSet::from_ids(kw));
+        let baseline = centralized::brute_force(&data, &features, &query);
+        let result = SpqExecutor::new(Rect::unit())
+            .algorithm(Algorithm::ESpqSco)
+            .grid_size(g as u32)
+            .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+            .unwrap();
+        prop_assert_eq!(result.top_k, baseline);
+    }
+
+    /// Feature duplication (Lemma 1) covers every scoring pair: removing
+    /// the radius entirely (huge r) must rank every data object that has
+    /// any relevant feature.
+    #[test]
+    fn prop_huge_radius_ranks_every_matchable_object(
+        (data, features, kw, _, _, g) in world()
+    ) {
+        let query = SpqQuery::new(data.len().max(1), 2.0, KeywordSet::from_ids(kw));
+        let expected = centralized::brute_force(&data, &features, &query);
+        let result = SpqExecutor::new(Rect::unit())
+            .algorithm(Algorithm::ESpqSco)
+            .grid_size(g as u32)
+            .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+            .unwrap();
+        prop_assert_eq!(result.top_k.len(), expected.len());
+    }
+}
