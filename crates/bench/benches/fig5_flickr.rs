@@ -32,11 +32,9 @@ fn fig5b(c: &mut Criterion) {
                 .grid_size(DEFAULT_GRID_REAL)
                 .algorithm(algo)
                 .cluster(ClusterConfig::auto());
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), kw),
-                &query,
-                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), kw), &query, |b, q| {
+                b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k)
+            });
         }
     }
     group.finish();

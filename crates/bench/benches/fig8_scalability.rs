@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spq_bench::params::{
-    scaled, DEFAULT_GRID_SYNTH, DEFAULT_KEYWORDS, DEFAULT_SIZE_UN, DEFAULT_TOPK,
-    FIG8_PAPER_SIZES, FIG8_SIZE_RATIOS,
+    scaled, DEFAULT_GRID_SYNTH, DEFAULT_KEYWORDS, DEFAULT_SIZE_UN, DEFAULT_TOPK, FIG8_PAPER_SIZES,
+    FIG8_SIZE_RATIOS,
 };
 use spq_core::Algorithm;
 use spq_core::SpqExecutor;

@@ -16,7 +16,13 @@ use spq_mapreduce::ClusterConfig;
 use spq_spatial::Rect;
 
 fn fig9b(c: &mut Criterion) {
-    let inputs = setup(&ClusteredGen, DEFAULT_SIZE_CL, 0.02, DEFAULT_GRID_SYNTH, 2017);
+    let inputs = setup(
+        &ClusteredGen,
+        DEFAULT_SIZE_CL,
+        0.02,
+        DEFAULT_GRID_SYNTH,
+        2017,
+    );
     let mut group = c.benchmark_group("fig9b_cl_keywords");
     group.sample_size(10);
     for kw in KEYWORD_SWEEP {
@@ -26,11 +32,9 @@ fn fig9b(c: &mut Criterion) {
                 .grid_size(DEFAULT_GRID_SYNTH)
                 .algorithm(algo)
                 .cluster(ClusterConfig::auto());
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), kw),
-                &query,
-                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), kw), &query, |b, q| {
+                b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k)
+            });
         }
     }
     group.finish();

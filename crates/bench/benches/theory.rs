@@ -17,15 +17,19 @@ fn bench_duplication_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma1_enumeration");
     for pct in [5.0, 10.0, 25.0, 50.0, 100.0] {
         let r = grid.cell_width() * pct / 100.0;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{pct}pct")), &r, |b, &r| {
-            b.iter(|| {
-                let mut dups = 0usize;
-                for p in &points {
-                    grid.for_each_duplication_target(black_box(p), r, |_| dups += 1);
-                }
-                dups
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pct}pct")),
+            &r,
+            |b, &r| {
+                b.iter(|| {
+                    let mut dups = 0usize;
+                    for p in &points {
+                        grid.for_each_duplication_target(black_box(p), r, |_| dups += 1);
+                    }
+                    dups
+                })
+            },
+        );
     }
     group.finish();
 }

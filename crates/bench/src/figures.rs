@@ -6,8 +6,8 @@ use crate::{measure_avg, BenchConfig, Measurement, Panel, PanelRow};
 
 use spq_core::{theory, Algorithm, SpqExecutor, SpqObject, SpqQuery};
 use spq_data::{
-    ClusteredGen, DatasetGenerator, FlickrLike, KeywordSelection, QueryGenerator,
-    TwitterLike, UniformGen,
+    ClusteredGen, DatasetGenerator, FlickrLike, KeywordSelection, QueryGenerator, TwitterLike,
+    UniformGen,
 };
 use spq_mapreduce::ClusterConfig;
 use spq_spatial::{Grid, Point, Rect};
@@ -15,7 +15,9 @@ use spq_text::KeywordSet;
 use std::time::Duration;
 
 /// All figure ids the harness understands.
-pub const FIGURES: [&str; 9] = ["fig5", "fig6", "fig7", "fig8", "fig9", "df", "cellsize", "prune", "balance"];
+pub const FIGURES: [&str; 9] = [
+    "fig5", "fig6", "fig7", "fig8", "fig9", "df", "cellsize", "prune", "balance",
+];
 
 /// Output of one figure run: timing panels, or a free-form analysis text.
 #[derive(Debug, Clone)]
@@ -33,9 +35,27 @@ pub enum FigureOutput {
 /// Panics on an unknown figure id; callers validate against [`FIGURES`].
 pub fn run(figure: &str, cfg: &BenchConfig) -> FigureOutput {
     match figure {
-        "fig5" => FigureOutput::Panels(four_panels(&FlickrLike, real_family("fig5", "Figure 5", "FL", DEFAULT_SIZE_FL), cfg)),
-        "fig6" => FigureOutput::Panels(four_panels(&TwitterLike, real_family("fig6", "Figure 6", "TW", DEFAULT_SIZE_TW), cfg)),
-        "fig7" => FigureOutput::Panels(four_panels(&UniformGen, synth_family("fig7", "Figure 7", "UN", DEFAULT_SIZE_UN, Algorithm::ALL.to_vec()), cfg)),
+        "fig5" => FigureOutput::Panels(four_panels(
+            &FlickrLike,
+            real_family("fig5", "Figure 5", "FL", DEFAULT_SIZE_FL),
+            cfg,
+        )),
+        "fig6" => FigureOutput::Panels(four_panels(
+            &TwitterLike,
+            real_family("fig6", "Figure 6", "TW", DEFAULT_SIZE_TW),
+            cfg,
+        )),
+        "fig7" => FigureOutput::Panels(four_panels(
+            &UniformGen,
+            synth_family(
+                "fig7",
+                "Figure 7",
+                "UN",
+                DEFAULT_SIZE_UN,
+                Algorithm::ALL.to_vec(),
+            ),
+            cfg,
+        )),
         "fig8" => FigureOutput::Panels(vec![fig8(cfg)]),
         "fig9" => FigureOutput::Panels(fig9(cfg)),
         "df" => FigureOutput::Text(duplication_report(cfg)),
@@ -59,7 +79,12 @@ struct Family {
     selection: KeywordSelection,
 }
 
-fn real_family(id: &'static str, figure: &'static str, dataset: &'static str, base: usize) -> Family {
+fn real_family(
+    id: &'static str,
+    figure: &'static str,
+    dataset: &'static str,
+    base: usize,
+) -> Family {
     Family {
         id,
         figure,
@@ -175,7 +200,13 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                 let queries = queries_with(kw, DEFAULT_TOPK, default_radius);
                 PanelRow {
                     x: kw.to_string(),
-                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                    cells: sweep_point(
+                        &family.algorithms,
+                        family.default_grid,
+                        cfg,
+                        &splits,
+                        &queries,
+                    ),
                 }
             })
             .collect();
@@ -203,7 +234,13 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                 let queries = queries_with(DEFAULT_KEYWORDS, DEFAULT_TOPK, r);
                 PanelRow {
                     x: format!("{pct}%"),
-                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                    cells: sweep_point(
+                        &family.algorithms,
+                        family.default_grid,
+                        cfg,
+                        &splits,
+                        &queries,
+                    ),
                 }
             })
             .collect();
@@ -227,7 +264,13 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                 let queries = queries_with(DEFAULT_KEYWORDS, k, default_radius);
                 PanelRow {
                     x: k.to_string(),
-                    cells: sweep_point(&family.algorithms, family.default_grid, cfg, &splits, &queries),
+                    cells: sweep_point(
+                        &family.algorithms,
+                        family.default_grid,
+                        cfg,
+                        &splits,
+                        &queries,
+                    ),
                 }
             })
             .collect();
@@ -252,8 +295,14 @@ fn fig8(cfg: &BenchConfig) -> Panel {
     let full = UniformGen.generate(max_size, cfg.seed);
     let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
     let default_radius = default_cell * DEFAULT_RADIUS_PCT / 100.0;
-    let mut qgen = QueryGenerator::new(full.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
-    let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, default_radius, DEFAULT_KEYWORDS);
+    let mut qgen =
+        QueryGenerator::new(full.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let queries = qgen.batch(
+        cfg.queries_per_point,
+        DEFAULT_TOPK,
+        default_radius,
+        DEFAULT_KEYWORDS,
+    );
 
     let rows = FIG8_SIZE_RATIOS
         .iter()
@@ -303,9 +352,17 @@ fn fig9(cfg: &BenchConfig) -> Vec<Panel> {
         ("UN", UniformGen.generate(size, cfg.seed)),
         ("CL", ClusteredGen.generate(size, cfg.seed)),
     ] {
-        let mut qgen =
-            QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
-        let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, default_radius, DEFAULT_KEYWORDS);
+        let mut qgen = QueryGenerator::new(
+            dataset.vocab_size,
+            KeywordSelection::Random,
+            cfg.seed ^ 0x5151,
+        );
+        let queries = qgen.batch(
+            cfg.queries_per_point,
+            DEFAULT_TOPK,
+            default_radius,
+            DEFAULT_KEYWORDS,
+        );
         let splits = dataset.to_splits(cfg.workers.max(4));
         rows.push(PanelRow {
             x: name.to_owned(),
@@ -336,8 +393,11 @@ pub fn balance_ablation(cfg: &BenchConfig) -> Panel {
     let dataset = ClusteredGen.generate(size, cfg.seed);
     let splits = dataset.to_splits(cfg.workers.max(4));
     let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
-    let mut qgen =
-        QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let mut qgen = QueryGenerator::new(
+        dataset.vocab_size,
+        KeywordSelection::Random,
+        cfg.seed ^ 0x5151,
+    );
     let queries = qgen.batch(
         cfg.queries_per_point,
         DEFAULT_TOPK,
@@ -492,8 +552,11 @@ pub fn cellsize_table(cfg: &BenchConfig) -> Vec<(u32, Duration, f64)> {
     let splits = dataset.to_splits(cfg.workers.max(4));
     // Fixed absolute radius, valid (r <= a/2) for the finest grid swept.
     let r = 0.004;
-    let mut qgen =
-        QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 0x5151);
+    let mut qgen = QueryGenerator::new(
+        dataset.vocab_size,
+        KeywordSelection::Random,
+        cfg.seed ^ 0x5151,
+    );
     let queries = qgen.batch(cfg.queries_per_point, DEFAULT_TOPK, r, DEFAULT_KEYWORDS);
 
     [10u32, 15, 25, 50, 100]

@@ -1,8 +1,7 @@
 //! Benchmark harness reproducing the experimental study of the EDBT 2017
 //! SPQ paper (Section 7).
 //!
-//! Every figure of the paper maps to a harness entry point (see
-//! DESIGN.md's experiment index):
+//! Every figure of the paper maps to a harness entry point:
 //!
 //! | Paper figure | Harness id | Sweep |
 //! |---|---|---|
@@ -25,9 +24,9 @@ pub mod figures;
 pub mod params;
 pub mod report;
 
+use spq_core::SpqObject;
 use spq_core::{Algorithm, SpqExecutor, SpqQuery};
 use spq_mapreduce::SimulatedCluster;
-use spq_core::SpqObject;
 use std::time::Duration;
 
 /// Global harness configuration.
@@ -193,7 +192,14 @@ pub mod criterion_support {
         default_grid: u32,
         seed: u64,
     ) -> FigureInputs {
-        setup_with_selection(gen, base_size, scale, default_grid, seed, KeywordSelection::Random)
+        setup_with_selection(
+            gen,
+            base_size,
+            scale,
+            default_grid,
+            seed,
+            KeywordSelection::Random,
+        )
     }
 
     /// [`setup`] with an explicit keyword-selection strategy (the

@@ -11,9 +11,9 @@
 use crate::algo::ObjectPayload;
 use crate::model::{RankedObject, SpqObject};
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES, COUNTER_MAP_FEATURES,
-    COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS, COUNTER_REDUCE_EARLY_TERMINATIONS,
-    COUNTER_REDUCE_FEATURES_EXAMINED,
+    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
+    COUNTER_REDUCE_EARLY_TERMINATIONS, COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
 use crate::topk::TopKList;
@@ -89,7 +89,9 @@ impl MapReduceTask for ESpqLenTask<'_> {
                 // collides with the data-object marker 0.
                 let len = f.keywords.len() as u32;
                 let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| cells.push(c)) {
+                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
+                    cells.push(c)
+                }) {
                     ctx.counters().inc(COUNTER_MAP_FEATURES);
                     ctx.counters()
                         .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
@@ -261,8 +263,7 @@ mod tests {
             FeatureObject::new(10, Point::new(3.85, 3.75), KeywordSet::from_ids([0])).into(),
             FeatureObject::new(11, Point::new(3.95, 3.75), KeywordSet::from_ids([1])).into(),
             // len 3: exact match scores 1.0.
-            FeatureObject::new(12, Point::new(4.05, 3.75), KeywordSet::from_ids([0, 1, 2]))
-                .into(),
+            FeatureObject::new(12, Point::new(4.05, 3.75), KeywordSet::from_ids([0, 1, 2])).into(),
         ];
         let (out, stats) = run(&q, objects);
         assert_eq!(out[0].score, Score::ONE);
@@ -277,8 +278,12 @@ mod tests {
         let objects: Vec<SpqObject> = vec![
             DataObject::new(1, Point::new(3.75, 3.75)).into(),
             FeatureObject::new(10, Point::new(3.85, 3.75), KeywordSet::from_ids([0, 7])).into(),
-            FeatureObject::new(11, Point::new(3.95, 3.75), KeywordSet::from_ids([0, 5, 6, 7]))
-                .into(),
+            FeatureObject::new(
+                11,
+                Point::new(3.95, 3.75),
+                KeywordSet::from_ids([0, 5, 6, 7]),
+            )
+            .into(),
         ];
         let (out, stats) = run(&q, objects);
         assert_eq!(out[0].score, Score::ratio(1, 3)); // {0,1} vs {0,7}

@@ -21,9 +21,9 @@
 use crate::algo::SlimPayload;
 use crate::model::{RankedObject, SpqObject};
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES, COUNTER_MAP_FEATURES,
-    COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS, COUNTER_REDUCE_EARLY_TERMINATIONS,
-    COUNTER_REDUCE_FEATURES_EXAMINED,
+    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
+    COUNTER_REDUCE_EARLY_TERMINATIONS, COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
 use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
@@ -95,7 +95,9 @@ impl MapReduceTask for ESpqScoTask<'_> {
             }
             SpqObject::Feature(f) => {
                 let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| cells.push(c)) {
+                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
+                    cells.push(c)
+                }) {
                     ctx.counters().inc(COUNTER_MAP_FEATURES);
                     ctx.counters()
                         .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);

@@ -74,9 +74,7 @@ impl ObjectPayload {
     pub fn from_record(record: &SpqObject) -> Self {
         match record {
             SpqObject::Data(o) => ObjectPayload::Data(o.id, o.location),
-            SpqObject::Feature(f) => {
-                ObjectPayload::Feature(f.id, f.location, f.keywords.clone())
-            }
+            SpqObject::Feature(f) => ObjectPayload::Feature(f.id, f.location, f.keywords.clone()),
         }
     }
 }

@@ -12,8 +12,9 @@
 use crate::algo::ObjectPayload;
 use crate::model::{RankedObject, SpqObject};
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES, COUNTER_MAP_FEATURES,
-    COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS, COUNTER_REDUCE_FEATURES_EXAMINED,
+    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
+    COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
 use crate::topk::TopKList;
@@ -85,7 +86,9 @@ impl MapReduceTask for PSpqTask<'_> {
             }
             SpqObject::Feature(f) => {
                 let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| cells.push(c)) {
+                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
+                    cells.push(c)
+                }) {
                     ctx.counters().inc(COUNTER_MAP_FEATURES);
                     ctx.counters()
                         .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);

@@ -97,7 +97,11 @@ mod tests {
 
     pub(crate) fn paper_features() -> Vec<FeatureObject> {
         let f = |id, x, y, kw: &[u32]| {
-            FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+            FeatureObject::new(
+                id,
+                Point::new(x, y),
+                KeywordSet::from_ids(kw.iter().copied()),
+            )
         };
         vec![
             f(1, 2.8, 1.2, &[0, 1]),

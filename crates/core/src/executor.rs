@@ -297,7 +297,11 @@ mod tests {
             DataObject::new(5, Point::new(1.9, 9.0)),
         ];
         let f = |id, x, y, kw: &[u32]| {
-            FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+            FeatureObject::new(
+                id,
+                Point::new(x, y),
+                KeywordSet::from_ids(kw.iter().copied()),
+            )
         };
         let features = vec![
             f(1, 2.8, 1.2, &[0, 1]),
@@ -327,7 +331,11 @@ mod tests {
                     .algorithm(algo)
                     .grid_size(4)
                     .cluster(ClusterConfig::with_workers(2))
-                    .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+                    .run(
+                        std::slice::from_ref(&data),
+                        std::slice::from_ref(&features),
+                        &query,
+                    )
                     .unwrap();
                 check_result(&result.top_k, &baseline, &data, &features, &query)
                     .unwrap_or_else(|e| panic!("{algo} k={k}: {e}"));
@@ -360,7 +368,11 @@ mod tests {
                 let result = SpqExecutor::new(bounds())
                     .algorithm(algo)
                     .grid_size(n)
-                    .run(std::slice::from_ref(&data), std::slice::from_ref(&features), &query)
+                    .run(
+                        std::slice::from_ref(&data),
+                        std::slice::from_ref(&features),
+                        &query,
+                    )
                     .unwrap();
                 check_result(&result.top_k, &baseline, &data, &features, &query)
                     .unwrap_or_else(|e| panic!("{algo} grid {n}: {e}"));

@@ -102,7 +102,11 @@ mod tests {
     }
 
     fn feat(x: f64, y: f64, ids: &[u32]) -> FeatureObject {
-        FeatureObject::new(1, Point::new(x, y), KeywordSet::from_ids(ids.iter().copied()))
+        FeatureObject::new(
+            1,
+            Point::new(x, y),
+            KeywordSet::from_ids(ids.iter().copied()),
+        )
     }
 
     #[test]

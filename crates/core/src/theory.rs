@@ -84,7 +84,10 @@ pub fn cost_indicator(cell_side: f64, radius: f64) -> f64 {
 ///
 /// Panics on non-positive extent or `max_cells_per_axis == 0`.
 pub fn auto_grid_size(extent: f64, radius: f64, max_cells_per_axis: u32) -> u32 {
-    assert!(extent.is_finite() && extent > 0.0, "extent must be positive");
+    assert!(
+        extent.is_finite() && extent > 0.0,
+        "extent must be positive"
+    );
     assert!(radius.is_finite() && radius >= 0.0, "radius must be >= 0");
     assert!(max_cells_per_axis > 0, "need at least one cell per axis");
     if radius <= 0.0 {

@@ -109,7 +109,7 @@ mod tests {
         let baseline = crate::centralized::brute_force(&data, &features, &query);
         let mut forged = baseline.clone();
         forged[1].score = forged[0].score; // lie about τ
-        // Multiset check fires first.
+                                           // Multiset check fires first.
         assert!(check_result(&forged, &baseline, &data, &features, &query).is_err());
     }
 

@@ -103,11 +103,7 @@ mod tests {
             assert_eq!(splits.len(), s);
             let total: usize = splits.iter().map(Vec::len).sum();
             assert_eq!(total, 9, "splits {s}");
-            let data_count = splits
-                .iter()
-                .flatten()
-                .filter(|o| o.is_data())
-                .count();
+            let data_count = splits.iter().flatten().filter(|o| o.is_data()).count();
             assert_eq!(data_count, 5);
         }
     }

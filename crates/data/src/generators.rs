@@ -277,10 +277,7 @@ mod tests {
             for f in &d.features {
                 assert!(d.bounds.contains(&f.location), "{}", g.name());
                 assert!(!f.keywords.is_empty());
-                assert!(f
-                    .keywords
-                    .iter()
-                    .all(|t| t.index() < g.vocab_size()));
+                assert!(f.keywords.iter().all(|t| t.index() < g.vocab_size()));
             }
         }
     }
@@ -294,7 +291,8 @@ mod tests {
             assert_eq!(a.features, b.features, "{}", g.name());
             let c = g.generate(500, 43);
             assert_ne!(
-                a.features, c.features,
+                a.features,
+                c.features,
                 "{} should differ across seeds",
                 g.name()
             );
@@ -336,8 +334,7 @@ mod tests {
             counts[grid.cell_of(&o.location).index()] += 1.0;
         }
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-            / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         var.sqrt() / mean
     }
 
@@ -346,10 +343,7 @@ mod tests {
         let un = UniformGen.generate(20_000, 5);
         let cl = ClusteredGen.generate(20_000, 5);
         let (cv_un, cv_cl) = (density_cv(&un), density_cv(&cl));
-        assert!(
-            cv_cl > 4.0 * cv_un,
-            "CL cv {cv_cl} not >> UN cv {cv_un}"
-        );
+        assert!(cv_cl > 4.0 * cv_un, "CL cv {cv_cl} not >> UN cv {cv_un}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! The real dumps are not redistributable, so this crate provides
 //! generators that reproduce their *algorithm-relevant* statistics —
 //! spatial density profile, keyword-count distribution, and term-frequency
-//! skew (see DESIGN.md for the substitution argument):
+//! skew — which is what the algorithms' relative costs depend on:
 //!
 //! * [`UniformGen`] — the paper's UN dataset, exactly as described.
 //! * [`ClusteredGen`] — the paper's CL dataset (16 Gaussian clusters).

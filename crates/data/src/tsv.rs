@@ -45,10 +45,7 @@ pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
 }
 
 fn parse_err(line_no: usize, msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("line {line_no}: {msg}"),
-    )
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {msg}"))
 }
 
 /// Reads a dataset from a TSV file written by [`save`].
@@ -108,10 +105,10 @@ pub fn load(path: &Path) -> io::Result<Dataset> {
                 let mut terms = Vec::new();
                 if !fields[4].is_empty() {
                     for t in fields[4].split(',') {
-                        terms.push(spq_text::Term(
-                            t.parse()
-                                .map_err(|_| parse_err(line_no, &format!("bad term {t:?}")))?,
-                        ));
+                        terms
+                            .push(spq_text::Term(t.parse().map_err(|_| {
+                                parse_err(line_no, &format!("bad term {t:?}"))
+                            })?));
                     }
                 }
                 features.push(FeatureObject::new(id, location, KeywordSet::new(terms)));

@@ -169,8 +169,10 @@ impl JobRunner {
         // The reducer-side sort (Hadoop's merge) is attributed to the
         // reduce task's duration, as in Hadoop.
         let reduce_start = Instant::now();
-        let slots: Vec<ReduceSlot<T>> =
-            reducer_inputs.into_iter().map(|v| Mutex::new(Some(v))).collect();
+        let slots: Vec<ReduceSlot<T>> = reducer_inputs
+            .into_iter()
+            .map(|v| Mutex::new(Some(v)))
+            .collect();
         let reduce_results: Vec<(Vec<T::Output>, TaskStats, Counters)> =
             run_tasks(self.config.workers, num_reducers, |r| {
                 let t0 = Instant::now();
@@ -394,11 +396,7 @@ mod tests {
         flat.sort();
         assert_eq!(
             flat,
-            vec![
-                (1, vec![1, 3, 5, 9]),
-                (2, vec![-1, 8]),
-                (7, vec![0]),
-            ]
+            vec![(1, vec![1, 3, 5, 9]), (2, vec![-1, 8]), (7, vec![0]),]
         );
     }
 
@@ -529,12 +527,7 @@ mod tests {
             fn sort_cmp(&self, _: &(), _: &()) -> Ordering {
                 Ordering::Equal
             }
-            fn reduce(
-                &self,
-                _: &(),
-                _: &mut GroupValues<'_, Self>,
-                _: &mut ReduceContext<'_, ()>,
-            ) {
+            fn reduce(&self, _: &(), _: &mut GroupValues<'_, Self>, _: &mut ReduceContext<'_, ()>) {
             }
         }
         let _ = JobRunner::new(ClusterConfig::sequential()).run(&NoReducers, &[]);

@@ -38,9 +38,9 @@ where
     let next = AtomicUsize::new(0);
 
     let worker_count = workers.min(num_tasks.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..worker_count {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= num_tasks {
                     break;
@@ -59,8 +59,7 @@ where
                 results.lock()[i] = Some(outcome);
             });
         }
-    })
-    .expect("worker threads must not leak panics past catch_unwind");
+    });
 
     let mut out = Vec::with_capacity(num_tasks);
     for slot in results.into_inner() {

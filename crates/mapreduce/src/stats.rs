@@ -69,7 +69,11 @@ impl JobStats {
     /// The busiest reducer's input size — the load-balance indicator the
     /// paper discusses for the clustered dataset (Section 7.2.4).
     pub fn max_reduce_input(&self) -> u64 {
-        self.reduce_tasks.iter().map(|t| t.records_in).max().unwrap_or(0)
+        self.reduce_tasks
+            .iter()
+            .map(|t| t.records_in)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Ratio of the busiest reducer's input to the mean reducer input — 1.0

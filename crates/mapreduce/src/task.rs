@@ -112,8 +112,7 @@ impl<O> ReduceContext<'_, O> {
 /// Yields owned pairs (each record carries its own composite key, exactly
 /// like Hadoop where the current key mutates as the value iterator
 /// advances). The reducer may stop consuming at any point — the runtime
-/// [`drains`](GroupValues::drain_remaining) the rest of the group and
-/// accounts it as skipped.
+/// drains the rest of the group and accounts it as skipped.
 pub struct GroupValues<'a, T: MapReduceTask + ?Sized> {
     task: &'a T,
     group_key: &'a T::Key,

@@ -353,8 +353,7 @@ mod tests {
                 continue; // clamping may have moved p, keep only true pairs
             }
             let p_cell = g.cell_of(&p);
-            let covered =
-                g.cell_of(&f) == p_cell || g.duplication_targets(&f, r).contains(&p_cell);
+            let covered = g.cell_of(&f) == p_cell || g.duplication_targets(&f, r).contains(&p_cell);
             assert!(covered, "pair p={p} f={f} not covered");
         }
     }

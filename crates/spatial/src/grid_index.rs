@@ -51,7 +51,12 @@ impl<T> GridIndex<T> {
     }
 
     /// Calls `f` for every item within distance `r` of `center`.
-    pub fn for_each_within<'a, F: FnMut(&'a Point, &'a T)>(&'a self, center: &Point, r: f64, mut f: F) {
+    pub fn for_each_within<'a, F: FnMut(&'a Point, &'a T)>(
+        &'a self,
+        center: &Point,
+        r: f64,
+        mut f: F,
+    ) {
         assert!(r >= 0.0 && r.is_finite(), "radius must be finite and >= 0");
         let r_sq = r * r;
         // Visit the center's own cell plus every Lemma-1 neighbour; that is

@@ -122,9 +122,8 @@ pub enum SetSimilarity {
     /// `2|A ∩ B| / (|A| + |B|)`.
     Dice,
     /// `|A ∩ B| / min(|A|, |B|)`; its length bound is trivial (1), so
-    /// eSPQlen degenerates to pSPQ under this similarity — documented in
-    /// DESIGN.md as the reason the paper's bound needs the union in the
-    /// denominator.
+    /// eSPQlen degenerates to pSPQ under this similarity — which is why
+    /// the paper's Equation-1 bound needs the union in the denominator.
     Overlap,
 }
 
@@ -137,9 +136,7 @@ impl SetSimilarity {
             return Score::ZERO;
         }
         match self {
-            SetSimilarity::Jaccard => {
-                Score::ratio(inter, query.len() + feature.len() - inter)
-            }
+            SetSimilarity::Jaccard => Score::ratio(inter, query.len() + feature.len() - inter),
             SetSimilarity::Dice => Score::ratio(2 * inter, query.len() + feature.len()),
             SetSimilarity::Overlap => Score::ratio(inter, query.len().min(feature.len())),
         }

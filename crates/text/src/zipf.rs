@@ -62,13 +62,19 @@ impl Zipf {
         let x = rng.gen::<f64>() * total;
         // partition_point returns the first index whose cumulative weight
         // exceeds x, i.e. the sampled rank.
-        self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= x)
+            .min(self.cdf.len() - 1)
     }
 
     /// Draws `k` *distinct* ranks (rejection sampling; `k` must not exceed
     /// the domain size). Used to build keyword sets without duplicates.
     pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
-        assert!(k <= self.len(), "cannot draw {k} distinct from {}", self.len());
+        assert!(
+            k <= self.len(),
+            "cannot draw {k} distinct from {}",
+            self.len()
+        );
         // For small k relative to n, rejection is near-optimal; fall back to
         // a partial shuffle when k is a large fraction of the domain.
         if k * 4 >= self.len() * 3 {

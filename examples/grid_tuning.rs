@@ -41,7 +41,10 @@ fn main() {
         }
         let measured = emissions as f64 / routed as f64;
         let predicted = theory::duplication_factor(1.0 / n as f64, query.radius);
-        println!("{:<12}{measured:>14.4}{predicted:>14.4}", format!("{n}x{n}"));
+        println!(
+            "{:<12}{measured:>14.4}{predicted:>14.4}",
+            format!("{n}x{n}")
+        );
     }
 
     // --- The §6.3 cost indicator df·a⁴ ---------------------------------

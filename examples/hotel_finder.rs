@@ -25,9 +25,8 @@ fn main() {
         DataObject::new(4, Point::new(1.8, 1.8)),
         DataObject::new(5, Point::new(1.9, 9.0)),
     ];
-    let mut restaurant = |id, x, y, words: &str| {
-        FeatureObject::new(id, Point::new(x, y), vocab.intern_set(words))
-    };
+    let mut restaurant =
+        |id, x, y, words: &str| FeatureObject::new(id, Point::new(x, y), vocab.intern_set(words));
     let restaurants = vec![
         restaurant(1, 2.8, 1.2, "italian gourmet"),
         restaurant(2, 5.0, 3.8, "chinese cheap"),
@@ -66,7 +65,11 @@ fn main() {
         let result = SpqExecutor::new(bounds)
             .algorithm(algo)
             .grid_size(4)
-            .run(std::slice::from_ref(&hotels), std::slice::from_ref(&restaurants), &query)
+            .run(
+                std::slice::from_ref(&hotels),
+                std::slice::from_ref(&restaurants),
+                &query,
+            )
             .expect("query should run");
         let winner = &result.top_k[0];
         println!(

@@ -29,7 +29,11 @@ fn main() {
         .algorithm(Algorithm::ESpqSco)
         .auto_grid(64);
     let result = executor
-        .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+        .run(
+            std::slice::from_ref(&dataset.data),
+            std::slice::from_ref(&dataset.features),
+            &query,
+        )
         .expect("query should run");
 
     println!(
@@ -51,10 +55,7 @@ fn main() {
     );
     println!(
         "early termination examined only {} of {} shuffled feature records",
-        result
-            .stats
-            .counters
-            .get("reduce.features_examined"),
+        result.stats.counters.get("reduce.features_examined"),
         result.stats.shuffle_records,
     );
 }

@@ -29,7 +29,11 @@ fn main() {
 
     // Three frequent hashtag-like terms; top-10 locations within a
     // neighbourhood of 0.4% of the map.
-    let mut qgen = QueryGenerator::new(dataset.vocab_size, KeywordSelection::Weighted { exponent: 1.0 }, 99);
+    let mut qgen = QueryGenerator::new(
+        dataset.vocab_size,
+        KeywordSelection::Weighted { exponent: 1.0 },
+        99,
+    );
     let query = qgen.generate(10, 0.004, 3);
     println!("  query: {query}");
 
@@ -38,9 +42,7 @@ fn main() {
     let mut best: Option<Vec<RankedObject>> = None;
 
     for algo in [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco] {
-        let executor = SpqExecutor::new(Rect::unit())
-            .algorithm(algo)
-            .grid_size(50);
+        let executor = SpqExecutor::new(Rect::unit()).algorithm(algo).grid_size(50);
         let t0 = Instant::now();
         let result = executor
             .run(&data_splits, &feature_splits, &query)

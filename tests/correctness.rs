@@ -27,7 +27,11 @@ fn all_algorithms_match_brute_force_on_all_generators() {
                     .algorithm(algo)
                     .grid_size(8)
                     .cluster(ClusterConfig::with_workers(4))
-                    .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+                    .run(
+                        std::slice::from_ref(&dataset.data),
+                        std::slice::from_ref(&dataset.features),
+                        &query,
+                    )
                     .unwrap();
                 validate::check_result(
                     &result.top_k,
@@ -131,7 +135,11 @@ fn extension_similarities_are_correct_end_to_end() {
             let result = SpqExecutor::new(dataset.bounds)
                 .algorithm(algo)
                 .grid_size(6)
-                .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+                .run(
+                    std::slice::from_ref(&dataset.data),
+                    std::slice::from_ref(&dataset.features),
+                    &query,
+                )
                 .unwrap();
             validate::check_result(
                 &result.top_k,
@@ -155,7 +163,11 @@ fn early_termination_examines_fewer_features() {
         let result = SpqExecutor::new(dataset.bounds)
             .algorithm(algo)
             .grid_size(10)
-            .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+            .run(
+                std::slice::from_ref(&dataset.data),
+                std::slice::from_ref(&dataset.features),
+                &query,
+            )
             .unwrap();
         examined.insert(
             algo.name(),
@@ -180,13 +192,21 @@ fn disabling_keyword_pruning_changes_cost_not_results() {
         let with = SpqExecutor::new(dataset.bounds)
             .algorithm(algo)
             .grid_size(8)
-            .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+            .run(
+                std::slice::from_ref(&dataset.data),
+                std::slice::from_ref(&dataset.features),
+                &query,
+            )
             .unwrap();
         let without = SpqExecutor::new(dataset.bounds)
             .algorithm(algo)
             .grid_size(8)
             .keyword_pruning(false)
-            .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+            .run(
+                std::slice::from_ref(&dataset.data),
+                std::slice::from_ref(&dataset.features),
+                &query,
+            )
             .unwrap();
         // Identical answers…
         assert_eq!(with.top_k, without.top_k, "{algo}");
@@ -222,7 +242,11 @@ fn adaptive_quadtree_partition_is_correct_and_balances_skew() {
                 .algorithm(algo)
                 .grid_size(15)
                 .load_balancing(balancing)
-                .run(std::slice::from_ref(&dataset.data), std::slice::from_ref(&dataset.features), &query)
+                .run(
+                    std::slice::from_ref(&dataset.data),
+                    std::slice::from_ref(&dataset.features),
+                    &query,
+                )
                 .unwrap();
             validate::check_result(
                 &result.top_k,
@@ -262,7 +286,11 @@ fn tsv_persisted_dataset_answers_identically() {
     let run = |data: &Vec<DataObject>, features: &Vec<FeatureObject>| {
         SpqExecutor::new(dataset.bounds)
             .grid_size(8)
-            .run(std::slice::from_ref(data), std::slice::from_ref(features), &query)
+            .run(
+                std::slice::from_ref(data),
+                std::slice::from_ref(features),
+                &query,
+            )
             .unwrap()
             .top_k
     };

@@ -1,0 +1,99 @@
+//! Facade smoke test: the `spq` crate's public API (prelude + re-exported
+//! subcrates) is enough to run every distributed algorithm on the paper's
+//! running example and reproduce the centralized baseline — no direct
+//! dependency on the `spq-*` workspace crates.
+
+use spq::core::centralized;
+use spq::prelude::*;
+
+/// The running example of Section 1 (Figure 1 / Table 2), built through
+/// the facade's [`Vocabulary`] instead of raw term ids.
+fn running_example() -> (Vec<DataObject>, Vec<FeatureObject>, SpqQuery) {
+    let mut vocab = Vocabulary::new();
+    let mut kw = |words: &[&str]| KeywordSet::new(words.iter().map(|w| vocab.intern(w)).collect());
+
+    let restaurants = vec![
+        FeatureObject::new(1, Point::new(2.8, 1.2), kw(&["italian", "gourmet"])),
+        FeatureObject::new(2, Point::new(5.0, 3.8), kw(&["chinese", "cheap"])),
+        FeatureObject::new(3, Point::new(8.7, 1.9), kw(&["sushi", "wine"])),
+        FeatureObject::new(4, Point::new(3.8, 5.5), kw(&["italian"])),
+        FeatureObject::new(5, Point::new(5.2, 5.1), kw(&["mexican", "exotic"])),
+        FeatureObject::new(6, Point::new(7.4, 5.4), kw(&["greek", "traditional"])),
+        FeatureObject::new(7, Point::new(3.0, 8.1), kw(&["italian", "spaghetti"])),
+        FeatureObject::new(8, Point::new(9.5, 7.0), kw(&["indian"])),
+    ];
+    let hotels = vec![
+        DataObject::new(1, Point::new(4.6, 4.8)),
+        DataObject::new(2, Point::new(7.5, 1.7)),
+        DataObject::new(3, Point::new(8.9, 5.2)),
+        DataObject::new(4, Point::new(1.8, 1.8)),
+        DataObject::new(5, Point::new(1.9, 9.0)),
+    ];
+    let query = SpqQuery::new(5, 1.5, kw(&["italian"]));
+    (hotels, restaurants, query)
+}
+
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco];
+
+#[test]
+fn all_algorithms_agree_with_centralized_baseline() {
+    let (hotels, restaurants, query) = running_example();
+    let baseline = centralized::brute_force(&hotels, &restaurants, &query);
+    assert_eq!(baseline.len(), 3, "p1, p4, p5 are the only ranked hotels");
+
+    for algo in ALGORITHMS {
+        let result = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+            .algorithm(algo)
+            .grid_size(4)
+            .run(&[hotels.clone()], &[restaurants.clone()], &query)
+            .unwrap();
+        let got: Vec<_> = result.top_k.iter().map(|r| (r.object, r.score)).collect();
+        let want: Vec<_> = baseline.iter().map(|r| (r.object, r.score)).collect();
+        assert_eq!(got, want, "{algo} disagrees with the centralized baseline");
+    }
+}
+
+#[test]
+fn agreement_is_stable_across_grids_and_splits() {
+    let (hotels, restaurants, query) = running_example();
+    let baseline = centralized::brute_force(&hotels, &restaurants, &query);
+
+    // Split the inputs across two map splits each, the way a distributed
+    // deployment would see them.
+    let (h1, h2) = hotels.split_at(2);
+    let (r1, r2) = restaurants.split_at(4);
+
+    for algo in ALGORITHMS {
+        for grid in [1, 2, 4, 6] {
+            let result = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+                .algorithm(algo)
+                .grid_size(grid)
+                .cluster(ClusterConfig::with_workers(2))
+                .run(
+                    &[h1.to_vec(), h2.to_vec()],
+                    &[r1.to_vec(), r2.to_vec()],
+                    &query,
+                )
+                .unwrap();
+            let got: Vec<_> = result.top_k.iter().map(|r| (r.object, r.score)).collect();
+            let want: Vec<_> = baseline.iter().map(|r| (r.object, r.score)).collect();
+            assert_eq!(got, want, "{algo} on a {grid}x{grid} grid");
+        }
+    }
+}
+
+#[test]
+fn prelude_exposes_the_documented_entry_points() {
+    // The prelude names the ISSUE/README contract: Vocabulary, Point,
+    // DataObject, FeatureObject, KeywordSet and the algorithm selector.
+    let mut vocab = Vocabulary::new();
+    let term = vocab.intern("italian");
+    let set = KeywordSet::new(vec![term]);
+    let _data = DataObject::new(0, Point::new(0.0, 0.0));
+    let _feature = FeatureObject::new(0, Point::new(0.0, 0.0), set.clone());
+    let _query = SpqQuery::new(1, 0.5, set);
+    for algo in ALGORITHMS {
+        // Each selector variant renders a distinct, stable name.
+        assert!(!algo.to_string().is_empty());
+    }
+}

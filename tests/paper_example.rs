@@ -20,7 +20,11 @@ fn hotels() -> Vec<DataObject> {
 /// 6=mexican 7=exotic 8=greek 9=traditional 10=spaghetti 11=indian.
 fn restaurants() -> Vec<FeatureObject> {
     let f = |id, x, y, kw: &[u32]| {
-        FeatureObject::new(id, Point::new(x, y), KeywordSet::from_ids(kw.iter().copied()))
+        FeatureObject::new(
+            id,
+            Point::new(x, y),
+            KeywordSet::from_ids(kw.iter().copied()),
+        )
     };
     vec![
         f(1, 2.8, 1.2, &[0, 1]),

@@ -29,33 +29,25 @@ fn world() -> impl Strategy<
         0..60,
     );
     let query_kw = proptest::collection::vec(0u32..12, 1..4);
-    (
-        data,
-        features,
-        query_kw,
-        0.001f64..0.5,
-        1u8..8,
-        1u8..12,
-    )
-        .prop_map(|(d, f, kw, r, k, g)| {
-            let data: Vec<DataObject> = d
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y))| DataObject::new(i as u64, Point::new(x, y)))
-                .collect();
-            let features: Vec<FeatureObject> = f
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y, w))| {
-                    FeatureObject::new(
-                        i as u64,
-                        Point::new(x, y),
-                        KeywordSet::new(w.into_iter().map(Term).collect()),
-                    )
-                })
-                .collect();
-            (data, features, kw, r, k, g)
-        })
+    (data, features, query_kw, 0.001f64..0.5, 1u8..8, 1u8..12).prop_map(|(d, f, kw, r, k, g)| {
+        let data: Vec<DataObject> = d
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| DataObject::new(i as u64, Point::new(x, y)))
+            .collect();
+        let features: Vec<FeatureObject> = f
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w))| {
+                FeatureObject::new(
+                    i as u64,
+                    Point::new(x, y),
+                    KeywordSet::new(w.into_iter().map(Term).collect()),
+                )
+            })
+            .collect();
+        (data, features, kw, r, k, g)
+    })
 }
 
 proptest! {

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`: enough of the 0.5 API to register and
+//! smoke-run the workspace's bench targets. Each benchmark is warmed up
+//! once, then timed over a short fixed window, and one line of output is
+//! printed per benchmark. This is a runner, not a statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's canonical two-part id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the stand-in runs one
+/// setup per measured invocation regardless of the variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures; drives the measured loop.
+pub struct Bencher<'a> {
+    total: &'a mut Duration,
+    iters: &'a mut u64,
+    window: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            *self.total += t0.elapsed();
+            *self.iters += 1;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            *self.total += t0.elapsed();
+            *self.iters += 1;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    // One warm-up pass with a tiny window.
+    let (mut warm_total, mut warm_iters) = (Duration::ZERO, 0u64);
+    f(&mut Bencher {
+        total: &mut warm_total,
+        iters: &mut warm_iters,
+        window: Duration::ZERO,
+    });
+    let (mut total, mut iters) = (Duration::ZERO, 0u64);
+    f(&mut Bencher {
+        total: &mut total,
+        iters: &mut iters,
+        window,
+    });
+    let mean = total.checked_div(iters.max(1) as u32).unwrap_or_default();
+    println!("bench: {full:<60} {mean:>12.2?}/iter  ({iters} iters)");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-size knob; the stand-in ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks or grows the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into().id, self.window, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into().id, self.window, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Short by design: the stand-in is a smoke-runner.
+            window: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let window = self.window;
+        BenchmarkGroup {
+            name: name.into(),
+            window,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into().id, self.window, &mut f);
+        self
+    }
+}
+
+/// Declares a group function running each target with a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        c.window = Duration::from_millis(5);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        c.window = Duration::from_millis(5);
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function(BenchmarkId::new("b", 1), |b| {
+            b.iter_batched(Vec::<u32>::new, |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline stand-in for `proptest`: deterministic random sampling of the
+//! strategy combinators the spq workspace uses (ranges, tuples,
+//! `collection::vec`, `prop_map`), driven by a `proptest!` macro that runs
+//! `ProptestConfig::cases` samples per property. No shrinking — a failing
+//! case panics with its case index, and the fixed seed makes every run
+//! reproducible.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// How many elements a generated collection may hold.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// proptest's `collection::vec` combinator.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-property configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` samples.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// The deterministic RNG handed to strategies.
+    pub struct TestRng {
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Every property starts from this fixed seed, so failures
+        /// reproduce exactly.
+        pub fn deterministic() -> Self {
+            Self {
+                rng: StdRng::seed_from_u64(0x5EED_CAFE_2017),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runs each contained `fn name(pat in strategy, ...) { body }` as a
+/// `#[test]` over `ProptestConfig::cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $pat = ($strat).generate(&mut rng);)+
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stand-in: property {} failed at case {case}/{} \
+                         (fixed seed; re-run reproduces it)",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reads like proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` that reads like proptest.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_bounds(x in 3u32..10, f in 0.25f64..0.75, i in -2i64..=2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((-2..=2).contains(&i));
+        }
+
+        /// Vec + tuple + prop_map compose.
+        #[test]
+        fn combinators((len, v) in (1usize..4, crate::collection::vec((0u32..5, 0.0f64..1.0), 2..6))
+            .prop_map(|(a, v)| (a, v))) {
+            prop_assert!(len >= 1 && len < 4);
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_compiles(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}
