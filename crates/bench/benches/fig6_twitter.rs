@@ -35,7 +35,13 @@ fn fig6c(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("{pct}pct")),
                 &query,
-                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+                |b, q| {
+                    b.iter(|| {
+                        exec.run_shared(&inputs.dataset, &inputs.splits, q)
+                            .unwrap()
+                            .top_k
+                    })
+                },
             );
         }
     }

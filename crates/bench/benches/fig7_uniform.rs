@@ -30,7 +30,13 @@ fn fig7a(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("{n}x{n}")),
                 &query,
-                |b, q| b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k),
+                |b, q| {
+                    b.iter(|| {
+                        exec.run_shared(&inputs.dataset, &inputs.splits, q)
+                            .unwrap()
+                            .top_k
+                    })
+                },
             );
         }
     }

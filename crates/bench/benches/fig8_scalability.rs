@@ -31,7 +31,7 @@ fn fig8(c: &mut Criterion) {
             (full.data.len() as f64 * ratio) as usize,
             (full.features.len() as f64 * ratio) as usize,
         );
-        let splits = subset.to_splits(8);
+        let (shared, splits) = subset.to_shared_splits(8);
         for algo in Algorithm::ALL {
             let exec = SpqExecutor::new(Rect::unit())
                 .grid_size(DEFAULT_GRID_SYNTH)
@@ -40,7 +40,7 @@ fn fig8(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("{label}M")),
                 &query,
-                |b, q| b.iter(|| exec.run_splits(&splits, q).unwrap().top_k),
+                |b, q| b.iter(|| exec.run_shared(&shared, &splits, q).unwrap().top_k),
             );
         }
     }

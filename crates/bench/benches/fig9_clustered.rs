@@ -33,7 +33,11 @@ fn fig9b(c: &mut Criterion) {
                 .algorithm(algo)
                 .cluster(ClusterConfig::auto());
             group.bench_with_input(BenchmarkId::new(algo.name(), kw), &query, |b, q| {
-                b.iter(|| exec.run_splits(&inputs.splits, q).unwrap().top_k)
+                b.iter(|| {
+                    exec.run_shared(&inputs.dataset, &inputs.splits, q)
+                        .unwrap()
+                        .top_k
+                })
             });
         }
     }

@@ -1,0 +1,459 @@
+//! The pre-zero-copy record layout, fossilised for trajectory benchmarks.
+//!
+//! Before the shared-dataset refactor, the map phase shipped every record
+//! as an *owned payload*: data objects as `(id, location)` pairs, feature
+//! objects as `(id, location, keywords)` with a freshly cloned keyword
+//! box per Lemma-1 routed copy — and the reducer re-sorted its whole
+//! input with a comparison sort over the composite key. These tasks
+//! reproduce that exact behaviour (single sort run, full-range sort,
+//! cloned payloads, reduce-side re-scoring where the old code re-scored)
+//! so `spq-bench` can measure the current handle-based pipeline against
+//! the baseline it replaced, on the same machine, in the same run.
+//!
+//! Nothing here is part of the production path; `spq-core` no longer
+//! contains a per-record `keywords.clone()` anywhere.
+
+use spq_core::algo::espq_len::LenKey;
+use spq_core::algo::espq_sco::ScoKey;
+use spq_core::algo::pspq::PSpqKey;
+use spq_core::partitioning::{
+    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
+    COUNTER_REDUCE_FEATURES_EXAMINED,
+};
+use spq_core::{ObjectId, RankedObject, SpqObject, SpqQuery, TopKList};
+use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
+use spq_spatial::{Point, SpacePartition};
+use spq_text::{KeywordSet, Score, Term};
+use std::cmp::Ordering;
+
+/// Counter: heap bytes carried by cloned keyword payloads through the
+/// shuffle (the baseline's hidden cost; exactly 0 for the handle layout).
+pub const COUNTER_SHUFFLE_HEAP_BYTES: &str = "shuffle.heap_bytes";
+
+/// The old owned shuffle payload of pSPQ and eSPQlen.
+#[derive(Debug, Clone)]
+pub enum ClonedPayload {
+    /// A data object (id, location).
+    Data(ObjectId, Point),
+    /// A feature object (id, location, cloned keywords).
+    Feature(ObjectId, Point, KeywordSet),
+}
+
+/// The old eSPQsco payload (score in the key, location in the value).
+#[derive(Debug, Clone, Copy)]
+pub enum ClonedSlimPayload {
+    /// A data object (id, location).
+    Data(ObjectId, Point),
+    /// A feature object (location only).
+    Feature(Point),
+}
+
+fn keyword_heap_bytes(kw: &KeywordSet) -> u64 {
+    (kw.len() * std::mem::size_of::<Term>()) as u64
+}
+
+/// Baseline pSPQ: cloned payloads, reduce-side scoring, full reducer sort.
+#[derive(Debug)]
+pub struct BaselinePSpqTask<'a> {
+    grid: &'a SpacePartition,
+    query: &'a SpqQuery,
+}
+
+impl<'a> BaselinePSpqTask<'a> {
+    /// Creates the baseline task.
+    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+        Self { grid, query }
+    }
+}
+
+impl MapReduceTask for BaselinePSpqTask<'_> {
+    type Input = SpqObject;
+    type Key = PSpqKey;
+    type Value = ClonedPayload;
+    type Output = RankedObject;
+
+    fn num_reducers(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
+        match record {
+            SpqObject::Data(o) => {
+                ctx.counters().inc(COUNTER_MAP_DATA);
+                ctx.emit(
+                    self,
+                    PSpqKey {
+                        cell: route_data(self.grid, &o.location).0,
+                        tag: 0,
+                    },
+                    ClonedPayload::Data(o.id, o.location),
+                )
+            }
+            SpqObject::Feature(f) => {
+                let mut cells = Vec::new();
+                if route_feature_with_pruning(self.grid, self.query, f, true, |c| cells.push(c)) {
+                    ctx.counters().inc(COUNTER_MAP_FEATURES);
+                    ctx.counters()
+                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
+                    for c in cells {
+                        ctx.counters()
+                            .add(COUNTER_SHUFFLE_HEAP_BYTES, keyword_heap_bytes(&f.keywords));
+                        ctx.emit(
+                            self,
+                            PSpqKey { cell: c.0, tag: 1 },
+                            // The cost being measured: one keyword clone
+                            // per routed copy.
+                            ClonedPayload::Feature(f.id, f.location, f.keywords.clone()),
+                        );
+                    }
+                } else {
+                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                }
+            }
+        }
+    }
+
+    fn partition(&self, key: &PSpqKey) -> usize {
+        key.cell as usize
+    }
+
+    fn sort_cmp(&self, a: &PSpqKey, b: &PSpqKey) -> Ordering {
+        a.cell.cmp(&b.cell).then(a.tag.cmp(&b.tag))
+    }
+
+    fn group_eq(&self, a: &PSpqKey, b: &PSpqKey) -> bool {
+        a.cell == b.cell
+    }
+
+    fn reduce(
+        &self,
+        _group: &PSpqKey,
+        values: &mut GroupValues<'_, Self>,
+        ctx: &mut ReduceContext<'_, RankedObject>,
+    ) {
+        let r_sq = self.query.radius * self.query.radius;
+        let mut objects: Vec<(u64, Point)> = Vec::new();
+        let mut scores: Vec<Score> = Vec::new();
+        let mut topk = TopKList::new(self.query.k);
+        let mut features_examined = 0u64;
+        let mut distance_checks = 0u64;
+        for (_key, value) in values.by_ref() {
+            match value {
+                ClonedPayload::Data(id, location) => {
+                    objects.push((id, location));
+                    scores.push(Score::ZERO);
+                }
+                ClonedPayload::Feature(_, f_loc, f_kw) => {
+                    features_examined += 1;
+                    // Re-scored per routed copy — the old behaviour.
+                    let w = self.query.score(&f_kw);
+                    if w > topk.tau() {
+                        distance_checks += objects.len() as u64;
+                        for (i, &(id, location)) in objects.iter().enumerate() {
+                            if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
+                                scores[i] = w;
+                                topk.update(id, location, w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ctx.counters()
+            .add(COUNTER_REDUCE_FEATURES_EXAMINED, features_examined);
+        ctx.counters()
+            .add(COUNTER_REDUCE_DISTANCE_CHECKS, distance_checks);
+        for entry in topk.into_vec() {
+            ctx.emit(entry);
+        }
+    }
+}
+
+/// Baseline eSPQlen: cloned payloads, reduce-side scoring, full sort.
+#[derive(Debug)]
+pub struct BaselineESpqLenTask<'a> {
+    grid: &'a SpacePartition,
+    query: &'a SpqQuery,
+}
+
+impl<'a> BaselineESpqLenTask<'a> {
+    /// Creates the baseline task.
+    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+        Self { grid, query }
+    }
+}
+
+impl MapReduceTask for BaselineESpqLenTask<'_> {
+    type Input = SpqObject;
+    type Key = LenKey;
+    type Value = ClonedPayload;
+    type Output = RankedObject;
+
+    fn num_reducers(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
+        match record {
+            SpqObject::Data(o) => {
+                ctx.counters().inc(COUNTER_MAP_DATA);
+                ctx.emit(
+                    self,
+                    LenKey {
+                        cell: route_data(self.grid, &o.location).0,
+                        len: 0,
+                    },
+                    ClonedPayload::Data(o.id, o.location),
+                )
+            }
+            SpqObject::Feature(f) => {
+                let len = f.keywords.len() as u32;
+                let mut cells = Vec::new();
+                if route_feature_with_pruning(self.grid, self.query, f, true, |c| cells.push(c)) {
+                    ctx.counters().inc(COUNTER_MAP_FEATURES);
+                    ctx.counters()
+                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
+                    for c in cells {
+                        ctx.counters()
+                            .add(COUNTER_SHUFFLE_HEAP_BYTES, keyword_heap_bytes(&f.keywords));
+                        ctx.emit(
+                            self,
+                            LenKey { cell: c.0, len },
+                            ClonedPayload::Feature(f.id, f.location, f.keywords.clone()),
+                        );
+                    }
+                } else {
+                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                }
+            }
+        }
+    }
+
+    fn partition(&self, key: &LenKey) -> usize {
+        key.cell as usize
+    }
+
+    fn sort_cmp(&self, a: &LenKey, b: &LenKey) -> Ordering {
+        a.cell.cmp(&b.cell).then(a.len.cmp(&b.len))
+    }
+
+    fn group_eq(&self, a: &LenKey, b: &LenKey) -> bool {
+        a.cell == b.cell
+    }
+
+    fn reduce(
+        &self,
+        _group: &LenKey,
+        values: &mut GroupValues<'_, Self>,
+        ctx: &mut ReduceContext<'_, RankedObject>,
+    ) {
+        let r_sq = self.query.radius * self.query.radius;
+        let mut objects: Vec<(u64, Point)> = Vec::new();
+        let mut scores: Vec<Score> = Vec::new();
+        let mut topk = TopKList::new(self.query.k);
+        for (key, value) in values.by_ref() {
+            match value {
+                ClonedPayload::Data(id, location) => {
+                    objects.push((id, location));
+                    scores.push(Score::ZERO);
+                }
+                ClonedPayload::Feature(_, f_loc, f_kw) => {
+                    if objects.is_empty() {
+                        break;
+                    }
+                    let bound = self.query.upper_bound(key.len as usize);
+                    if topk.tau() >= bound {
+                        break;
+                    }
+                    let w = self.query.score(&f_kw);
+                    if w > topk.tau() {
+                        for (i, &(id, location)) in objects.iter().enumerate() {
+                            if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
+                                scores[i] = w;
+                                topk.update(id, location, w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for entry in topk.into_vec() {
+            ctx.emit(entry);
+        }
+    }
+}
+
+/// Baseline eSPQsco: per-copy map-side scoring, `Point`-carrying payload,
+/// full reducer sort.
+#[derive(Debug)]
+pub struct BaselineESpqScoTask<'a> {
+    grid: &'a SpacePartition,
+    query: &'a SpqQuery,
+}
+
+impl<'a> BaselineESpqScoTask<'a> {
+    /// Creates the baseline task.
+    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+        Self { grid, query }
+    }
+}
+
+impl MapReduceTask for BaselineESpqScoTask<'_> {
+    type Input = SpqObject;
+    type Key = ScoKey;
+    type Value = ClonedSlimPayload;
+    type Output = RankedObject;
+
+    fn num_reducers(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
+        match record {
+            SpqObject::Data(o) => {
+                ctx.counters().inc(COUNTER_MAP_DATA);
+                ctx.emit(
+                    self,
+                    ScoKey {
+                        cell: route_data(self.grid, &o.location).0,
+                        score: Score::DATA_SENTINEL,
+                    },
+                    ClonedSlimPayload::Data(o.id, o.location),
+                )
+            }
+            SpqObject::Feature(f) => {
+                let mut cells = Vec::new();
+                if route_feature_with_pruning(self.grid, self.query, f, true, |c| cells.push(c)) {
+                    ctx.counters().inc(COUNTER_MAP_FEATURES);
+                    ctx.counters()
+                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
+                    let score = self.query.score(&f.keywords);
+                    for c in cells {
+                        ctx.emit(
+                            self,
+                            ScoKey { cell: c.0, score },
+                            ClonedSlimPayload::Feature(f.location),
+                        );
+                    }
+                } else {
+                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                }
+            }
+        }
+    }
+
+    fn partition(&self, key: &ScoKey) -> usize {
+        key.cell as usize
+    }
+
+    fn sort_cmp(&self, a: &ScoKey, b: &ScoKey) -> Ordering {
+        a.cell.cmp(&b.cell).then(b.score.cmp(&a.score))
+    }
+
+    fn group_eq(&self, a: &ScoKey, b: &ScoKey) -> bool {
+        a.cell == b.cell
+    }
+
+    fn reduce(
+        &self,
+        _group: &ScoKey,
+        values: &mut GroupValues<'_, Self>,
+        ctx: &mut ReduceContext<'_, RankedObject>,
+    ) {
+        let r_sq = self.query.radius * self.query.radius;
+        let k = self.query.k;
+        let mut objects: Vec<(u64, Point)> = Vec::new();
+        let mut reported: Vec<bool> = Vec::new();
+        let mut emitted = 0usize;
+        let mut run_score: Option<Score> = None;
+        let mut run_buf: Vec<RankedObject> = Vec::new();
+
+        let flush = |run_buf: &mut Vec<RankedObject>,
+                     emitted: &mut usize,
+                     ctx: &mut ReduceContext<'_, RankedObject>| {
+            run_buf.sort_by_key(|e| e.object);
+            for entry in run_buf.drain(..) {
+                if *emitted == k {
+                    break;
+                }
+                ctx.emit(entry);
+                *emitted += 1;
+            }
+        };
+
+        for (key, value) in values.by_ref() {
+            match value {
+                ClonedSlimPayload::Data(id, location) => {
+                    objects.push((id, location));
+                    reported.push(false);
+                }
+                ClonedSlimPayload::Feature(f_loc) => {
+                    if objects.is_empty() {
+                        return;
+                    }
+                    let w = key.score;
+                    if w.is_zero() {
+                        break;
+                    }
+                    if run_score != Some(w) {
+                        flush(&mut run_buf, &mut emitted, ctx);
+                        if emitted == k {
+                            return;
+                        }
+                        run_score = Some(w);
+                    }
+                    for (i, &(id, location)) in objects.iter().enumerate() {
+                        if !reported[i] && location.dist_sq(&f_loc) <= r_sq {
+                            reported[i] = true;
+                            run_buf.push(RankedObject::new(id, location, w));
+                        }
+                    }
+                    if run_buf.len() + emitted == objects.len() {
+                        break;
+                    }
+                }
+            }
+        }
+        flush(&mut run_buf, &mut emitted, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_core::centralized::brute_force;
+    use spq_core::merge::merge_top_k;
+    use spq_data::{DatasetGenerator, UniformGen};
+    use spq_mapreduce::{ClusterConfig, JobRunner};
+    use spq_spatial::{Grid, Rect};
+    use spq_text::KeywordSet;
+
+    /// The baseline tasks must be a faithful oracle of the old pipeline:
+    /// same results as the brute force (and hence as the new handle path).
+    #[test]
+    fn baselines_agree_with_brute_force() {
+        let dataset = UniformGen.generate(2_000, 7);
+        let grid: SpacePartition = Grid::square(Rect::unit(), 8).into();
+        let query = SpqQuery::new(10, 0.02, KeywordSet::from_ids([0, 1, 2]));
+        let expect = brute_force(&dataset.data, &dataset.features, &query);
+        let splits = dataset.to_splits(4);
+        let runner = JobRunner::new(ClusterConfig::with_workers(2));
+
+        let p = runner
+            .run(&BaselinePSpqTask::new(&grid, &query), &splits)
+            .unwrap();
+        assert!(p.stats.counters.get(COUNTER_SHUFFLE_HEAP_BYTES) > 0);
+        assert_eq!(merge_top_k(p.into_flat(), query.k), expect);
+
+        let l = runner
+            .run(&BaselineESpqLenTask::new(&grid, &query), &splits)
+            .unwrap();
+        assert_eq!(merge_top_k(l.into_flat(), query.k), expect);
+
+        let s = runner
+            .run(&BaselineESpqScoTask::new(&grid, &query), &splits)
+            .unwrap();
+        assert_eq!(merge_top_k(s.into_flat(), query.k), expect);
+    }
+}

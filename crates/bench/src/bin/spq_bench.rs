@@ -1,0 +1,76 @@
+//! The perf-trajectory binary: `cargo run -p spq-bench --release`.
+//!
+//! ```text
+//! spq-bench [--scale F] [--seed N] [--workers N] [--repeats N]
+//!           [--queries N] [--grid N] [--out FILE]
+//! ```
+//!
+//! Runs the fig7-uniform and fig9-clustered workloads across all three
+//! algorithms through both the current zero-copy pipeline and the
+//! fossilised pre-refactor baseline, and writes median wall-clock per
+//! phase, shuffle record counts and bytes-per-record estimates to
+//! `BENCH_PR2.json` (override with `--out`).
+
+use spq_bench::trajectory::{run_trajectory, to_json, TrajectoryConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
+         [--queries N] [--grid N] [--out FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TrajectoryConfig::default();
+    let mut out_path = String::from("BENCH_PR2.json");
+
+    let next = |i: &mut usize, args: &[String]| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => cfg.scale = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--repeats" => cfg.repeats = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--queries" => cfg.queries = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--grid" => cfg.grid = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = next(&mut i, &args),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let reports = run_trajectory(&cfg);
+    let json = to_json(&cfg, &reports);
+    std::fs::write(&out_path, &json).expect("write bench report");
+
+    println!("wrote {out_path}");
+    for w in &reports {
+        println!("\n{} ({} objects):", w.id, w.objects);
+        println!(
+            "  {:<10}{:>14}{:>14}{:>10}{:>12}{:>12}{:>8}",
+            "algorithm", "baseline ms", "current ms", "speedup", "B/rec old", "B/rec new", "ratio"
+        );
+        for c in &w.comparisons {
+            println!(
+                "  {:<10}{:>14.2}{:>14.2}{:>9.2}x{:>12.1}{:>12.1}{:>7.1}x",
+                c.algorithm.name(),
+                c.baseline.phases.total_ms,
+                c.current.phases.total_ms,
+                c.speedup(),
+                c.baseline.bytes_per_record,
+                c.current.bytes_per_record,
+                c.bytes_per_record_ratio(),
+            );
+        }
+    }
+}

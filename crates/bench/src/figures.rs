@@ -4,7 +4,7 @@ use crate::params::*;
 use crate::report;
 use crate::{measure_avg, BenchConfig, Measurement, Panel, PanelRow};
 
-use spq_core::{theory, Algorithm, SpqExecutor, SpqObject, SpqQuery};
+use spq_core::{theory, Algorithm, ObjectRef, SharedDataset, SpqExecutor, SpqQuery};
 use spq_data::{
     ClusteredGen, DatasetGenerator, FlickrLike, KeywordSelection, QueryGenerator, TwitterLike,
     UniformGen,
@@ -131,12 +131,21 @@ fn sweep_point(
     algorithms: &[Algorithm],
     grid: u32,
     cfg: &BenchConfig,
-    splits: &[Vec<SpqObject>],
+    dataset: &SharedDataset,
+    splits: &[Vec<ObjectRef>],
     queries: &[SpqQuery],
 ) -> Vec<Measurement> {
     algorithms
         .iter()
-        .map(|&a| measure_avg(&executor(grid, cfg, a), splits, queries, cfg.sim_slots))
+        .map(|&a| {
+            measure_avg(
+                &executor(grid, cfg, a),
+                dataset,
+                splits,
+                queries,
+                cfg.sim_slots,
+            )
+        })
         .collect()
 }
 
@@ -148,7 +157,7 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
         family.id, family.dataset, size
     );
     let dataset = gen.generate(size, cfg.seed);
-    let splits = dataset.to_splits(cfg.workers.max(4));
+    let (shared, splits) = dataset.to_shared_splits(cfg.workers.max(4));
     let default_cell = 1.0 / family.default_grid as f64;
     let default_radius = default_cell * DEFAULT_RADIUS_PCT / 100.0;
 
@@ -177,7 +186,7 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
             .iter()
             .map(|&n| PanelRow {
                 x: format!("{n}x{n}"),
-                cells: sweep_point(&family.algorithms, n, cfg, &splits, &queries),
+                cells: sweep_point(&family.algorithms, n, cfg, &shared, &splits, &queries),
             })
             .collect();
         panels.push(Panel {
@@ -204,6 +213,7 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                         &family.algorithms,
                         family.default_grid,
                         cfg,
+                        &shared,
                         &splits,
                         &queries,
                     ),
@@ -238,6 +248,7 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                         &family.algorithms,
                         family.default_grid,
                         cfg,
+                        &shared,
                         &splits,
                         &queries,
                     ),
@@ -268,6 +279,7 @@ fn four_panels(gen: &dyn DatasetGenerator, family: Family, cfg: &BenchConfig) ->
                         &family.algorithms,
                         family.default_grid,
                         cfg,
+                        &shared,
                         &splits,
                         &queries,
                     ),
@@ -311,10 +323,17 @@ fn fig8(cfg: &BenchConfig) -> Panel {
             let n_data = (full.data.len() as f64 * ratio) as usize;
             let n_feat = (full.features.len() as f64 * ratio) as usize;
             let subset = full.truncated(n_data, n_feat);
-            let splits = subset.to_splits(cfg.workers.max(4));
+            let (shared, splits) = subset.to_shared_splits(cfg.workers.max(4));
             PanelRow {
                 x: format!("{label}M*"),
-                cells: sweep_point(&Algorithm::ALL, DEFAULT_GRID_SYNTH, cfg, &splits, &queries),
+                cells: sweep_point(
+                    &Algorithm::ALL,
+                    DEFAULT_GRID_SYNTH,
+                    cfg,
+                    &shared,
+                    &splits,
+                    &queries,
+                ),
             }
         })
         .collect();
@@ -363,10 +382,17 @@ fn fig9(cfg: &BenchConfig) -> Vec<Panel> {
             default_radius,
             DEFAULT_KEYWORDS,
         );
-        let splits = dataset.to_splits(cfg.workers.max(4));
+        let (shared, splits) = dataset.to_shared_splits(cfg.workers.max(4));
         rows.push(PanelRow {
             x: name.to_owned(),
-            cells: sweep_point(&Algorithm::ALL, DEFAULT_GRID_SYNTH, cfg, &splits, &queries),
+            cells: sweep_point(
+                &Algorithm::ALL,
+                DEFAULT_GRID_SYNTH,
+                cfg,
+                &shared,
+                &splits,
+                &queries,
+            ),
         });
     }
     panels.push(Panel {
@@ -391,7 +417,7 @@ pub fn balance_ablation(cfg: &BenchConfig) -> Panel {
     let size = scaled(DEFAULT_SIZE_CL, cfg.scale);
     eprintln!("[balance] generating CL dataset: {size} objects");
     let dataset = ClusteredGen.generate(size, cfg.seed);
-    let splits = dataset.to_splits(cfg.workers.max(4));
+    let (shared, splits) = dataset.to_shared_splits(cfg.workers.max(4));
     let default_cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
     let mut qgen = QueryGenerator::new(
         dataset.vocab_size,
@@ -418,7 +444,7 @@ pub fn balance_ablation(cfg: &BenchConfig) -> Panel {
             .iter()
             .map(|&a| {
                 let exec = executor(DEFAULT_GRID_SYNTH, cfg, a).load_balancing(balancing);
-                crate::measure_avg(&exec, &splits, &queries, cfg.sim_slots)
+                crate::measure_avg(&exec, &shared, &splits, &queries, cfg.sim_slots)
             })
             .collect(),
     })
@@ -444,7 +470,7 @@ pub fn pruning_ablation(cfg: &BenchConfig) -> Panel {
     let size = scaled(DEFAULT_SIZE_FL, cfg.scale);
     eprintln!("[prune] generating FL dataset: {size} objects");
     let dataset = FlickrLike.generate(size, cfg.seed);
-    let splits = dataset.to_splits(cfg.workers.max(4));
+    let (shared, splits) = dataset.to_shared_splits(cfg.workers.max(4));
     let default_cell = 1.0 / DEFAULT_GRID_REAL as f64;
     let mut qgen = QueryGenerator::new(
         dataset.vocab_size,
@@ -465,7 +491,7 @@ pub fn pruning_ablation(cfg: &BenchConfig) -> Panel {
                 .iter()
                 .map(|&a| {
                     let exec = executor(DEFAULT_GRID_REAL, cfg, a).keyword_pruning(prune);
-                    crate::measure_avg(&exec, &splits, &queries, cfg.sim_slots)
+                    crate::measure_avg(&exec, &shared, &splits, &queries, cfg.sim_slots)
                 })
                 .collect(),
         })
@@ -549,7 +575,7 @@ fn duplication_report(cfg: &BenchConfig) -> String {
 pub fn cellsize_table(cfg: &BenchConfig) -> Vec<(u32, Duration, f64)> {
     let size = scaled(DEFAULT_SIZE_UN / 4, cfg.scale);
     let dataset = UniformGen.generate(size, cfg.seed);
-    let splits = dataset.to_splits(cfg.workers.max(4));
+    let (shared, splits) = dataset.to_shared_splits(cfg.workers.max(4));
     // Fixed absolute radius, valid (r <= a/2) for the finest grid swept.
     let r = 0.004;
     let mut qgen = QueryGenerator::new(
@@ -565,7 +591,7 @@ pub fn cellsize_table(cfg: &BenchConfig) -> Vec<(u32, Duration, f64)> {
             let exec = executor(n, cfg, Algorithm::PSpq);
             let mut total = Duration::ZERO;
             for q in &queries {
-                let res = exec.run_splits(&splits, q).expect("cellsize job");
+                let res = exec.run_shared(&shared, &splits, q).expect("cellsize job");
                 let sum: Duration = res.stats.reduce_tasks.iter().map(|t| t.duration).sum();
                 total += sum / res.stats.reduce_tasks.len().max(1) as u32;
             }

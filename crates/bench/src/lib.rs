@@ -20,12 +20,13 @@
 //! the in-process job, plus the simulated makespan on a 128-slot virtual
 //! cluster (the paper's 16 nodes × 8 cores).
 
+pub mod baseline;
 pub mod figures;
 pub mod params;
 pub mod report;
+pub mod trajectory;
 
-use spq_core::SpqObject;
-use spq_core::{Algorithm, SpqExecutor, SpqQuery};
+use spq_core::{Algorithm, ObjectRef, SharedDataset, SpqExecutor, SpqQuery};
 use spq_mapreduce::SimulatedCluster;
 use std::time::Duration;
 
@@ -100,15 +101,17 @@ impl Measurement {
     }
 }
 
-/// Runs one job and extracts the measurement.
+/// Runs one job over a shared dataset (zero-copy path) and extracts the
+/// measurement.
 pub fn measure(
     executor: &SpqExecutor,
-    splits: &[Vec<SpqObject>],
+    dataset: &SharedDataset,
+    splits: &[Vec<ObjectRef>],
     query: &SpqQuery,
     sim_slots: usize,
 ) -> Measurement {
     let result = executor
-        .run_splits(splits, query)
+        .run_shared(dataset, splits, query)
         .expect("benchmark job must not fail");
     let stats = &result.stats;
     Measurement {
@@ -126,13 +129,14 @@ pub fn measure(
 /// Averages the measurements of several queries for one configuration.
 pub fn measure_avg(
     executor: &SpqExecutor,
-    splits: &[Vec<SpqObject>],
+    dataset: &SharedDataset,
+    splits: &[Vec<ObjectRef>],
     queries: &[SpqQuery],
     sim_slots: usize,
 ) -> Measurement {
     let mut acc = Measurement::default();
     for q in queries {
-        acc.accumulate(&measure(executor, splits, q, sim_slots));
+        acc.accumulate(&measure(executor, dataset, splits, q, sim_slots));
     }
     acc.divide(queries.len() as u32);
     acc
@@ -167,14 +171,16 @@ pub struct Panel {
 /// its splits, and a reproducible query batch.
 pub mod criterion_support {
     use crate::params;
-    use spq_core::SpqObject;
     use spq_core::SpqQuery;
+    use spq_core::{ObjectRef, SharedDataset};
     use spq_data::{DatasetGenerator, KeywordSelection, QueryGenerator};
 
     /// Prepared inputs for one figure bench.
     pub struct FigureInputs {
-        /// Mixed input splits.
-        pub splits: Vec<Vec<SpqObject>>,
+        /// The shared object store (held once; queries shuffle handles).
+        pub dataset: SharedDataset,
+        /// Mixed reference splits into `dataset`.
+        pub splits: Vec<Vec<ObjectRef>>,
         /// Vocabulary cardinality (for drawing more queries).
         pub vocab_size: usize,
         /// Default cell side of the figure's default grid.
@@ -214,8 +220,10 @@ pub mod criterion_support {
         selection: KeywordSelection,
     ) -> FigureInputs {
         let dataset = gen.generate(params::scaled(base_size, scale), seed);
+        let (shared, splits) = dataset.to_shared_splits(8);
         FigureInputs {
-            splits: dataset.to_splits(8),
+            dataset: shared,
+            splits,
             vocab_size: dataset.vocab_size,
             default_cell: 1.0 / default_grid as f64,
             selection,

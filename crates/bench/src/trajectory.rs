@@ -1,0 +1,378 @@
+//! The perf-trajectory harness behind the `spq-bench` binary.
+//!
+//! Runs the fig7-uniform and fig9-clustered workloads across all three
+//! algorithms, twice each: once through the current zero-copy pipeline
+//! (shared dataset, handle records, sort-free grouping) and once through
+//! the fossilised pre-refactor [`crate::baseline`] tasks (cloned
+//! payloads, full reducer sort). Medians per phase, shuffle record
+//! counts and a bytes-per-record estimate go to `BENCH_PR2.json`, so
+//! every future PR can ship a comparable number.
+
+use crate::baseline::{
+    BaselineESpqLenTask, BaselineESpqScoTask, BaselinePSpqTask, ClonedPayload, ClonedSlimPayload,
+    COUNTER_SHUFFLE_HEAP_BYTES,
+};
+use crate::params::{
+    scaled, DEFAULT_GRID_SYNTH, DEFAULT_KEYWORDS, DEFAULT_RADIUS_PCT, DEFAULT_SIZE_CL,
+    DEFAULT_SIZE_UN, DEFAULT_TOPK,
+};
+use spq_core::algo::espq_len::LenKey;
+use spq_core::algo::espq_sco::ScoKey;
+use spq_core::algo::pspq::PSpqKey;
+use spq_core::algo::ObjectHandle;
+use spq_core::merge::merge_top_k;
+use spq_core::{Algorithm, RankedObject, SpqExecutor};
+use spq_data::{ClusteredGen, DatasetGenerator, KeywordSelection, QueryGenerator, UniformGen};
+use spq_mapreduce::{ClusterConfig, JobRunner, JobStats};
+use spq_spatial::{Grid, Rect, SpacePartition};
+use std::time::Duration;
+
+/// Configuration of one trajectory run.
+#[derive(Debug, Clone)]
+pub struct TrajectoryConfig {
+    /// Multiplier on the harness default dataset sizes.
+    pub scale: f64,
+    /// RNG seed for datasets and queries.
+    pub seed: u64,
+    /// Worker threads for map/reduce tasks.
+    pub workers: usize,
+    /// Timed repetitions per (workload, algorithm, path); medians are
+    /// taken across these.
+    pub repeats: usize,
+    /// Distinct queries averaged inside each repetition.
+    pub queries: usize,
+    /// Grid cells per axis.
+    pub grid: u32,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.02,
+            seed: 2017,
+            workers: std::thread::available_parallelism().map_or(8, |n| n.get()),
+            repeats: 5,
+            queries: 3,
+            grid: DEFAULT_GRID_SYNTH,
+        }
+    }
+}
+
+/// Median wall-clock per job phase, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseMedians {
+    /// Map phase.
+    pub map_ms: f64,
+    /// Shuffle (partition + run concatenation).
+    pub shuffle_ms: f64,
+    /// Reduce phase (including any reducer-side sorting).
+    pub reduce_ms: f64,
+    /// End-to-end job.
+    pub total_ms: f64,
+}
+
+/// One measured pipeline variant (baseline or current).
+#[derive(Debug, Clone, Copy)]
+pub struct PathMeasurement {
+    /// Median per-phase wall-clock across repeats (summed over queries).
+    pub phases: PhaseMedians,
+    /// Records crossing the shuffle, summed over the query batch
+    /// (deterministic — identical across repeats).
+    pub shuffle_records: u64,
+    /// Estimated shuffle bytes per record: `size_of::<(Key, Value)>()`
+    /// plus measured keyword-clone heap bytes averaged over the records.
+    pub bytes_per_record: f64,
+}
+
+/// Baseline vs current, one algorithm.
+#[derive(Debug, Clone)]
+pub struct AlgoComparison {
+    /// The algorithm measured.
+    pub algorithm: Algorithm,
+    /// The pre-refactor cloned-payload path.
+    pub baseline: PathMeasurement,
+    /// The zero-copy handle path.
+    pub current: PathMeasurement,
+}
+
+impl AlgoComparison {
+    /// End-to-end speedup of the current path (baseline / current).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.phases.total_ms / self.current.phases.total_ms.max(1e-9)
+    }
+
+    /// Shuffle bytes-per-record shrink factor (baseline / current).
+    pub fn bytes_per_record_ratio(&self) -> f64 {
+        self.baseline.bytes_per_record / self.current.bytes_per_record.max(1e-9)
+    }
+}
+
+/// One workload's comparisons.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload id (`fig7-uniform`, `fig9-clustered`).
+    pub id: &'static str,
+    /// Total objects in the generated dataset.
+    pub objects: usize,
+    /// Per-algorithm comparisons, in [`Algorithm::ALL`] order.
+    pub comparisons: Vec<AlgoComparison>,
+}
+
+fn median_ms(mut samples: Vec<Duration>) -> f64 {
+    samples.sort_unstable();
+    let n = samples.len();
+    let mid = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
+    mid.as_secs_f64() * 1e3
+}
+
+/// Accumulates one query batch's stats into per-phase duration sums.
+#[derive(Default)]
+struct PhaseSums {
+    map: Duration,
+    shuffle: Duration,
+    reduce: Duration,
+    total: Duration,
+    shuffle_records: u64,
+    heap_bytes: u64,
+}
+
+impl PhaseSums {
+    fn add(&mut self, stats: &JobStats) {
+        self.map += stats.map_wall;
+        self.shuffle += stats.shuffle_wall;
+        self.reduce += stats.reduce_wall;
+        self.total += stats.total_wall;
+        self.shuffle_records += stats.shuffle_records;
+        self.heap_bytes += stats.counters.get(COUNTER_SHUFFLE_HEAP_BYTES);
+    }
+}
+
+fn summarize(repeats: Vec<PhaseSums>, flat_record_bytes: usize) -> PathMeasurement {
+    let shuffle_records = repeats[0].shuffle_records;
+    let heap_bytes = repeats[0].heap_bytes;
+    let bytes_per_record = flat_record_bytes as f64
+        + if shuffle_records > 0 {
+            heap_bytes as f64 / shuffle_records as f64
+        } else {
+            0.0
+        };
+    PathMeasurement {
+        phases: PhaseMedians {
+            map_ms: median_ms(repeats.iter().map(|r| r.map).collect()),
+            shuffle_ms: median_ms(repeats.iter().map(|r| r.shuffle).collect()),
+            reduce_ms: median_ms(repeats.iter().map(|r| r.reduce).collect()),
+            total_ms: median_ms(repeats.iter().map(|r| r.total).collect()),
+        },
+        shuffle_records,
+        bytes_per_record,
+    }
+}
+
+/// Runs both workloads at the configured scale.
+pub fn run_trajectory(cfg: &TrajectoryConfig) -> Vec<WorkloadReport> {
+    vec![
+        run_workload(cfg, "fig7-uniform", &UniformGen, DEFAULT_SIZE_UN),
+        run_workload(cfg, "fig9-clustered", &ClusteredGen, DEFAULT_SIZE_CL),
+    ]
+}
+
+fn run_workload(
+    cfg: &TrajectoryConfig,
+    id: &'static str,
+    gen: &dyn DatasetGenerator,
+    base_size: usize,
+) -> WorkloadReport {
+    let size = scaled(base_size, cfg.scale);
+    eprintln!("[{id}] generating {size} objects");
+    let dataset = gen.generate(size, cfg.seed);
+    let (shared, ref_splits) = dataset.to_shared_splits(cfg.workers.max(4));
+    let owned_splits = dataset.to_splits(cfg.workers.max(4));
+
+    let cell = 1.0 / cfg.grid as f64;
+    let mut qgen = QueryGenerator::new(dataset.vocab_size, KeywordSelection::Random, cfg.seed ^ 7);
+    let queries = qgen.batch(
+        cfg.queries,
+        DEFAULT_TOPK,
+        cell * DEFAULT_RADIUS_PCT / 100.0,
+        DEFAULT_KEYWORDS,
+    );
+    let grid: SpacePartition = Grid::square(Rect::unit(), cfg.grid).into();
+    let runner = JobRunner::new(ClusterConfig::with_workers(cfg.workers));
+
+    let comparisons = Algorithm::ALL
+        .iter()
+        .map(|&algorithm| {
+            eprintln!("[{id}] {algorithm}: {} repeats x 2 paths", cfg.repeats);
+            let exec = SpqExecutor::new(Rect::unit())
+                .algorithm(algorithm)
+                .grid_size(cfg.grid)
+                .cluster(ClusterConfig::with_workers(cfg.workers));
+
+            let mut current_tops: Vec<RankedObject> = Vec::new();
+            let current_reps: Vec<PhaseSums> = (0..cfg.repeats.max(1))
+                .map(|_| {
+                    let mut sums = PhaseSums::default();
+                    current_tops.clear();
+                    for q in &queries {
+                        let res = exec.run_shared(&shared, &ref_splits, q).expect("job");
+                        sums.add(&res.stats);
+                        current_tops.extend(res.top_k);
+                    }
+                    sums
+                })
+                .collect();
+
+            let mut baseline_tops: Vec<RankedObject> = Vec::new();
+            let baseline_reps: Vec<PhaseSums> = (0..cfg.repeats.max(1))
+                .map(|_| {
+                    let mut sums = PhaseSums::default();
+                    baseline_tops.clear();
+                    for q in &queries {
+                        let out = match algorithm {
+                            Algorithm::PSpq => runner
+                                .run(&BaselinePSpqTask::new(&grid, q), &owned_splits)
+                                .expect("job"),
+                            Algorithm::ESpqLen => runner
+                                .run(&BaselineESpqLenTask::new(&grid, q), &owned_splits)
+                                .expect("job"),
+                            Algorithm::ESpqSco => runner
+                                .run(&BaselineESpqScoTask::new(&grid, q), &owned_splits)
+                                .expect("job"),
+                        };
+                        sums.add(&out.stats);
+                        baseline_tops.extend(merge_top_k(out.into_flat(), q.k));
+                    }
+                    sums
+                })
+                .collect();
+
+            assert_eq!(
+                current_tops, baseline_tops,
+                "{algorithm}: zero-copy path diverged from the baseline"
+            );
+
+            let (flat_current, flat_baseline) = record_sizes(algorithm);
+            AlgoComparison {
+                algorithm,
+                baseline: summarize(baseline_reps, flat_baseline),
+                current: summarize(current_reps, flat_current),
+            }
+        })
+        .collect();
+
+    WorkloadReport {
+        id,
+        objects: dataset.total(),
+        comparisons,
+    }
+}
+
+/// Flat `(Key, Value)` record sizes of the current and baseline layouts.
+fn record_sizes(algorithm: Algorithm) -> (usize, usize) {
+    use std::mem::size_of;
+    match algorithm {
+        Algorithm::PSpq => (
+            size_of::<(PSpqKey, ObjectHandle)>(),
+            size_of::<(PSpqKey, ClonedPayload)>(),
+        ),
+        Algorithm::ESpqLen => (
+            size_of::<(LenKey, ObjectHandle)>(),
+            size_of::<(LenKey, ClonedPayload)>(),
+        ),
+        Algorithm::ESpqSco => (
+            size_of::<(ScoKey, spq_core::ObjectRef)>(),
+            size_of::<(ScoKey, ClonedSlimPayload)>(),
+        ),
+    }
+}
+
+fn json_path(m: &PathMeasurement, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"median_ms\": {{ \"map\": {:.3}, \"shuffle\": {:.3}, \"reduce\": {:.3}, \"total\": {:.3} }},\n{i}  \"shuffle_records\": {},\n{i}  \"bytes_per_record\": {:.2}\n{i}}}",
+        m.phases.map_ms,
+        m.phases.shuffle_ms,
+        m.phases.reduce_ms,
+        m.phases.total_ms,
+        m.shuffle_records,
+        m.bytes_per_record,
+        i = indent,
+    )
+}
+
+/// Renders the reports as the `BENCH_PR2.json` document.
+pub fn to_json(cfg: &TrajectoryConfig, reports: &[WorkloadReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"spq-bench trajectory\",\n  \"config\": {{ \"scale\": {}, \"seed\": {}, \"workers\": {}, \"repeats\": {}, \"queries\": {}, \"grid\": {} }},\n",
+        cfg.scale, cfg.seed, cfg.workers, cfg.repeats, cfg.queries, cfg.grid
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"id\": \"{}\",\n      \"objects\": {},\n      \"algorithms\": [\n",
+            w.id, w.objects
+        ));
+        for (ci, c) in w.comparisons.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\n          \"name\": \"{}\",\n          \"baseline\": {},\n          \"current\": {},\n          \"speedup\": {:.2},\n          \"bytes_per_record_ratio\": {:.2}\n        }}{}\n",
+                c.algorithm.name(),
+                json_path(&c.baseline, "          "),
+                json_path(&c.current, "          "),
+                c.speedup(),
+                c.bytes_per_record_ratio(),
+                if ci + 1 < w.comparisons.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if wi + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_trajectory_runs_and_renders() {
+        let cfg = TrajectoryConfig {
+            scale: 1e-9, // clamps to the 1k-object floor
+            repeats: 1,
+            queries: 1,
+            workers: 2,
+            ..TrajectoryConfig::default()
+        };
+        let reports = run_trajectory(&cfg);
+        assert_eq!(reports.len(), 2);
+        for w in &reports {
+            assert_eq!(w.comparisons.len(), 3);
+            for c in &w.comparisons {
+                // The handle layout must beat the cloned layout on flat
+                // size alone; heap bytes only widen the gap.
+                assert!(
+                    c.bytes_per_record_ratio() >= 2.0,
+                    "{}: bytes ratio {}",
+                    c.algorithm,
+                    c.bytes_per_record_ratio()
+                );
+            }
+        }
+        let json = to_json(&cfg, &reports);
+        assert!(json.contains("\"fig7-uniform\""));
+        assert!(json.contains("\"bytes_per_record_ratio\""));
+    }
+
+    #[test]
+    fn median_of_even_and_odd_samples() {
+        let ms = |v: u64| Duration::from_millis(v);
+        assert_eq!(median_ms(vec![ms(3), ms(1), ms(2)]), 2.0);
+        assert_eq!(median_ms(vec![ms(4), ms(1), ms(2), ms(3)]), 2.5);
+    }
+}

@@ -7,15 +7,22 @@
 //! list reaches the Equation-1 bound `w̄(f, q)` of the *current* feature,
 //! no unseen feature (which has at least as many keywords) can beat it and
 //! the reducer stops (Lemma 2).
+//!
+//! Shuffle records are 24-byte `⟨(cell, |f.W|), handle⟩` pairs: the
+//! feature's score is computed once per feature on the map side and rides
+//! in the handle, keywords never travel. Data and feature records are
+//! pre-grouped into separate shuffle runs; only the feature run is sorted
+//! (by the keyword length already present in the key).
 
-use crate::algo::ObjectPayload;
-use crate::model::{RankedObject, SpqObject};
+use crate::algo::ObjectHandle;
+use crate::model::RankedObject;
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    route_data, route_scored_feature, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
     COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
     COUNTER_REDUCE_EARLY_TERMINATIONS, COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
+use crate::store::{ObjectRef, SharedDataset};
 use crate::topk::TopKList;
 use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
 use spq_spatial::{Point, SpacePartition};
@@ -36,15 +43,18 @@ pub struct LenKey {
 /// The eSPQlen MapReduce task.
 #[derive(Debug)]
 pub struct ESpqLenTask<'a> {
+    dataset: &'a SharedDataset,
     grid: &'a SpacePartition,
     query: &'a SpqQuery,
     prune: bool,
 }
 
 impl<'a> ESpqLenTask<'a> {
-    /// Creates the task for one query over one query-time partition.
-    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+    /// Creates the task for one query over one query-time partition of a
+    /// shared dataset.
+    pub fn new(dataset: &'a SharedDataset, grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
         Self {
+            dataset,
             grid,
             query,
             prune: true,
@@ -60,9 +70,9 @@ impl<'a> ESpqLenTask<'a> {
 }
 
 impl MapReduceTask for ESpqLenTask<'_> {
-    type Input = SpqObject;
+    type Input = ObjectRef;
     type Key = LenKey;
-    type Value = ObjectPayload;
+    type Value = ObjectHandle;
     type Output = RankedObject;
 
     fn num_reducers(&self) -> usize {
@@ -70,10 +80,11 @@ impl MapReduceTask for ESpqLenTask<'_> {
     }
 
     // Algorithm 3.
-    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
-        match record {
-            SpqObject::Data(o) => {
+    fn map(&self, record: &ObjectRef, ctx: &mut MapContext<'_, Self>) {
+        match *record {
+            ObjectRef::Data(i) => {
                 ctx.counters().inc(COUNTER_MAP_DATA);
+                let o = &self.dataset.data()[i as usize];
                 let cell = route_data(self.grid, &o.location);
                 ctx.emit(
                     self,
@@ -81,29 +92,24 @@ impl MapReduceTask for ESpqLenTask<'_> {
                         cell: cell.0,
                         len: 0,
                     },
-                    ObjectPayload::Data(o.id, o.location),
+                    ObjectHandle::Data(i),
                 );
             }
-            SpqObject::Feature(f) => {
+            ObjectRef::Feature(i) => {
+                let f = &self.dataset.features()[i as usize];
                 // A matching feature has >= 1 keyword, so len >= 1 never
                 // collides with the data-object marker 0.
                 let len = f.keywords.len() as u32;
-                let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
-                    cells.push(c)
-                }) {
-                    ctx.counters().inc(COUNTER_MAP_FEATURES);
-                    ctx.counters()
-                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
-                    for c in cells {
-                        ctx.emit(
-                            self,
-                            LenKey { cell: c.0, len },
-                            ObjectPayload::Feature(f.id, f.location, f.keywords.clone()),
-                        );
+                // Scored once per feature; every routed copy reuses it.
+                let routed = route_scored_feature(self.grid, self.query, f, self.prune, |c, w| {
+                    ctx.emit(self, LenKey { cell: c.0, len }, ObjectHandle::Feature(i, w));
+                });
+                match routed {
+                    Some(copies) => {
+                        ctx.counters().inc(COUNTER_MAP_FEATURES);
+                        ctx.counters().add(COUNTER_MAP_DUPLICATES, copies - 1);
                     }
-                } else {
-                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                    None => ctx.counters().inc(COUNTER_MAP_PRUNED),
                 }
             }
         }
@@ -119,6 +125,20 @@ impl MapReduceTask for ESpqLenTask<'_> {
 
     fn group_eq(&self, a: &LenKey, b: &LenKey) -> bool {
         a.cell == b.cell
+    }
+
+    fn num_subbuckets(&self) -> usize {
+        2
+    }
+
+    fn subbucket(&self, key: &LenKey) -> usize {
+        (key.len != 0) as usize
+    }
+
+    // Only the feature run carries a secondary order; the data run is
+    // taken as shuffled.
+    fn subbucket_needs_sort(&self, sub: usize) -> bool {
+        sub == 1
     }
 
     // Algorithm 4.
@@ -137,11 +157,12 @@ impl MapReduceTask for ESpqLenTask<'_> {
 
         for (key, value) in values.by_ref() {
             match value {
-                ObjectPayload::Data(id, location) => {
-                    objects.push((id, location));
+                ObjectHandle::Data(i) => {
+                    let o = &self.dataset.data()[i as usize];
+                    objects.push((o.id, o.location));
                     scores.push(Score::ZERO);
                 }
-                ObjectPayload::Feature(_, f_loc, f_kw) => {
+                ObjectHandle::Feature(i, w) => {
                     // A cell without data objects can never produce a
                     // result: stop before examining any feature. (Lemma 2
                     // with an unreachable k; duplicated features routinely
@@ -158,12 +179,12 @@ impl MapReduceTask for ESpqLenTask<'_> {
                         break;
                     }
                     features_examined += 1;
-                    let w = self.query.score(&f_kw);
                     if w > topk.tau() {
+                        let f_loc = self.dataset.features()[i as usize].location;
                         distance_checks += objects.len() as u64;
-                        for (i, &(id, location)) in objects.iter().enumerate() {
-                            if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
-                                scores[i] = w;
+                        for (j, &(id, location)) in objects.iter().enumerate() {
+                            if location.dist_sq(&f_loc) <= r_sq && w > scores[j] {
+                                scores[j] = w;
                                 topk.update(id, location, w);
                             }
                         }
@@ -185,7 +206,7 @@ impl MapReduceTask for ESpqLenTask<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{DataObject, FeatureObject};
+    use crate::model::{DataObject, FeatureObject, SpqObject};
     use spq_mapreduce::{ClusterConfig, JobRunner, JobStats};
     use spq_spatial::Rect;
     use spq_text::KeywordSet;
@@ -193,9 +214,10 @@ mod tests {
     fn run(query: &SpqQuery, objects: Vec<SpqObject>) -> (Vec<RankedObject>, JobStats) {
         let grid: SpacePartition =
             spq_spatial::Grid::square(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4).into();
-        let task = ESpqLenTask::new(&grid, query);
+        let (dataset, splits) = SharedDataset::from_splits(&[objects]);
+        let task = ESpqLenTask::new(&dataset, &grid, query);
         let runner = JobRunner::new(ClusterConfig::with_workers(2));
-        let out = runner.run(&task, &[objects]).unwrap();
+        let out = runner.run(&task, &splits).unwrap();
         let stats = out.stats.clone();
         let mut flat = out.into_flat();
         flat.sort_by(RankedObject::canonical_cmp);

@@ -1,31 +1,34 @@
 //! eSPQsco — early termination by decreasing score
 //! (Section 5.2, Algorithms 5 and 6).
 //!
-//! The Jaccard score `w(f, q)` is computed **in the Map phase** and used
-//! as the secondary sort key, descending; data objects carry the sentinel
-//! 2 (> any Jaccard value) so they still precede all features. The reducer
+//! The Jaccard score `w(f, q)` is computed **in the Map phase** — exactly
+//! once per feature, shared by all Lemma-1 routed copies — and used as the
+//! secondary sort key, descending; data objects carry the sentinel 2
+//! (> any Jaccard value) so they still precede all features. The reducer
 //! then reports any unreported data object within `r` of the current
 //! feature immediately — its score is final, because every remaining
 //! feature scores no higher — and stops after `k` reports (Lemma 3).
 //!
-//! Two implementation notes beyond the paper's pseudocode:
+//! Implementation notes beyond the paper's pseudocode:
 //!
-//! * Feature keywords are *not* shuffled (the key carries the score and
-//!   the reducer needs nothing else), so eSPQsco ships strictly smaller
-//!   records than the other two algorithms.
+//! * The shuffle value is an 8-byte index into the shared dataset store
+//!   (the key carries the score, the store carries the locations), so
+//!   eSPQsco ships strictly smaller records than the other two
+//!   algorithms. Data and feature records travel as pre-grouped shuffle
+//!   runs; only the feature run is sorted, by descending key score.
 //! * Reports are buffered per *run of equal scores* and flushed in id
 //!   order when the score strictly drops. This makes the per-cell output
 //!   canonical under score ties (the paper's pseudocode implicitly
 //!   assumes distinct scores); the extra work is bounded by one score run.
 
-use crate::algo::SlimPayload;
-use crate::model::{RankedObject, SpqObject};
+use crate::model::RankedObject;
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    route_data, route_scored_feature, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
     COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
     COUNTER_REDUCE_EARLY_TERMINATIONS, COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
+use crate::store::{ObjectRef, SharedDataset};
 use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
 use spq_spatial::{Point, SpacePartition};
 use spq_text::Score;
@@ -45,15 +48,18 @@ pub struct ScoKey {
 /// The eSPQsco MapReduce task.
 #[derive(Debug)]
 pub struct ESpqScoTask<'a> {
+    dataset: &'a SharedDataset,
     grid: &'a SpacePartition,
     query: &'a SpqQuery,
     prune: bool,
 }
 
 impl<'a> ESpqScoTask<'a> {
-    /// Creates the task for one query over one query-time partition.
-    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+    /// Creates the task for one query over one query-time partition of a
+    /// shared dataset.
+    pub fn new(dataset: &'a SharedDataset, grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
         Self {
+            dataset,
             grid,
             query,
             prune: true,
@@ -69,9 +75,11 @@ impl<'a> ESpqScoTask<'a> {
 }
 
 impl MapReduceTask for ESpqScoTask<'_> {
-    type Input = SpqObject;
+    type Input = ObjectRef;
     type Key = ScoKey;
-    type Value = SlimPayload;
+    // The score rides in the key, so the value is a bare 8-byte store
+    // reference — the smallest record of the three algorithms.
+    type Value = ObjectRef;
     type Output = RankedObject;
 
     fn num_reducers(&self) -> usize {
@@ -79,10 +87,11 @@ impl MapReduceTask for ESpqScoTask<'_> {
     }
 
     // Algorithm 5 — note the score computation on the map side.
-    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
-        match record {
-            SpqObject::Data(o) => {
+    fn map(&self, record: &ObjectRef, ctx: &mut MapContext<'_, Self>) {
+        match *record {
+            ObjectRef::Data(i) => {
                 ctx.counters().inc(COUNTER_MAP_DATA);
+                let o = &self.dataset.data()[i as usize];
                 let cell = route_data(self.grid, &o.location);
                 ctx.emit(
                     self,
@@ -90,32 +99,33 @@ impl MapReduceTask for ESpqScoTask<'_> {
                         cell: cell.0,
                         score: Score::DATA_SENTINEL,
                     },
-                    SlimPayload::Data(o.id, o.location),
+                    ObjectRef::Data(i),
                 );
             }
-            SpqObject::Feature(f) => {
-                let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
-                    cells.push(c)
-                }) {
-                    ctx.counters().inc(COUNTER_MAP_FEATURES);
-                    ctx.counters()
-                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
-                    // With pruning enabled, routed features always share a
-                    // keyword and the score is positive; without it,
-                    // zero-score features travel too and the reducer stops
-                    // at them (they sort last).
-                    let score = self.query.score(&f.keywords);
-                    debug_assert!(!self.prune || !score.is_zero());
-                    for c in cells {
-                        ctx.emit(
-                            self,
-                            ScoKey { cell: c.0, score },
-                            SlimPayload::Feature(f.location),
-                        );
+            ObjectRef::Feature(i) => {
+                let f = &self.dataset.features()[i as usize];
+                // With pruning enabled, routed features always share a
+                // keyword and the score is positive; without it,
+                // zero-score features travel too and the reducer stops
+                // at them (they sort last). Scored once per feature;
+                // every routed copy reuses it.
+                let routed = route_scored_feature(self.grid, self.query, f, self.prune, |c, w| {
+                    debug_assert!(!self.prune || !w.is_zero());
+                    ctx.emit(
+                        self,
+                        ScoKey {
+                            cell: c.0,
+                            score: w,
+                        },
+                        ObjectRef::Feature(i),
+                    );
+                });
+                match routed {
+                    Some(copies) => {
+                        ctx.counters().inc(COUNTER_MAP_FEATURES);
+                        ctx.counters().add(COUNTER_MAP_DUPLICATES, copies - 1);
                     }
-                } else {
-                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                    None => ctx.counters().inc(COUNTER_MAP_PRUNED),
                 }
             }
         }
@@ -133,6 +143,20 @@ impl MapReduceTask for ESpqScoTask<'_> {
 
     fn group_eq(&self, a: &ScoKey, b: &ScoKey) -> bool {
         a.cell == b.cell
+    }
+
+    fn num_subbuckets(&self) -> usize {
+        2
+    }
+
+    fn subbucket(&self, key: &ScoKey) -> usize {
+        (key.score != Score::DATA_SENTINEL) as usize
+    }
+
+    // Only the feature run needs its descending-score order; the data run
+    // is taken as shuffled.
+    fn subbucket_needs_sort(&self, sub: usize) -> bool {
+        sub == 1
     }
 
     // Algorithm 6.
@@ -169,11 +193,12 @@ impl MapReduceTask for ESpqScoTask<'_> {
 
         for (key, value) in values.by_ref() {
             match value {
-                SlimPayload::Data(id, location) => {
-                    objects.push((id, location));
+                ObjectRef::Data(i) => {
+                    let o = &self.dataset.data()[i as usize];
+                    objects.push((o.id, o.location));
                     reported.push(false);
                 }
-                SlimPayload::Feature(f_loc) => {
+                ObjectRef::Feature(i) => {
                     // A cell without data objects can never report
                     // anything (Lemma 3 with an unreachable k); duplicated
                     // features routinely land in such cells.
@@ -201,11 +226,12 @@ impl MapReduceTask for ESpqScoTask<'_> {
                     }
                     features_examined += 1;
                     distance_checks += objects.len() as u64;
-                    for (i, &(id, location)) in objects.iter().enumerate() {
+                    let f_loc = self.dataset.features()[i as usize].location;
+                    for (j, &(id, location)) in objects.iter().enumerate() {
                         // Line 7: any unreported object in range gets its
                         // final score now.
-                        if !reported[i] && location.dist_sq(&f_loc) <= r_sq {
-                            reported[i] = true;
+                        if !reported[j] && location.dist_sq(&f_loc) <= r_sq {
+                            reported[j] = true;
                             run_buf.push(RankedObject::new(id, location, w));
                         }
                     }
@@ -236,7 +262,7 @@ impl MapReduceTask for ESpqScoTask<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{DataObject, FeatureObject};
+    use crate::model::{DataObject, FeatureObject, SpqObject};
     use spq_mapreduce::{ClusterConfig, JobRunner, JobStats};
     use spq_spatial::Rect;
     use spq_text::KeywordSet;
@@ -244,9 +270,10 @@ mod tests {
     fn run(query: &SpqQuery, objects: Vec<SpqObject>) -> (Vec<RankedObject>, JobStats) {
         let grid: SpacePartition =
             spq_spatial::Grid::square(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4).into();
-        let task = ESpqScoTask::new(&grid, query);
+        let (dataset, splits) = SharedDataset::from_splits(&[objects]);
+        let task = ESpqScoTask::new(&dataset, &grid, query);
         let runner = JobRunner::new(ClusterConfig::with_workers(2));
-        let out = runner.run(&task, &[objects]).unwrap();
+        let out = runner.run(&task, &splits).unwrap();
         let stats = out.stats.clone();
         let mut flat = out.into_flat();
         flat.sort_by(RankedObject::canonical_cmp);

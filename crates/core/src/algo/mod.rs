@@ -15,9 +15,7 @@ pub mod espq_len;
 pub mod espq_sco;
 pub mod pspq;
 
-use crate::model::{ObjectId, SpqObject};
-use spq_spatial::Point;
-use spq_text::KeywordSet;
+use spq_text::Score;
 use std::fmt;
 
 /// Selects one of the paper's three algorithms.
@@ -58,43 +56,28 @@ impl fmt::Display for Algorithm {
     }
 }
 
-/// Shuffle payload for pSPQ and eSPQlen, whose reducers compute the
-/// Jaccard score themselves and therefore need the feature keywords.
-#[derive(Debug, Clone)]
-pub enum ObjectPayload {
-    /// A data object (id, location).
-    Data(ObjectId, Point),
-    /// A feature object (id, location, keywords).
-    Feature(ObjectId, Point, KeywordSet),
+/// Shuffle value for pSPQ and eSPQlen: a 16-byte handle into the
+/// [`crate::SharedDataset`] plus, for features, the Jaccard score
+/// pre-computed **once** per feature on the map side (instead of once per
+/// Lemma-1 routed copy on the reduce side). Nothing on the heap travels
+/// through the shuffle — reducers resolve ids, locations and keywords
+/// from the shared store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectHandle {
+    /// Index into the shared data store.
+    Data(u32),
+    /// Index into the shared feature store + pre-computed `w(f, q)`.
+    Feature(u32, Score),
 }
 
-impl ObjectPayload {
-    /// Builds the payload for a record (cloning, as the map phase reads
-    /// records from its input split).
-    pub fn from_record(record: &SpqObject) -> Self {
-        match record {
-            SpqObject::Data(o) => ObjectPayload::Data(o.id, o.location),
-            SpqObject::Feature(f) => ObjectPayload::Feature(f.id, f.location, f.keywords.clone()),
-        }
-    }
-}
-
-/// Shuffle payload for eSPQsco: the score already lives in the composite
-/// key, so feature keywords are *not* shuffled — a bandwidth saving the
-/// paper's design implies (the Map phase bears the scoring cost instead,
-/// Section 5.2).
-#[derive(Debug, Clone, Copy)]
-pub enum SlimPayload {
-    /// A data object (id, location).
-    Data(ObjectId, Point),
-    /// A feature object (location only — the reducer never needs more).
-    Feature(Point),
-}
+// eSPQsco needs no handle type of its own: the score already lives in
+// the composite key, so its shuffle value is a bare [`crate::ObjectRef`]
+// (8 bytes) — strictly the smallest record of the three algorithms, as
+// the paper's Section-5.2 design implies.
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{DataObject, FeatureObject};
 
     #[test]
     fn names_match_paper() {
@@ -112,20 +95,10 @@ mod tests {
     }
 
     #[test]
-    fn payload_from_record() {
-        let d = SpqObject::Data(DataObject::new(1, Point::new(0.0, 0.0)));
-        let f = SpqObject::Feature(FeatureObject::new(
-            2,
-            Point::new(1.0, 1.0),
-            KeywordSet::from_ids([3]),
-        ));
-        assert!(matches!(
-            ObjectPayload::from_record(&d),
-            ObjectPayload::Data(1, _)
-        ));
-        assert!(matches!(
-            ObjectPayload::from_record(&f),
-            ObjectPayload::Feature(2, _, _)
-        ));
+    fn handles_stay_register_sized() {
+        // The whole point of the handle layout: records no longer scale
+        // with keyword counts and fit in one or two machine words.
+        assert!(std::mem::size_of::<ObjectHandle>() <= 16);
+        assert!(std::mem::size_of::<crate::ObjectRef>() <= 8);
     }
 }

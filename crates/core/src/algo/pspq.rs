@@ -1,22 +1,29 @@
 //! pSPQ — the parallel grid-based algorithm without early termination
 //! (Section 4, Algorithms 1 and 2).
 //!
-//! Map emits `⟨(cell, tag), object⟩` with tag 0 for data and 1 for feature
+//! Map emits `⟨(cell, tag), handle⟩` with tag 0 for data and 1 for feature
 //! objects, so each reducer sees all of its cell's data objects before any
-//! feature object. The reducer loads the data objects into memory, then
-//! for every feature whose score beats the current threshold `τ` scans
-//! them for `d(p, f) <= r` matches, maintaining the top-k list `Lk`.
-//! Every feature of the cell is examined — the limitation (Section 4.2.3)
-//! that motivates the early-termination variants.
+//! feature object. The handle carries an index into the shared dataset
+//! store plus the feature's score, computed exactly once per feature on
+//! the map side — Lemma-1 boundary duplication copies 16 bytes, not a
+//! keyword list. Because the tag *is* the sub-bucket, the shuffle delivers
+//! both runs pre-grouped and the reducer never sorts anything.
+//!
+//! The reducer loads the data objects into memory, then for every feature
+//! whose score beats the current threshold `τ` scans them for
+//! `d(p, f) <= r` matches, maintaining the top-k list `Lk`. Every feature
+//! of the cell is examined — the limitation (Section 4.2.3) that motivates
+//! the early-termination variants.
 
-use crate::algo::ObjectPayload;
-use crate::model::{RankedObject, SpqObject};
+use crate::algo::ObjectHandle;
+use crate::model::RankedObject;
 use crate::partitioning::{
-    route_data, route_feature_with_pruning, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    route_data, route_scored_feature, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
     COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
     COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
+use crate::store::{ObjectRef, SharedDataset};
 use crate::topk::TopKList;
 use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
 use spq_spatial::{Point, SpacePartition};
@@ -29,22 +36,26 @@ use std::cmp::Ordering;
 pub struct PSpqKey {
     /// The grid cell (natural key: partitioning and grouping).
     pub cell: u32,
-    /// 0 for data objects, 1 for feature objects (secondary sort).
+    /// 0 for data objects, 1 for feature objects (doubles as the
+    /// sub-bucket, so the shuffle pre-groups the two runs).
     pub tag: u8,
 }
 
 /// The pSPQ MapReduce task.
 #[derive(Debug)]
 pub struct PSpqTask<'a> {
+    dataset: &'a SharedDataset,
     grid: &'a SpacePartition,
     query: &'a SpqQuery,
     prune: bool,
 }
 
 impl<'a> PSpqTask<'a> {
-    /// Creates the task for one query over one query-time partition.
-    pub fn new(grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
+    /// Creates the task for one query over one query-time partition of a
+    /// shared dataset.
+    pub fn new(dataset: &'a SharedDataset, grid: &'a SpacePartition, query: &'a SpqQuery) -> Self {
         Self {
+            dataset,
             grid,
             query,
             prune: true,
@@ -60,9 +71,9 @@ impl<'a> PSpqTask<'a> {
 }
 
 impl MapReduceTask for PSpqTask<'_> {
-    type Input = SpqObject;
+    type Input = ObjectRef;
     type Key = PSpqKey;
-    type Value = ObjectPayload;
+    type Value = ObjectHandle;
     type Output = RankedObject;
 
     fn num_reducers(&self) -> usize {
@@ -70,10 +81,11 @@ impl MapReduceTask for PSpqTask<'_> {
     }
 
     // Algorithm 1.
-    fn map(&self, record: &SpqObject, ctx: &mut MapContext<'_, Self>) {
-        match record {
-            SpqObject::Data(o) => {
+    fn map(&self, record: &ObjectRef, ctx: &mut MapContext<'_, Self>) {
+        match *record {
+            ObjectRef::Data(i) => {
                 ctx.counters().inc(COUNTER_MAP_DATA);
+                let o = &self.dataset.data()[i as usize];
                 let cell = route_data(self.grid, &o.location);
                 ctx.emit(
                     self,
@@ -81,26 +93,25 @@ impl MapReduceTask for PSpqTask<'_> {
                         cell: cell.0,
                         tag: 0,
                     },
-                    ObjectPayload::Data(o.id, o.location),
+                    ObjectHandle::Data(i),
                 );
             }
-            SpqObject::Feature(f) => {
-                let mut cells = Vec::new();
-                if route_feature_with_pruning(self.grid, self.query, f, self.prune, |c| {
-                    cells.push(c)
-                }) {
-                    ctx.counters().inc(COUNTER_MAP_FEATURES);
-                    ctx.counters()
-                        .add(COUNTER_MAP_DUPLICATES, cells.len() as u64 - 1);
-                    for c in cells {
-                        ctx.emit(
-                            self,
-                            PSpqKey { cell: c.0, tag: 1 },
-                            ObjectPayload::Feature(f.id, f.location, f.keywords.clone()),
-                        );
+            ObjectRef::Feature(i) => {
+                let f = &self.dataset.features()[i as usize];
+                // Scored once per feature; every routed copy reuses it.
+                let routed = route_scored_feature(self.grid, self.query, f, self.prune, |c, w| {
+                    ctx.emit(
+                        self,
+                        PSpqKey { cell: c.0, tag: 1 },
+                        ObjectHandle::Feature(i, w),
+                    );
+                });
+                match routed {
+                    Some(copies) => {
+                        ctx.counters().inc(COUNTER_MAP_FEATURES);
+                        ctx.counters().add(COUNTER_MAP_DUPLICATES, copies - 1);
                     }
-                } else {
-                    ctx.counters().inc(COUNTER_MAP_PRUNED);
+                    None => ctx.counters().inc(COUNTER_MAP_PRUNED),
                 }
             }
         }
@@ -116,6 +127,20 @@ impl MapReduceTask for PSpqTask<'_> {
 
     fn group_eq(&self, a: &PSpqKey, b: &PSpqKey) -> bool {
         a.cell == b.cell
+    }
+
+    fn num_subbuckets(&self) -> usize {
+        2
+    }
+
+    fn subbucket(&self, key: &PSpqKey) -> usize {
+        key.tag as usize
+    }
+
+    // Data-before-features is delivered by the run order and the reducer
+    // accepts features in any order: pSPQ is fully sort-free.
+    fn subbucket_needs_sort(&self, _sub: usize) -> bool {
+        false
     }
 
     // Algorithm 2.
@@ -134,19 +159,20 @@ impl MapReduceTask for PSpqTask<'_> {
 
         for (_key, value) in values.by_ref() {
             match value {
-                ObjectPayload::Data(id, location) => {
-                    objects.push((id, location));
+                ObjectHandle::Data(i) => {
+                    let o = &self.dataset.data()[i as usize];
+                    objects.push((o.id, o.location));
                     scores.push(Score::ZERO); // line 7: initial score 0
                 }
-                ObjectPayload::Feature(_, f_loc, f_kw) => {
+                ObjectHandle::Feature(i, w) => {
                     features_examined += 1;
-                    let w = self.query.score(&f_kw);
                     // Line 9: only features beating τ can change Lk.
                     if w > topk.tau() {
+                        let f_loc = self.dataset.features()[i as usize].location;
                         distance_checks += objects.len() as u64;
-                        for (i, &(id, location)) in objects.iter().enumerate() {
-                            if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
-                                scores[i] = w; // line 12: running max
+                        for (j, &(id, location)) in objects.iter().enumerate() {
+                            if location.dist_sq(&f_loc) <= r_sq && w > scores[j] {
+                                scores[j] = w; // line 12: running max
                                 topk.update(id, location, w); // line 13
                             }
                         }
@@ -168,7 +194,7 @@ impl MapReduceTask for PSpqTask<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{DataObject, FeatureObject};
+    use crate::model::{DataObject, FeatureObject, SpqObject};
     use spq_mapreduce::{ClusterConfig, JobRunner};
     use spq_spatial::Rect;
     use spq_text::KeywordSet;
@@ -176,9 +202,10 @@ mod tests {
     fn run(query: &SpqQuery, objects: Vec<SpqObject>) -> Vec<RankedObject> {
         let grid: SpacePartition =
             spq_spatial::Grid::square(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4).into();
-        let task = PSpqTask::new(&grid, query);
+        let (dataset, splits) = SharedDataset::from_splits(&[objects]);
+        let task = PSpqTask::new(&dataset, &grid, query);
         let runner = JobRunner::new(ClusterConfig::with_workers(2));
-        let mut out = runner.run(&task, &[objects]).unwrap().into_flat();
+        let mut out = runner.run(&task, &splits).unwrap().into_flat();
         out.sort_by(RankedObject::canonical_cmp);
         out
     }
@@ -260,9 +287,10 @@ mod tests {
             // Pruned.
             FeatureObject::new(11, Point::new(1.0, 1.0), KeywordSet::from_ids([9])).into(),
         ];
-        let task = PSpqTask::new(&grid, &q);
+        let (dataset, splits) = SharedDataset::from_splits(&[objects]);
+        let task = PSpqTask::new(&dataset, &grid, &q);
         let out = JobRunner::new(ClusterConfig::sequential())
-            .run(&task, &[objects])
+            .run(&task, &splits)
             .unwrap();
         let c = &out.stats.counters;
         assert_eq!(c.get(COUNTER_MAP_DATA), 1);

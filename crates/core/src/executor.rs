@@ -7,9 +7,10 @@ use crate::algo::Algorithm;
 use crate::merge::merge_top_k;
 use crate::model::{DataObject, FeatureObject, RankedObject, SpqObject};
 use crate::query::SpqQuery;
+use crate::store::{ObjectRef, SharedDataset};
 use crate::theory::auto_grid_size;
 use spq_mapreduce::{ClusterConfig, JobError, JobRunner, JobStats};
-use spq_spatial::{AdaptiveGrid, Grid, Rect, SpacePartition};
+use spq_spatial::{AdaptiveGrid, Grid, Point, Rect, SpacePartition};
 use std::fmt;
 
 /// How the query-time grid is sized.
@@ -192,59 +193,130 @@ impl SpqExecutor {
     /// budget built over a sample of the data object locations in
     /// `splits`.
     pub fn plan_partition(&self, query: &SpqQuery, splits: &[Vec<SpqObject>]) -> SpacePartition {
+        let total: usize = splits.iter().map(Vec::len).sum();
+        self.plan_partition_sampled(query, total, |stride, sample_size| {
+            splits
+                .iter()
+                .flatten()
+                .step_by(stride)
+                .filter(|o| o.is_data())
+                .map(|o| o.location())
+                .take(sample_size)
+                .collect()
+        })
+    }
+
+    /// [`plan_partition`](Self::plan_partition) over reference splits into
+    /// a shared dataset — same sampling rule, no owned records.
+    pub fn plan_partition_shared(
+        &self,
+        query: &SpqQuery,
+        dataset: &SharedDataset,
+        splits: &[Vec<ObjectRef>],
+    ) -> SpacePartition {
+        let total: usize = splits.iter().map(Vec::len).sum();
+        self.plan_partition_sampled(query, total, |stride, sample_size| {
+            splits
+                .iter()
+                .flatten()
+                .step_by(stride)
+                .filter(|r| r.is_data())
+                .map(|&r| dataset.location_of(r))
+                .take(sample_size)
+                .collect()
+        })
+    }
+
+    fn plan_partition_sampled(
+        &self,
+        query: &SpqQuery,
+        total: usize,
+        sample_with: impl FnOnce(usize, usize) -> Vec<Point>,
+    ) -> SpacePartition {
         let grid = self.plan_grid(query);
         match self.balancing {
             LoadBalancing::UniformGrid => grid.into(),
             LoadBalancing::AdaptiveQuadtree { sample_size } => {
                 let budget = grid.num_cells();
-                let total: usize = splits.iter().map(Vec::len).sum();
                 let stride = (total / sample_size.max(1)).max(1);
-                let sample: Vec<spq_spatial::Point> = splits
-                    .iter()
-                    .flatten()
-                    .step_by(stride)
-                    .filter(|o| o.is_data())
-                    .map(|o| o.location())
-                    .take(sample_size)
-                    .collect();
+                let sample = sample_with(stride, sample_size);
                 AdaptiveGrid::build_with_min_cell(self.bounds, &sample, budget, query.radius).into()
             }
         }
     }
 
     /// Runs the query over horizontally partitioned inputs given as
-    /// separate data and feature splits (cloning records into the job, as
-    /// a Hadoop job re-reads its input from HDFS).
+    /// separate data and feature splits. The objects are copied **once**
+    /// into a [`SharedDataset`] (as a Hadoop job reads its input from
+    /// HDFS once); from there on only object handles move.
     pub fn run(
         &self,
         data_splits: &[Vec<DataObject>],
         feature_splits: &[Vec<FeatureObject>],
         query: &SpqQuery,
     ) -> Result<SpqResult, SpqError> {
-        let splits: Vec<Vec<SpqObject>> = data_splits
-            .iter()
-            .map(|s| s.iter().map(|o| SpqObject::Data(*o)).collect())
-            .chain(
-                feature_splits
-                    .iter()
-                    .map(|s| s.iter().map(|f| SpqObject::Feature(f.clone())).collect()),
-            )
-            .collect();
-        self.run_splits(&splits, query)
+        let mut data = Vec::with_capacity(data_splits.iter().map(Vec::len).sum());
+        let mut features = Vec::with_capacity(feature_splits.iter().map(Vec::len).sum());
+        let mut splits: Vec<Vec<ObjectRef>> =
+            Vec::with_capacity(data_splits.len() + feature_splits.len());
+        for s in data_splits {
+            let start = data.len() as u32;
+            data.extend_from_slice(s);
+            splits.push((start..data.len() as u32).map(ObjectRef::Data).collect());
+        }
+        for s in feature_splits {
+            let start = features.len() as u32;
+            features.extend_from_slice(s);
+            splits.push(
+                (start..features.len() as u32)
+                    .map(ObjectRef::Feature)
+                    .collect(),
+            );
+        }
+        let dataset = SharedDataset::new(data, features);
+        self.run_shared(&dataset, &splits, query)
     }
 
-    /// Runs the query over pre-built mixed splits (no input copying —
-    /// what the benchmark harness uses).
+    /// Runs the query over pre-built mixed splits of owned records. The
+    /// records are copied **once** into a [`SharedDataset`]; callers that
+    /// evaluate many queries over the same objects should build the
+    /// shared dataset themselves and use
+    /// [`run_shared`](Self::run_shared).
     pub fn run_splits(
         &self,
         splits: &[Vec<SpqObject>],
         query: &SpqQuery,
     ) -> Result<SpqResult, SpqError> {
-        let grid = self.plan_partition(query, splits);
+        let (dataset, ref_splits) = SharedDataset::from_splits(splits);
+        self.run_shared(&dataset, &ref_splits, query)
+    }
+
+    /// Runs the query over a shared dataset with automatic round-robin
+    /// splitting (8 splits, matching `spq_data::Dataset::to_splits`'
+    /// default shape).
+    pub fn run_dataset(
+        &self,
+        dataset: &SharedDataset,
+        query: &SpqQuery,
+    ) -> Result<SpqResult, SpqError> {
+        self.run_shared(dataset, &dataset.ref_splits(8), query)
+    }
+
+    /// The zero-copy entry point: runs the query over reference splits
+    /// into a shared dataset. No object is cloned anywhere in the
+    /// pipeline — map tasks read through the store, the shuffle moves
+    /// 8–16-byte handles, reducers resolve them back against the store.
+    pub fn run_shared(
+        &self,
+        dataset: &SharedDataset,
+        splits: &[Vec<ObjectRef>],
+        query: &SpqQuery,
+    ) -> Result<SpqResult, SpqError> {
+        let grid = self.plan_partition_shared(query, dataset, splits);
         let runner = JobRunner::new(self.cluster);
         let (flat, stats) = match self.algorithm {
             Algorithm::PSpq => {
-                let mut task = PSpqTask::new(&grid, query);
+                let mut task = PSpqTask::new(dataset, &grid, query);
                 if !self.keyword_pruning {
                     task = task.without_pruning();
                 }
@@ -253,7 +325,7 @@ impl SpqExecutor {
                 (out.into_flat(), stats)
             }
             Algorithm::ESpqLen => {
-                let mut task = ESpqLenTask::new(&grid, query);
+                let mut task = ESpqLenTask::new(dataset, &grid, query);
                 if !self.keyword_pruning {
                     task = task.without_pruning();
                 }
@@ -262,7 +334,7 @@ impl SpqExecutor {
                 (out.into_flat(), stats)
             }
             Algorithm::ESpqSco => {
-                let mut task = ESpqScoTask::new(&grid, query);
+                let mut task = ESpqScoTask::new(dataset, &grid, query);
                 if !self.keyword_pruning {
                     task = task.without_pruning();
                 }

@@ -34,7 +34,9 @@
 //!   sort key (descending); the reducer reports data objects in score
 //!   order and stops after `k` (Section 5.2).
 //!
-//! [`SpqExecutor`] is the high-level entry point; [`centralized`] holds
+//! [`SpqExecutor`] is the high-level entry point; [`store`] holds the
+//! shared immutable dataset behind the zero-copy shuffle (records travel
+//! as 8–16-byte handles, never as cloned objects); [`centralized`] holds
 //! the exact baselines used as ground truth; [`theory`] implements the
 //! Section-6 duplication-factor and cost analysis.
 
@@ -45,6 +47,7 @@ pub mod merge;
 pub mod model;
 pub mod partitioning;
 pub mod query;
+pub mod store;
 pub mod theory;
 pub mod topk;
 pub mod validate;
@@ -53,4 +56,5 @@ pub use algo::Algorithm;
 pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
 pub use query::SpqQuery;
+pub use store::{ObjectRef, SharedDataset};
 pub use topk::TopKList;

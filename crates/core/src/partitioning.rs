@@ -14,6 +14,7 @@
 use crate::model::FeatureObject;
 use crate::query::SpqQuery;
 use spq_spatial::{CellId, Point, SpacePartition};
+use spq_text::Score;
 
 /// Counter: data objects routed by the map phase.
 pub const COUNTER_MAP_DATA: &str = "map.data_records";
@@ -38,6 +39,15 @@ pub const COUNTER_REDUCE_EARLY_TERMINATIONS: &str = "reduce.early_terminations";
 #[inline]
 pub fn route_data(grid: &SpacePartition, location: &Point) -> CellId {
     grid.cell_of(location)
+}
+
+/// The keyword pruning rule of Algorithm 1 line 9: a feature with no
+/// common keyword with `q.W` cannot contribute to any score. The map
+/// tasks apply this *before* scoring a feature, so pruned features cost
+/// neither a Jaccard computation nor a shuffle record.
+#[inline]
+pub fn feature_matches(query: &SpqQuery, feature: &FeatureObject) -> bool {
+    query.keywords.intersects(&feature.keywords)
 }
 
 /// Routes a feature object, applying the keyword pruning rule and Lemma-1
@@ -67,12 +77,37 @@ pub fn route_feature_with_pruning<F: FnMut(CellId)>(
     prune: bool,
     mut emit: F,
 ) -> bool {
-    if prune && !query.keywords.intersects(&feature.keywords) {
+    if prune && !feature_matches(query, feature) {
         return false;
     }
     emit(grid.cell_of(&feature.location));
     grid.for_each_duplication_target(&feature.location, query.radius, &mut emit);
     true
+}
+
+/// The shared map-side feature skeleton of Algorithms 1, 3 and 5: applies
+/// the keyword pruning rule, computes the feature's score **once**, and
+/// calls `emit(cell, score)` for the enclosing cell and every Lemma-1
+/// duplication target. Returns the number of emitted copies (>= 1), or
+/// `None` when the feature was pruned.
+#[inline]
+pub fn route_scored_feature<F: FnMut(CellId, Score)>(
+    grid: &SpacePartition,
+    query: &SpqQuery,
+    feature: &FeatureObject,
+    prune: bool,
+    mut emit: F,
+) -> Option<u64> {
+    if prune && !feature_matches(query, feature) {
+        return None;
+    }
+    let score = query.score(&feature.keywords);
+    let mut copies = 0u64;
+    route_feature_with_pruning(grid, query, feature, false, |c| {
+        copies += 1;
+        emit(c, score);
+    });
+    Some(copies)
 }
 
 /// Number of duplicate emissions a routed feature produces (convenience

@@ -1,0 +1,213 @@
+//! The shared, immutable dataset store behind the zero-copy data path.
+//!
+//! The map phase reads its input from splits and the reduce phase needs
+//! object locations (and, for scoring, keywords) — but none of that
+//! requires *owning* copies to travel through the shuffle. A
+//! [`SharedDataset`] holds each dataset exactly once behind
+//! `Arc<[DataObject]>` / `Arc<[FeatureObject]>`; splits and shuffle
+//! records refer to objects by dense `u32` index ([`ObjectRef`] on the
+//! input side, the algorithms' handle values on the shuffle side), so a
+//! record costs 8–16 bytes regardless of how many keywords a feature
+//! carries, and nothing is cloned per emitted copy.
+
+use crate::model::{DataObject, FeatureObject, SpqObject};
+use spq_spatial::Point;
+use std::sync::Arc;
+
+/// A reference to one object of a [`SharedDataset`] — the map-phase input
+/// record of the zero-copy pipeline (4 bytes of payload + discriminant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectRef {
+    /// Index into [`SharedDataset::data`].
+    Data(u32),
+    /// Index into [`SharedDataset::features`].
+    Feature(u32),
+}
+
+impl ObjectRef {
+    /// True for data-object references.
+    #[inline]
+    pub fn is_data(self) -> bool {
+        matches!(self, ObjectRef::Data(_))
+    }
+}
+
+/// Both datasets of one SPQ input, held once and shared immutably between
+/// the executor, every map task and every reduce task.
+#[derive(Debug, Clone)]
+pub struct SharedDataset {
+    data: Arc<[DataObject]>,
+    features: Arc<[FeatureObject]>,
+}
+
+impl SharedDataset {
+    /// Wraps the two datasets. This is the only copy the pipeline ever
+    /// makes; every split and shuffle record refers back into it.
+    pub fn new(data: Vec<DataObject>, features: Vec<FeatureObject>) -> Self {
+        assert!(
+            data.len() <= u32::MAX as usize && features.len() <= u32::MAX as usize,
+            "shared dataset indices are u32"
+        );
+        Self {
+            data: data.into(),
+            features: features.into(),
+        }
+    }
+
+    /// Builds a store from pre-built mixed splits, returning reference
+    /// splits with the identical structure (same split boundaries, same
+    /// order) — the compatibility path for callers still holding owned
+    /// [`SpqObject`] splits.
+    pub fn from_splits(splits: &[Vec<SpqObject>]) -> (Self, Vec<Vec<ObjectRef>>) {
+        let mut data = Vec::new();
+        let mut features = Vec::new();
+        let ref_splits = splits
+            .iter()
+            .map(|split| {
+                split
+                    .iter()
+                    .map(|o| match o {
+                        SpqObject::Data(d) => {
+                            data.push(*d);
+                            ObjectRef::Data((data.len() - 1) as u32)
+                        }
+                        SpqObject::Feature(f) => {
+                            features.push(f.clone());
+                            ObjectRef::Feature((features.len() - 1) as u32)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (Self::new(data, features), ref_splits)
+    }
+
+    /// The data objects `O`.
+    #[inline]
+    pub fn data(&self) -> &[DataObject] {
+        &self.data
+    }
+
+    /// The feature objects `F`.
+    #[inline]
+    pub fn features(&self) -> &[FeatureObject] {
+        &self.features
+    }
+
+    /// A shared handle on the data objects (no copy).
+    pub fn data_arc(&self) -> Arc<[DataObject]> {
+        Arc::clone(&self.data)
+    }
+
+    /// A shared handle on the feature objects (no copy).
+    pub fn features_arc(&self) -> Arc<[FeatureObject]> {
+        Arc::clone(&self.features)
+    }
+
+    /// Total number of objects, `|O| + |F|`.
+    pub fn total(&self) -> usize {
+        self.data.len() + self.features.len()
+    }
+
+    /// Resolves a reference to its location without branching on the kind
+    /// at the call site.
+    #[inline]
+    pub fn location_of(&self, r: ObjectRef) -> Point {
+        match r {
+            ObjectRef::Data(i) => self.data[i as usize].location,
+            ObjectRef::Feature(i) => self.features[i as usize].location,
+        }
+    }
+
+    /// Round-robin horizontal partitioning into `num_splits` mixed
+    /// reference splits (data objects first, then features — the same
+    /// layout `spq_data::Dataset::to_splits` produces, minus the clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_splits == 0`.
+    pub fn ref_splits(&self, num_splits: usize) -> Vec<Vec<ObjectRef>> {
+        assert!(num_splits > 0, "need at least one split");
+        let mut splits: Vec<Vec<ObjectRef>> = (0..num_splits)
+            .map(|_| Vec::with_capacity(self.total() / num_splits + 1))
+            .collect();
+        for i in 0..self.data.len() {
+            splits[i % num_splits].push(ObjectRef::Data(i as u32));
+        }
+        for i in 0..self.features.len() {
+            splits[i % num_splits].push(ObjectRef::Feature(i as u32));
+        }
+        splits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_text::KeywordSet;
+
+    fn sample() -> SharedDataset {
+        SharedDataset::new(
+            vec![
+                DataObject::new(1, Point::new(0.0, 0.0)),
+                DataObject::new(2, Point::new(1.0, 1.0)),
+            ],
+            vec![FeatureObject::new(
+                7,
+                Point::new(2.0, 2.0),
+                KeywordSet::from_ids([0, 3]),
+            )],
+        )
+    }
+
+    #[test]
+    fn accessors_resolve_refs() {
+        let ds = sample();
+        assert_eq!(ds.total(), 3);
+        assert_eq!(ds.data().len(), 2);
+        assert_eq!(ds.features().len(), 1);
+        assert_eq!(ds.location_of(ObjectRef::Data(1)), Point::new(1.0, 1.0));
+        assert_eq!(ds.location_of(ObjectRef::Feature(0)), Point::new(2.0, 2.0));
+        assert!(ObjectRef::Data(0).is_data());
+        assert!(!ObjectRef::Feature(0).is_data());
+    }
+
+    #[test]
+    fn arcs_share_storage() {
+        let ds = sample();
+        let a = ds.data_arc();
+        let b = ds.data_arc();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&ds.features_arc(), &ds.features_arc()));
+    }
+
+    #[test]
+    fn ref_splits_round_robin() {
+        let ds = sample();
+        let splits = ds.ref_splits(2);
+        assert_eq!(splits.len(), 2);
+        assert_eq!(
+            splits[0],
+            vec![ObjectRef::Data(0), ObjectRef::Feature(0)],
+            "even indices land in split 0"
+        );
+        assert_eq!(splits[1], vec![ObjectRef::Data(1)]);
+    }
+
+    #[test]
+    fn from_splits_preserves_structure() {
+        let ds = sample();
+        let owned: Vec<Vec<SpqObject>> = vec![
+            vec![
+                SpqObject::Data(ds.data()[1]),
+                SpqObject::Feature(ds.features()[0].clone()),
+            ],
+            vec![SpqObject::Data(ds.data()[0])],
+        ];
+        let (store, refs) = SharedDataset::from_splits(&owned);
+        assert_eq!(store.data()[0].id, 2, "store order follows split order");
+        assert_eq!(refs[0], vec![ObjectRef::Data(0), ObjectRef::Feature(0)]);
+        assert_eq!(refs[1], vec![ObjectRef::Data(1)]);
+        assert_eq!(store.total(), 3);
+    }
+}

@@ -1,6 +1,6 @@
 //! Generated datasets and their horizontal partitioning into splits.
 
-use spq_core::{DataObject, FeatureObject, SpqObject};
+use spq_core::{DataObject, FeatureObject, ObjectRef, SharedDataset, SpqObject};
 use spq_spatial::Rect;
 
 /// A complete SPQ input: the data objects `O`, the feature objects `F`,
@@ -52,6 +52,22 @@ impl Dataset {
             splits[i % num_splits].push(SpqObject::Feature(f.clone()));
         }
         splits
+    }
+
+    /// The shared-store counterpart of [`to_splits`](Self::to_splits):
+    /// copies the objects **once** into a [`SharedDataset`] (held behind
+    /// `Arc`s; this `Dataset` is untouched) and returns reference splits
+    /// with the identical round-robin layout. Queries run through
+    /// `SpqExecutor::run_shared` then shuffle 8–16 byte handles instead
+    /// of cloned objects, however many queries reuse the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_splits == 0`.
+    pub fn to_shared_splits(&self, num_splits: usize) -> (SharedDataset, Vec<Vec<ObjectRef>>) {
+        let dataset = SharedDataset::new(self.data.clone(), self.features.clone());
+        let splits = dataset.ref_splits(num_splits);
+        (dataset, splits)
     }
 
     /// Keeps only the first `data_n` data and `feature_n` feature objects

@@ -6,17 +6,20 @@
 //! termination avoided (features examined vs. skipped, duplicates created,
 //! map-side pruning), which is the quantitative backbone of EXPERIMENTS.md.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A set of named monotonic counters.
 ///
-/// Backed by a `BTreeMap` so that rendered output is deterministically
-/// ordered; counter cardinality is tiny (tens), so lookup cost is
-/// irrelevant next to the work being counted.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Backed by a short flat vector: counter cardinality is tiny (tens), and
+/// counters are bumped on the map/reduce hot path — once per record — so
+/// the lookup is a linear scan that compares the `&'static str` *pointer*
+/// first (the names are interned constants, so repeat bumps of the same
+/// counter hit on the first pointer compare) and falls back to a string
+/// compare only for distinct constants with equal text. This is several
+/// times cheaper per bump than the tree map it replaces.
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
+    values: Vec<(&'static str, u64)>,
 }
 
 impl Counters {
@@ -28,7 +31,13 @@ impl Counters {
     /// Adds `n` to the counter `name`, creating it at zero if absent.
     #[inline]
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.values.entry(name).or_insert(0) += n;
+        for (k, v) in &mut self.values {
+            if std::ptr::eq(*k as *const str, name as *const str) || *k == name {
+                *v += n;
+                return;
+            }
+        }
+        self.values.push((name, n));
     }
 
     /// Increments the counter by one.
@@ -39,19 +48,24 @@ impl Counters {
 
     /// Current value of a counter (0 if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        self.values
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map_or(0, |&(_, v)| v)
     }
 
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &Counters) {
-        for (&name, &v) in &other.values {
+        for &(name, v) in &other.values {
             self.add(name, v);
         }
     }
 
     /// Iterates over `(name, value)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(&k, &v)| (k, v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        sorted.into_iter()
     }
 
     /// True if no counter was ever touched.
@@ -59,6 +73,14 @@ impl Counters {
         self.values.is_empty()
     }
 }
+
+impl PartialEq for Counters {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Counters {}
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

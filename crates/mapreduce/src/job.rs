@@ -45,16 +45,32 @@ impl std::error::Error for JobError {}
 /// The result of a successful job.
 #[derive(Debug, Clone)]
 pub struct JobOutput<O> {
-    /// Outputs per reducer, in reducer order.
-    pub per_reducer: Vec<Vec<O>>,
+    /// Outputs per reducer, in reducer order. Private so the record
+    /// count cached in `num_records` can never go stale.
+    per_reducer: Vec<Vec<O>>,
     /// Execution statistics.
     pub stats: JobStats,
+    /// Total record count, cached at job completion so `len`/`is_empty`
+    /// don't rescan `per_reducer` on every call.
+    num_records: usize,
 }
 
 impl<O> JobOutput<O> {
+    /// The outputs per reducer, in reducer order.
+    pub fn per_reducer(&self) -> &[Vec<O>] {
+        &self.per_reducer
+    }
+
+    /// Consumes the output into the per-reducer vectors (reducer order).
+    pub fn into_per_reducer(self) -> Vec<Vec<O>> {
+        self.per_reducer
+    }
+
     /// Flattens the per-reducer outputs into one vector (reducer order).
     pub fn into_flat(self) -> Vec<O> {
-        self.per_reducer.into_iter().flatten().collect()
+        let mut flat = Vec::with_capacity(self.num_records);
+        flat.extend(self.per_reducer.into_iter().flatten());
+        flat
     }
 
     /// Iterates over all outputs without consuming.
@@ -62,14 +78,14 @@ impl<O> JobOutput<O> {
         self.per_reducer.iter().flatten()
     }
 
-    /// Total number of output records.
+    /// Total number of output records (cached; O(1)).
     pub fn len(&self) -> usize {
-        self.per_reducer.iter().map(Vec::len).sum()
+        self.num_records
     }
 
-    /// True when no reducer produced output.
+    /// True when no reducer produced output (cached; O(1)).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.num_records == 0
     }
 }
 
@@ -85,8 +101,15 @@ type MapTaskResult<T> = (
     Counters,
 );
 
-/// One reducer's shuffled input, handed off to its reduce task exactly once.
-type ReduceSlot<T> = Mutex<Option<Vec<(<T as MapReduceTask>::Key, <T as MapReduceTask>::Value)>>>;
+/// One reducer's shuffled input — the concatenated records plus the start
+/// offset of each sort run — handed off to its reduce task exactly once.
+type ReduceInput<T> = (
+    Vec<(<T as MapReduceTask>::Key, <T as MapReduceTask>::Value)>,
+    Vec<usize>,
+);
+
+/// See [`ReduceInput`].
+type ReduceSlot<T> = Mutex<Option<ReduceInput<T>>>;
 
 impl JobRunner {
     /// Creates a runner with the given cluster configuration.
@@ -112,6 +135,8 @@ impl JobRunner {
     ) -> Result<JobOutput<T::Output>, JobError> {
         let num_reducers = task.num_reducers();
         assert!(num_reducers > 0, "job needs at least one reducer");
+        let num_subs = task.num_subbuckets();
+        assert!(num_subs > 0, "job needs at least one subbucket");
         let job_start = Instant::now();
 
         // ---- Map phase -------------------------------------------------
@@ -120,11 +145,12 @@ impl JobRunner {
             run_tasks(self.config.workers, splits.len(), |i| {
                 let t0 = Instant::now();
                 let mut buckets: Vec<Vec<(T::Key, T::Value)>> =
-                    (0..num_reducers).map(|_| Vec::new()).collect();
+                    (0..num_reducers * num_subs).map(|_| Vec::new()).collect();
                 let mut counters = Counters::new();
                 let mut records_out = 0u64;
                 let mut ctx = MapContext {
                     buckets: &mut buckets,
+                    num_subbuckets: num_subs,
                     counters: &mut counters,
                     records_out: &mut records_out,
                 };
@@ -146,28 +172,52 @@ impl JobRunner {
         let map_wall = map_start.elapsed();
 
         // ---- Shuffle: regroup map buckets by reducer --------------------
-        // Buckets are concatenated in map-task order, which together with
-        // the stable reducer-side sort makes the job deterministic under
+        // Each reducer's input is assembled run by run (sub-bucket order,
+        // map-task order within a run) into one exactly-sized buffer, so
+        // the runs arrive pre-grouped and nothing is re-allocated mid-way.
+        // The deterministic concatenation order, together with the
+        // deterministic per-run sort, makes the job deterministic under
         // any worker count.
         let shuffle_start = Instant::now();
         let mut counters = Counters::new();
         let mut map_tasks = Vec::with_capacity(map_results.len());
-        let mut reducer_inputs: Vec<Vec<(T::Key, T::Value)>> =
-            (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut all_buckets: Vec<Vec<Vec<(T::Key, T::Value)>>> =
+            Vec::with_capacity(map_results.len());
         let mut shuffle_records = 0u64;
         for (buckets, stats, task_counters) in map_results {
             counters.merge(&task_counters);
             shuffle_records += stats.records_out;
             map_tasks.push(stats);
-            for (r, bucket) in buckets.into_iter().enumerate() {
-                reducer_inputs[r].extend(bucket);
+            all_buckets.push(buckets);
+        }
+        let mut reducer_inputs: Vec<ReduceInput<T>> = Vec::with_capacity(num_reducers);
+        for r in 0..num_reducers {
+            let total: usize = all_buckets
+                .iter()
+                .map(|b| {
+                    (0..num_subs)
+                        .map(|s| b[r * num_subs + s].len())
+                        .sum::<usize>()
+                })
+                .sum();
+            let mut input = Vec::with_capacity(total);
+            let mut run_starts = Vec::with_capacity(num_subs + 1);
+            for sub in 0..num_subs {
+                run_starts.push(input.len());
+                for buckets in &mut all_buckets {
+                    input.append(&mut buckets[r * num_subs + sub]);
+                }
             }
+            run_starts.push(input.len());
+            reducer_inputs.push((input, run_starts));
         }
         let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ----------------------------------------------
         // The reducer-side sort (Hadoop's merge) is attributed to the
-        // reduce task's duration, as in Hadoop.
+        // reduce task's duration, as in Hadoop. Only runs the task did not
+        // pre-group on the map side are sorted — for a fully sub-bucketed
+        // task this phase is comparison-free.
         let reduce_start = Instant::now();
         let slots: Vec<ReduceSlot<T>> = reducer_inputs
             .into_iter()
@@ -176,13 +226,37 @@ impl JobRunner {
         let reduce_results: Vec<(Vec<T::Output>, TaskStats, Counters)> =
             run_tasks(self.config.workers, num_reducers, |r| {
                 let t0 = Instant::now();
-                let mut buffer = slots[r].lock().take().expect("reduce input taken once");
+                let (mut buffer, run_starts) =
+                    slots[r].lock().take().expect("reduce input taken once");
                 let records_in = buffer.len() as u64;
                 // Unstable sort: Hadoop's merge likewise leaves the order
                 // of equal composite keys unspecified; pdqsort is
                 // deterministic for a given input order, which the
                 // map-task-ordered concatenation above fixes.
-                buffer.sort_unstable_by(|a, b| task.sort_cmp(&a.0, &b.0));
+                for sub in 0..num_subs {
+                    if task.subbucket_needs_sort(sub) {
+                        buffer[run_starts[sub]..run_starts[sub + 1]]
+                            .sort_unstable_by(|a, b| task.sort_cmp(&a.0, &b.0));
+                    }
+                }
+                // Canary for the sub-bucket contract (task.rs): sort
+                // order must never go backwards across a run boundary,
+                // or grouping would split a group across runs and
+                // reduce() would run on partial values. (Order *inside*
+                // a run the task declared unsorted is the task's own
+                // responsibility — it promised order-insensitivity.)
+                #[cfg(debug_assertions)]
+                for sub in 1..num_subs {
+                    let b = run_starts[sub];
+                    if b > 0 && b < buffer.len() {
+                        debug_assert!(
+                            task.sort_cmp(&buffer[b - 1].0, &buffer[b].0)
+                                != std::cmp::Ordering::Greater,
+                            "sub-bucket contract violated: subbucket() disagrees with \
+                             sort_cmp() for keys routed to reducer {r}"
+                        );
+                    }
+                }
 
                 let mut out = Vec::new();
                 let mut task_counters = Counters::new();
@@ -215,14 +289,17 @@ impl JobRunner {
 
         let mut per_reducer = Vec::with_capacity(num_reducers);
         let mut reduce_tasks = Vec::with_capacity(num_reducers);
+        let mut num_records = 0usize;
         for (out, stats, task_counters) in reduce_results {
             counters.merge(&task_counters);
             reduce_tasks.push(stats);
+            num_records += out.len();
             per_reducer.push(out);
         }
 
         Ok(JobOutput {
             per_reducer,
+            num_records,
             stats: JobStats {
                 map_tasks,
                 reduce_tasks,
@@ -420,10 +497,98 @@ mod tests {
             let out = runner
                 .run(&SecondarySort { take: usize::MAX }, &secondary_sort_input())
                 .unwrap();
-            out.per_reducer
+            out.into_per_reducer()
         };
         let base = run(1);
         for workers in [2, 3, 8] {
+            assert_eq!(run(workers), base);
+        }
+    }
+
+    /// Sub-bucketed task shaped like the SPQ jobs: one reducer per cell,
+    /// tag-0 records form an unsorted run delivered before the tag-1 run,
+    /// which alone is sorted by sequence.
+    struct SubBucketed;
+
+    impl MapReduceTask for SubBucketed {
+        type Input = (u32, u8, i64); // (cell, tag, seq)
+        type Key = (u32, u8, i64);
+        type Value = i64;
+        type Output = (u32, Vec<(u8, i64)>);
+
+        fn num_reducers(&self) -> usize {
+            2
+        }
+
+        fn map(&self, record: &(u32, u8, i64), ctx: &mut MapContext<'_, Self>) {
+            ctx.emit(self, *record, record.2);
+        }
+
+        fn partition(&self, key: &(u32, u8, i64)) -> usize {
+            key.0 as usize
+        }
+
+        fn sort_cmp(&self, a: &(u32, u8, i64), b: &(u32, u8, i64)) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn group_eq(&self, a: &(u32, u8, i64), b: &(u32, u8, i64)) -> bool {
+            a.0 == b.0
+        }
+
+        fn num_subbuckets(&self) -> usize {
+            2
+        }
+
+        fn subbucket(&self, key: &(u32, u8, i64)) -> usize {
+            key.1 as usize
+        }
+
+        fn subbucket_needs_sort(&self, sub: usize) -> bool {
+            sub == 1
+        }
+
+        fn reduce(
+            &self,
+            group: &(u32, u8, i64),
+            values: &mut GroupValues<'_, Self>,
+            ctx: &mut ReduceContext<'_, (u32, Vec<(u8, i64)>)>,
+        ) {
+            let order: Vec<(u8, i64)> = values.map(|(k, v)| (k.1, v)).collect();
+            ctx.emit((group.0, order));
+        }
+    }
+
+    fn subbucket_input() -> Vec<Vec<(u32, u8, i64)>> {
+        vec![
+            vec![(0, 1, 9), (0, 0, 5), (1, 0, 2)],
+            vec![(0, 0, 3), (0, 1, 1), (1, 1, 4)],
+        ]
+    }
+
+    #[test]
+    fn subbucket_runs_are_pre_grouped_and_selectively_sorted() {
+        let runner = JobRunner::new(ClusterConfig::sequential());
+        let out = runner.run(&SubBucketed, &subbucket_input()).unwrap();
+        let mut flat = out.into_flat();
+        flat.sort_by_key(|(cell, _)| *cell);
+        // Cell 0: tag-0 run in map-task concatenation order (5 from task 0,
+        // then 3 from task 1 — NOT sorted), then the tag-1 run sorted by
+        // sequence (1 before 9).
+        assert_eq!(flat[0], (0, vec![(0, 5), (0, 3), (1, 1), (1, 9)]));
+        assert_eq!(flat[1], (1, vec![(0, 2), (1, 4)]));
+    }
+
+    #[test]
+    fn subbucketed_job_is_worker_count_invariant() {
+        let run = |workers| {
+            JobRunner::new(ClusterConfig::with_workers(workers))
+                .run(&SubBucketed, &subbucket_input())
+                .unwrap()
+                .into_per_reducer()
+        };
+        let base = run(1);
+        for workers in [2, 4, 8] {
             assert_eq!(run(workers), base);
         }
     }

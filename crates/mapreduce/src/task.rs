@@ -18,6 +18,25 @@ use std::vec::IntoIter;
 /// [`sort_cmp`](MapReduceTask::sort_cmp) orders the *full* key, so the
 /// values of one group arrive at the reducer in a deliberate order (tag,
 /// keyword length, or score).
+///
+/// ## Sort-free grouping (sub-buckets)
+///
+/// A task whose sort order has a cheap, low-cardinality primary component
+/// can opt out of the full reducer-side comparison sort: override
+/// [`num_subbuckets`](MapReduceTask::num_subbuckets) and
+/// [`subbucket`](MapReduceTask::subbucket) so the map side buckets each
+/// record into its *sort run* directly. The shuffle concatenates the runs
+/// in sub-bucket order (map-task order within a run), and the reducer
+/// sorts only the runs for which
+/// [`subbucket_needs_sort`](MapReduceTask::subbucket_needs_sort) still
+/// returns `true` — shrinking the sorted range from "all records" to one
+/// run, or to nothing.
+///
+/// Contract: for any two keys `a`, `b` routed to the *same reducer*,
+/// `subbucket(a) < subbucket(b)` must imply `sort_cmp(a, b) == Less`. The
+/// SPQ tasks satisfy this trivially — with one reducer per grid cell, all
+/// keys of a reducer share the cell and the sub-bucket is exactly the
+/// data-before-features tag.
 pub trait MapReduceTask: Sync {
     /// One input record (the paper's data or feature object).
     type Input: Sync;
@@ -49,6 +68,27 @@ pub trait MapReduceTask: Sync {
         self.sort_cmp(a, b) == Ordering::Equal
     }
 
+    /// Number of pre-grouped sort runs per reducer. The default (1) keeps
+    /// the classic behaviour: one run per reducer, fully sorted.
+    fn num_subbuckets(&self) -> usize {
+        1
+    }
+
+    /// The sort run a key belongs to, in `0..num_subbuckets()`. Within one
+    /// reducer, run index must be consistent with `sort_cmp` (see the
+    /// trait-level contract).
+    fn subbucket(&self, _key: &Self::Key) -> usize {
+        0
+    }
+
+    /// Whether the concatenated run `sub` still needs the reducer-side
+    /// sort. Return `false` when any map-task-ordered concatenation of the
+    /// run is acceptable to [`reduce`](MapReduceTask::reduce) — the run is
+    /// then handed over exactly as shuffled, comparison-free.
+    fn subbucket_needs_sort(&self, _sub: usize) -> bool {
+        true
+    }
+
     /// The reduce function, called once per group with the values in
     /// sort order. Returning before `values` is exhausted is the early
     /// termination of Section 5 — the runtime drains and counts the
@@ -61,10 +101,13 @@ pub trait MapReduceTask: Sync {
     );
 }
 
-/// Map-side emit context: partitions records into per-reducer buckets as
-/// they are emitted and carries the task-local counters.
+/// Map-side emit context: partitions records into per-reducer, per-run
+/// buckets as they are emitted and carries the task-local counters.
+///
+/// Buckets are laid out flat as `reducer * num_subbuckets + subbucket`.
 pub struct MapContext<'a, T: MapReduceTask + ?Sized> {
     pub(crate) buckets: &'a mut Vec<Vec<(T::Key, T::Value)>>,
+    pub(crate) num_subbuckets: usize,
     pub(crate) counters: &'a mut Counters,
     pub(crate) records_out: &'a mut u64,
 }
@@ -74,8 +117,11 @@ impl<T: MapReduceTask + ?Sized> MapContext<'_, T> {
     #[inline]
     pub fn emit(&mut self, task: &T, key: T::Key, value: T::Value) {
         let r = task.partition(&key);
-        debug_assert!(r < self.buckets.len(), "partition {} out of range", r);
-        self.buckets[r].push((key, value));
+        let sub = task.subbucket(&key);
+        debug_assert!(sub < self.num_subbuckets, "subbucket {} out of range", sub);
+        let slot = r * self.num_subbuckets + sub;
+        debug_assert!(slot < self.buckets.len(), "partition {} out of range", r);
+        self.buckets[slot].push((key, value));
         *self.records_out += 1;
     }
 

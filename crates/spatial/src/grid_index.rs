@@ -11,10 +11,18 @@ use crate::point::Point;
 use crate::rect::Rect;
 
 /// A static grid-bucketed index over items with a point location.
+///
+/// Storage is a CSR (compressed sparse row) layout: one flat, cell-grouped
+/// item slice plus a per-cell offset table. A radius scan touches one
+/// contiguous range per visited cell — no pointer-chasing through nested
+/// vectors — and `len` is the flat slice's length, O(1).
 #[derive(Debug, Clone)]
 pub struct GridIndex<T> {
     grid: Grid,
-    buckets: Vec<Vec<(Point, T)>>,
+    /// `offsets[c]..offsets[c + 1]` is cell `c`'s range in `items`.
+    offsets: Box<[u32]>,
+    /// All items, grouped by cell, insertion order preserved within a cell.
+    items: Box<[(Point, T)]>,
 }
 
 impl<T> GridIndex<T> {
@@ -28,26 +36,52 @@ impl<T> GridIndex<T> {
         Self::build_with_grid(Grid::new(bounds, n_axis, n_axis), items)
     }
 
-    /// Builds an index over an explicit grid.
+    /// Builds an index over an explicit grid: a stable sort by cell id
+    /// groups the items (preserving insertion order within a cell), and a
+    /// counting pass produces the offset table.
     pub fn build_with_grid<I>(grid: Grid, items: I) -> Self
     where
         I: IntoIterator<Item = (Point, T)>,
     {
-        let mut buckets: Vec<Vec<(Point, T)>> = (0..grid.num_cells()).map(|_| Vec::new()).collect();
-        for (p, item) in items {
-            buckets[grid.cell_of(&p).index()].push((p, item));
+        let mut keyed: Vec<(u32, (Point, T))> = items
+            .into_iter()
+            .map(|item| (grid.cell_of(&item.0).index() as u32, item))
+            .collect();
+        assert!(
+            keyed.len() <= u32::MAX as usize,
+            "grid index offsets are u32"
+        );
+        keyed.sort_by_key(|&(c, _)| c);
+        let num_cells = grid.num_cells();
+        let mut offsets = vec![0u32; num_cells + 1];
+        for &(c, _) in &keyed {
+            offsets[c as usize + 1] += 1;
         }
-        Self { grid, buckets }
+        for c in 0..num_cells {
+            offsets[c + 1] += offsets[c];
+        }
+        Self {
+            grid,
+            offsets: offsets.into_boxed_slice(),
+            items: keyed.into_iter().map(|(_, item)| item).collect(),
+        }
     }
 
-    /// Total number of indexed items.
+    /// Total number of indexed items (O(1)).
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(Vec::len).sum()
+        self.items.len()
     }
 
-    /// True when the index holds no items.
+    /// True when the index holds no items (O(1)).
     pub fn is_empty(&self) -> bool {
-        self.buckets.iter().all(Vec::is_empty)
+        self.items.is_empty()
+    }
+
+    /// One cell's contiguous item range.
+    #[inline]
+    fn cell_items(&self, cell: crate::grid::CellId) -> &[(Point, T)] {
+        let c = cell.index();
+        &self.items[self.offsets[c] as usize..self.offsets[c + 1] as usize]
     }
 
     /// Calls `f` for every item within distance `r` of `center`.
@@ -62,7 +96,7 @@ impl<T> GridIndex<T> {
         // Visit the center's own cell plus every Lemma-1 neighbour; that is
         // exactly the set of cells whose MINDIST to the center is <= r.
         let mut visit = |cell: crate::grid::CellId| {
-            for (p, item) in &self.buckets[cell.index()] {
+            for (p, item) in self.cell_items(cell) {
                 if p.dist_sq(center) <= r_sq {
                     f(p, item);
                 }

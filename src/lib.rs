@@ -60,8 +60,8 @@ pub use spq_text as text;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use spq_core::{
-        Algorithm, DataObject, FeatureObject, LoadBalancing, RankedObject, SpqExecutor, SpqQuery,
-        SpqResult,
+        Algorithm, DataObject, FeatureObject, LoadBalancing, ObjectRef, RankedObject,
+        SharedDataset, SpqExecutor, SpqQuery, SpqResult,
     };
     pub use spq_data::{ClusteredGen, DatasetGenerator, FlickrLike, TwitterLike, UniformGen};
     pub use spq_mapreduce::ClusterConfig;

@@ -1,0 +1,202 @@
+//! Equivalence and determinism properties of the zero-copy pipeline.
+//!
+//! The shared-dataset refactor must be invisible to results. For any
+//! world, any algorithm, any worker count in {1, 2, 8} and either
+//! partitioning strategy — including boundary-duplicate-heavy radii where
+//! Lemma-1 copies features into many cells — the handle-based pipeline
+//! must return results that are *exact* against the centralized
+//! brute-force oracle (same length, same score multiset, every reported
+//! score the object's true `τ(p)`, canonical order — the paper's tie
+//! contract, see `spq_core::validate`), and **byte-identical** across
+//! worker counts. On tie-free worlds the result is byte-identical to the
+//! oracle outright. Shuffle record counts must not depend on the worker
+//! count either (determinism of the routing, not just of the results).
+
+use proptest::prelude::*;
+use spq::core::{centralized, validate, SharedDataset};
+use spq::prelude::*;
+use spq::text::Term;
+
+/// Strategy: a small spatio-textual world with a radius range reaching
+/// half the data space — at fine grids that duplicates every matching
+/// feature into dozens of cells.
+fn world() -> impl Strategy<
+    Value = (
+        Vec<DataObject>,
+        Vec<FeatureObject>,
+        Vec<u32>, // query keywords
+        f64,      // radius (up to 0.5 on a unit space: duplicate-heavy)
+        u8,       // k
+        u8,       // grid cells per axis
+    ),
+> {
+    let coord = 0.0f64..1.0;
+    let data = proptest::collection::vec((coord.clone(), coord.clone()), 0..30);
+    let features = proptest::collection::vec(
+        (
+            coord.clone(),
+            coord,
+            proptest::collection::vec(0u32..10, 1..5),
+        ),
+        0..40,
+    );
+    let query_kw = proptest::collection::vec(0u32..10, 1..4);
+    (data, features, query_kw, 0.01f64..0.5, 1u8..6, 1u8..10).prop_map(|(d, f, kw, r, k, g)| {
+        let data: Vec<DataObject> = d
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| DataObject::new(i as u64, Point::new(x, y)))
+            .collect();
+        let features: Vec<FeatureObject> = f
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w))| {
+                FeatureObject::new(
+                    i as u64,
+                    Point::new(x, y),
+                    KeywordSet::new(w.into_iter().map(Term).collect()),
+                )
+            })
+            .collect();
+        (data, features, kw, r, k, g)
+    })
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco];
+const BALANCERS: [LoadBalancing; 2] = [
+    LoadBalancing::UniformGrid,
+    LoadBalancing::AdaptiveQuadtree { sample_size: 16 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactness against the oracle for every algorithm × worker count ×
+    /// partitioning, plus byte-identity across worker counts.
+    #[test]
+    fn prop_zero_copy_pipeline_is_exact_and_worker_invariant(
+        (data, features, kw, r, k, g) in world()
+    ) {
+        let query = SpqQuery::new(k as usize, r, KeywordSet::from_ids(kw));
+        let baseline = centralized::brute_force(&data, &features, &query);
+
+        let dataset = SharedDataset::new(data.clone(), features.clone());
+        let splits = dataset.ref_splits(3);
+        for algo in ALGORITHMS {
+            for balancing in BALANCERS {
+                let mut first: Option<Vec<RankedObject>> = None;
+                for workers in WORKER_COUNTS {
+                    let result = SpqExecutor::new(Rect::unit())
+                        .algorithm(algo)
+                        .grid_size(g as u32)
+                        .load_balancing(balancing)
+                        .cluster(ClusterConfig::with_workers(workers))
+                        .run_shared(&dataset, &splits, &query)
+                        .unwrap();
+                    let check =
+                        validate::check_result(&result.top_k, &baseline, &data, &features, &query);
+                    prop_assert!(
+                        check.is_ok(),
+                        "{} workers={} balancing={:?}: {:?}",
+                        algo,
+                        workers,
+                        balancing,
+                        check
+                    );
+                    match &first {
+                        None => first = Some(result.top_k),
+                        Some(expect) => prop_assert_eq!(
+                            &result.top_k,
+                            expect,
+                            "{} must be byte-identical across worker counts",
+                            algo
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shuffle record counts (and every other counter) are a function of
+    /// the input and the grid — never of the worker count.
+    #[test]
+    fn prop_shuffle_records_worker_count_invariant(
+        (data, features, kw, r, k, g) in world()
+    ) {
+        let query = SpqQuery::new(k as usize, r, KeywordSet::from_ids(kw));
+        let dataset = SharedDataset::new(data, features);
+        let splits = dataset.ref_splits(4);
+        for algo in ALGORITHMS {
+            let runs: Vec<_> = WORKER_COUNTS
+                .iter()
+                .map(|&workers| {
+                    SpqExecutor::new(Rect::unit())
+                        .algorithm(algo)
+                        .grid_size(g as u32)
+                        .cluster(ClusterConfig::with_workers(workers))
+                        .run_shared(&dataset, &splits, &query)
+                        .unwrap()
+                })
+                .collect();
+            for run in &runs[1..] {
+                prop_assert_eq!(
+                    run.stats.shuffle_records,
+                    runs[0].stats.shuffle_records,
+                    "{}: shuffle volume must be worker-count-invariant",
+                    algo
+                );
+                prop_assert_eq!(&run.stats.counters, &runs[0].stats.counters);
+                prop_assert_eq!(&run.top_k, &runs[0].top_k);
+            }
+        }
+    }
+}
+
+/// A deterministic, duplicate-heavy, *tie-free* world: feature `i`
+/// carries keywords `{0..=i}` so all scores against `q.W = {0..7}` are
+/// distinct — here the distributed result must be byte-identical to the
+/// brute-force oracle for every combination, with a radius large enough
+/// that every matching feature floods many cells.
+#[test]
+fn duplicate_storm_is_byte_identical_on_distinct_scores() {
+    let features: Vec<FeatureObject> = (0..8)
+        .map(|i| {
+            FeatureObject::new(
+                i,
+                Point::new(0.11 * i as f64 + 0.05, 0.48),
+                KeywordSet::from_ids(0..=i as u32),
+            )
+        })
+        .collect();
+    let data: Vec<DataObject> = (0..8)
+        .map(|i| DataObject::new(i, Point::new(0.11 * i as f64 + 0.06, 0.52)))
+        .collect();
+    let query = SpqQuery::new(5, 0.3, KeywordSet::from_ids(0..8));
+    let oracle = centralized::brute_force(&data, &features, &query);
+    assert_eq!(oracle.len(), 5);
+
+    let dataset = SharedDataset::new(data, features);
+    let splits = dataset.ref_splits(5);
+    for algo in ALGORITHMS {
+        for balancing in BALANCERS {
+            for workers in WORKER_COUNTS {
+                let result = SpqExecutor::new(Rect::unit())
+                    .algorithm(algo)
+                    .grid_size(9)
+                    .load_balancing(balancing)
+                    .cluster(ClusterConfig::with_workers(workers))
+                    .run_shared(&dataset, &splits, &query)
+                    .unwrap();
+                assert_eq!(result.top_k, oracle, "{algo} workers={workers}");
+                // The storm really is a storm on the fixed 9x9 grid: far
+                // more shuffle records than input objects. (The quadtree
+                // builds coarser cells at this radius and duplicates
+                // less — that's its job.)
+                if balancing == LoadBalancing::UniformGrid {
+                    assert!(result.stats.shuffle_records > 40);
+                }
+            }
+        }
+    }
+}
