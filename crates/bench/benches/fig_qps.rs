@@ -1,0 +1,83 @@
+//! fig_qps — serving throughput beyond the paper: per-query index
+//! rebuild vs the persistent `QueryEngine` (sequential, batched,
+//! concurrent) on the fig7-uniform QPS workload.
+//!
+//! Expected shape: every engine mode beats the rebuild lifecycle, the
+//! batched mode leads on a single core (keyword-index candidate pruning
+//! shrinks the map pass), and the concurrent mode scales with cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_bench::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
+use spq_core::{Algorithm, QueryEngine, SpqExecutor};
+use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+
+fn fig_qps(c: &mut Criterion) {
+    let dataset = UniformGen.generate(scaled(DEFAULT_SIZE_UN, 0.02), 2017);
+    let cell = 1.0 / DEFAULT_GRID_SYNTH as f64;
+    let mut stream = QueryStream::new(
+        dataset.vocab_size,
+        StreamConfig {
+            radius_classes: [5.0, 10.0, 25.0]
+                .iter()
+                .map(|pct| cell * pct / 100.0)
+                .collect(),
+            hotspot_fraction: 0.5,
+            hotspots: 8,
+            seed: 2017 ^ 13,
+            ..StreamConfig::default()
+        },
+    );
+    let queries = stream.batch(16);
+    let owned_splits = dataset.to_splits(8);
+    let (shared, _) = dataset.to_shared_splits(8);
+    let workers = ClusterConfig::auto().workers;
+
+    let mut group = c.benchmark_group("fig_qps_serving");
+    group.sample_size(10);
+    for algo in Algorithm::ALL {
+        let exec = SpqExecutor::new(Rect::unit())
+            .algorithm(algo)
+            .grid_size(DEFAULT_GRID_SYNTH)
+            .cluster(ClusterConfig::auto());
+        let engine = QueryEngine::new(exec.clone(), shared.clone());
+
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "rebuild"),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    qs.iter()
+                        .map(|q| exec.run_splits(&owned_splits, q).unwrap().top_k.len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "engine"),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    qs.iter()
+                        .map(|q| engine.query(q).unwrap().top_k.len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "engine-batch"),
+            &queries,
+            |b, qs| b.iter(|| engine.query_batch(qs).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "engine-serve"),
+            &queries,
+            |b, qs| b.iter(|| engine.serve(qs, workers).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_qps);
+criterion_main!(benches);

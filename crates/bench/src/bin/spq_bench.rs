@@ -3,20 +3,28 @@
 //! ```text
 //! spq-bench [--scale F] [--seed N] [--workers N] [--repeats N]
 //!           [--queries N] [--grid N] [--out FILE]
+//!           [--qps-queries N] [--qps-batch N] [--qps-out FILE]
 //! ```
 //!
-//! Runs the fig7-uniform and fig9-clustered workloads across all three
-//! algorithms through both the current zero-copy pipeline and the
-//! fossilised pre-refactor baseline, and writes median wall-clock per
-//! phase, shuffle record counts and bytes-per-record estimates to
-//! `BENCH_PR2.json` (override with `--out`).
+//! Two sections, each writing its own trajectory document:
+//!
+//! 1. **Zero-copy trajectory** (`BENCH_PR2.json`): the fig7-uniform and
+//!    fig9-clustered workloads across all three algorithms through the
+//!    current zero-copy pipeline and the fossilised pre-refactor baseline
+//!    (median wall-clock per phase, shuffle records, bytes per record).
+//! 2. **Serving throughput** (`BENCH_PR3.json`): the fig7-uniform QPS
+//!    workload through the per-query-rebuild lifecycle and the persistent
+//!    `QueryEngine` (sequential, batched, concurrent) — queries/sec and
+//!    p50/p99 latency per mode.
 
+use spq_bench::qps::{qps_to_json, run_qps, QpsConfig};
 use spq_bench::trajectory::{run_trajectory, to_json, TrajectoryConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
-         [--queries N] [--grid N] [--out FILE]"
+         [--queries N] [--grid N] [--out FILE] \
+         [--qps-queries N] [--qps-batch N] [--qps-out FILE]"
     );
     std::process::exit(2)
 }
@@ -24,7 +32,9 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = TrajectoryConfig::default();
+    let mut qps_cfg = QpsConfig::default();
     let mut out_path = String::from("BENCH_PR2.json");
+    let mut qps_out_path = String::from("BENCH_PR3.json");
 
     let next = |i: &mut usize, args: &[String]| -> String {
         *i += 1;
@@ -40,6 +50,13 @@ fn main() {
             "--queries" => cfg.queries = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
             "--grid" => cfg.grid = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = next(&mut i, &args),
+            "--qps-queries" => {
+                qps_cfg.queries = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
+            }
+            "--qps-batch" => {
+                qps_cfg.batch = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
+            }
+            "--qps-out" => qps_out_path = next(&mut i, &args),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -48,6 +65,11 @@ fn main() {
         }
         i += 1;
     }
+    // The QPS section follows the shared knobs.
+    qps_cfg.scale = cfg.scale;
+    qps_cfg.seed = cfg.seed;
+    qps_cfg.workers = cfg.workers;
+    qps_cfg.grid = cfg.grid;
 
     let reports = run_trajectory(&cfg);
     let json = to_json(&cfg, &reports);
@@ -70,6 +92,33 @@ fn main() {
                 c.baseline.bytes_per_record,
                 c.current.bytes_per_record,
                 c.bytes_per_record_ratio(),
+            );
+        }
+    }
+
+    let qps_report = run_qps(&qps_cfg);
+    let qps_json = qps_to_json(&qps_cfg, &qps_report);
+    std::fs::write(&qps_out_path, &qps_json).expect("write qps report");
+
+    println!("\nwrote {qps_out_path}");
+    println!(
+        "\n{} ({} objects, {} queries, batch {}, {} workers):",
+        qps_report.id, qps_report.objects, qps_cfg.queries, qps_cfg.batch, qps_cfg.workers
+    );
+    for a in &qps_report.algorithms {
+        println!("  {}:", a.algorithm.name());
+        println!(
+            "    {:<14}{:>10}{:>12}{:>12}{:>14}",
+            "mode", "qps", "p50 ms", "p99 ms", "vs rebuild"
+        );
+        for m in &a.modes {
+            println!(
+                "    {:<14}{:>10.1}{:>12.3}{:>12.3}{:>13.2}x",
+                m.id,
+                m.qps,
+                m.p50_ms,
+                m.p99_ms,
+                a.qps_vs_rebuild(m.id),
             );
         }
     }

@@ -23,6 +23,7 @@
 pub mod baseline;
 pub mod figures;
 pub mod params;
+pub mod qps;
 pub mod report;
 pub mod trajectory;
 

@@ -1,0 +1,341 @@
+//! The throughput (QPS) harness behind the `fig_qps` benchmark and the
+//! `BENCH_PR3.json` section of the `spq-bench` binary.
+//!
+//! The paper measures one query per MapReduce job; this harness measures
+//! **serving**: a stream of queries (Zipf-skewed keywords, radius
+//! classes, hotspot repetition — see `spq_data::QueryStream`) evaluated
+//! over the fig7-uniform workload through four modes:
+//!
+//! | mode | lifecycle |
+//! |---|---|
+//! | `rebuild` | the pre-engine job-per-query path: every query re-copies the datasets into a fresh store and re-plans/re-routes the partition ([`SpqExecutor::run_splits`]) |
+//! | `engine` | one [`QueryEngine`]: store, splits, keyword index and per-radius routing built once, queries evaluated sequentially |
+//! | `engine-batch` | the engine's batched entry point: candidate features resolved through the build-once keyword index |
+//! | `engine-serve` | the engine's concurrent entry point: independent single-threaded jobs on the worker pool |
+//!
+//! Every mode must return byte-identical `top_k` lists — the harness
+//! asserts it — so the numbers compare pure lifecycle overhead. Reported
+//! per mode: queries/second, p50/p99 per-query latency, total wall.
+
+use crate::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
+use spq_core::{Algorithm, QueryEngine, RankedObject, SpqExecutor};
+use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
+use spq_mapreduce::pool::run_tasks;
+use spq_mapreduce::ClusterConfig;
+use spq_spatial::Rect;
+use std::time::{Duration, Instant};
+
+/// Configuration of one QPS run.
+#[derive(Debug, Clone)]
+pub struct QpsConfig {
+    /// Multiplier on the harness default dataset size.
+    pub scale: f64,
+    /// RNG seed for the dataset and the query stream.
+    pub seed: u64,
+    /// Worker threads: intra-query workers for `rebuild`/`engine`/
+    /// `engine-batch`, inter-query workers for `engine-serve`.
+    pub workers: usize,
+    /// Length of the measured query stream.
+    pub queries: usize,
+    /// Batch size for `engine-batch`.
+    pub batch: usize,
+    /// Grid cells per axis.
+    pub grid: u32,
+    /// Fraction of the stream served from the hotspot pool.
+    pub hotspot_fraction: f64,
+    /// Number of hotspot queries in the pool.
+    pub hotspots: usize,
+}
+
+impl Default for QpsConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.02,
+            seed: 2017,
+            workers: ClusterConfig::auto().workers,
+            queries: 64,
+            batch: 16,
+            grid: DEFAULT_GRID_SYNTH,
+            hotspot_fraction: 0.5,
+            hotspots: 8,
+        }
+    }
+}
+
+/// Throughput and latency of one serving mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeStats {
+    /// Mode id (`rebuild`, `engine`, `engine-batch`, `engine-serve`).
+    pub id: &'static str,
+    /// Queries per second over the whole stream.
+    pub qps: f64,
+    /// Median per-query latency, milliseconds. For `engine-batch` the
+    /// per-query latency is the batch wall amortized over its queries.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Total wall-clock of the stream, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One algorithm's serving modes.
+#[derive(Debug, Clone)]
+pub struct QpsAlgoReport {
+    /// The algorithm measured.
+    pub algorithm: Algorithm,
+    /// Per-mode stats, in the order rebuild / engine / engine-batch /
+    /// engine-serve.
+    pub modes: Vec<ModeStats>,
+}
+
+impl QpsAlgoReport {
+    /// Looks a mode up by id.
+    pub fn mode(&self, id: &str) -> Option<&ModeStats> {
+        self.modes.iter().find(|m| m.id == id)
+    }
+
+    /// Throughput of `id` relative to the `rebuild` mode.
+    pub fn qps_vs_rebuild(&self, id: &str) -> f64 {
+        let rebuild = self.mode("rebuild").map_or(0.0, |m| m.qps);
+        self.mode(id).map_or(0.0, |m| m.qps) / rebuild.max(1e-12)
+    }
+}
+
+/// The full QPS report of one workload.
+#[derive(Debug, Clone)]
+pub struct QpsReport {
+    /// Workload id.
+    pub id: &'static str,
+    /// Total objects in the generated dataset.
+    pub objects: usize,
+    /// Per-algorithm mode measurements, in [`Algorithm::ALL`] order.
+    pub algorithms: Vec<QpsAlgoReport>,
+}
+
+/// Linear-interpolation percentile over a sorted sample, so p50 of an
+/// even-length sample is the true midpoint rather than the upper middle.
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() - 1) as f64 * p;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let (a, b) = (
+        sorted[lo].as_secs_f64() * 1e3,
+        sorted[hi].as_secs_f64() * 1e3,
+    );
+    a + (b - a) * frac
+}
+
+fn mode_stats(id: &'static str, mut latencies: Vec<Duration>, wall: Duration) -> ModeStats {
+    latencies.sort_unstable();
+    ModeStats {
+        id,
+        qps: latencies.len() as f64 / wall.as_secs_f64().max(1e-12),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs the QPS comparison on the fig7-uniform workload.
+pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
+    let size = scaled(DEFAULT_SIZE_UN, cfg.scale);
+    eprintln!("[fig7-uniform-qps] generating {size} objects");
+    let dataset = UniformGen.generate(size, cfg.seed);
+    let cell = 1.0 / cfg.grid as f64;
+    let mut stream = QueryStream::new(
+        dataset.vocab_size,
+        StreamConfig {
+            radius_classes: [5.0, 10.0, 25.0]
+                .iter()
+                .map(|pct| cell * pct / 100.0)
+                .collect(),
+            hotspot_fraction: cfg.hotspot_fraction,
+            hotspots: cfg.hotspots,
+            seed: cfg.seed ^ 13,
+            ..StreamConfig::default()
+        },
+    );
+    let queries = stream.batch(cfg.queries);
+    // Built once, shared by every rebuild-mode query — the rebuild cost
+    // measured is the store copy + plan + routing, not dataset generation.
+    let owned_splits = dataset.to_splits(8);
+    let (shared, _) = dataset.to_shared_splits(8);
+
+    let algorithms = Algorithm::ALL
+        .iter()
+        .map(|&algorithm| {
+            eprintln!(
+                "[fig7-uniform-qps] {algorithm}: {} queries x 4 modes",
+                queries.len()
+            );
+            let exec = SpqExecutor::new(Rect::unit())
+                .algorithm(algorithm)
+                .grid_size(cfg.grid)
+                .cluster(ClusterConfig::with_workers(cfg.workers));
+            let engine = QueryEngine::new(exec.clone(), shared.clone());
+
+            // -- rebuild: the job-per-query lifecycle ---------------------
+            let mut latencies = Vec::with_capacity(queries.len());
+            let mut reference: Vec<Vec<RankedObject>> = Vec::with_capacity(queries.len());
+            let wall = Instant::now();
+            for q in &queries {
+                let t0 = Instant::now();
+                let result = exec.run_splits(&owned_splits, q).expect("rebuild job");
+                latencies.push(t0.elapsed());
+                reference.push(result.top_k);
+            }
+            let rebuild = mode_stats("rebuild", latencies, wall.elapsed());
+
+            // -- engine: build-once state, sequential queries -------------
+            let mut latencies = Vec::with_capacity(queries.len());
+            let wall = Instant::now();
+            for (q, expect) in queries.iter().zip(&reference) {
+                let t0 = Instant::now();
+                let result = engine.query(q).expect("engine job");
+                latencies.push(t0.elapsed());
+                assert_eq!(&result.top_k, expect, "{algorithm}: engine diverged");
+            }
+            let engine_seq = mode_stats("engine", latencies, wall.elapsed());
+
+            // -- engine-batch: keyword-index candidate pruning ------------
+            let mut latencies = Vec::with_capacity(queries.len());
+            let wall = Instant::now();
+            for (chunk, expect) in queries
+                .chunks(cfg.batch.max(1))
+                .zip(reference.chunks(cfg.batch.max(1)))
+            {
+                let t0 = Instant::now();
+                let results = engine.query_batch(chunk).expect("batch job");
+                let amortized = t0.elapsed() / chunk.len() as u32;
+                for (result, expect) in results.iter().zip(expect) {
+                    assert_eq!(&result.top_k, expect, "{algorithm}: batch diverged");
+                    latencies.push(amortized);
+                }
+            }
+            let engine_batch = mode_stats("engine-batch", latencies, wall.elapsed());
+
+            // -- engine-serve: inter-query concurrency --------------------
+            let wall = Instant::now();
+            let outcomes = run_tasks(cfg.workers.max(1), queries.len(), |i| {
+                let t0 = Instant::now();
+                let result = engine.query_sequential(&queries[i]).expect("serve job");
+                (t0.elapsed(), result.top_k)
+            })
+            .expect("serve pool");
+            let wall = wall.elapsed();
+            let mut latencies = Vec::with_capacity(queries.len());
+            for (i, (latency, top_k)) in outcomes.into_iter().enumerate() {
+                assert_eq!(top_k, reference[i], "{algorithm}: serve diverged");
+                latencies.push(latency);
+            }
+            let engine_serve = mode_stats("engine-serve", latencies, wall);
+
+            QpsAlgoReport {
+                algorithm,
+                modes: vec![rebuild, engine_seq, engine_batch, engine_serve],
+            }
+        })
+        .collect();
+
+    QpsReport {
+        id: "fig7-uniform-qps",
+        objects: dataset.total(),
+        algorithms,
+    }
+}
+
+fn json_mode(m: &ModeStats) -> String {
+    format!(
+        "{{ \"id\": \"{}\", \"qps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"wall_ms\": {:.3} }}",
+        m.id, m.qps, m.p50_ms, m.p99_ms, m.wall_ms
+    )
+}
+
+/// Renders the report as the `BENCH_PR3.json` document.
+pub fn qps_to_json(cfg: &QpsConfig, report: &QpsReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"spq-bench qps\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{ \"scale\": {}, \"seed\": {}, \"workers\": {}, \"queries\": {}, \"batch\": {}, \"grid\": {}, \"hotspot_fraction\": {}, \"hotspots\": {} }},\n",
+        cfg.scale,
+        cfg.seed,
+        cfg.workers,
+        cfg.queries,
+        cfg.batch,
+        cfg.grid,
+        cfg.hotspot_fraction,
+        cfg.hotspots
+    ));
+    out.push_str(&format!(
+        "  \"workloads\": [\n    {{\n      \"id\": \"{}\",\n      \"objects\": {},\n      \"algorithms\": [\n",
+        report.id, report.objects
+    ));
+    for (ai, a) in report.algorithms.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\n          \"name\": \"{}\",\n          \"modes\": [\n",
+            a.algorithm.name()
+        ));
+        for (mi, m) in a.modes.iter().enumerate() {
+            out.push_str(&format!(
+                "            {}{}\n",
+                json_mode(m),
+                if mi + 1 < a.modes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "          ],\n          \"qps_vs_rebuild\": {{ \"engine\": {:.2}, \"engine-batch\": {:.2}, \"engine-serve\": {:.2} }}\n        }}{}\n",
+            a.qps_vs_rebuild("engine"),
+            a.qps_vs_rebuild("engine-batch"),
+            a.qps_vs_rebuild("engine-serve"),
+            if ai + 1 < report.algorithms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_qps_run_measures_and_renders() {
+        let cfg = QpsConfig {
+            scale: 1e-9, // clamps to the 1k-object floor
+            queries: 6,
+            batch: 3,
+            workers: 2,
+            ..QpsConfig::default()
+        };
+        // run_qps asserts every mode's results are byte-identical to the
+        // rebuild reference, so completing at all is the correctness part.
+        let report = run_qps(&cfg);
+        assert_eq!(report.algorithms.len(), 3);
+        for a in &report.algorithms {
+            assert_eq!(a.modes.len(), 4);
+            for m in &a.modes {
+                assert!(m.qps > 0.0, "{}: {} qps", a.algorithm, m.id);
+                assert!(m.p50_ms <= m.p99_ms, "{}: {}", a.algorithm, m.id);
+            }
+            assert!(a.mode("engine-batch").is_some());
+        }
+        let json = qps_to_json(&cfg, &report);
+        assert!(json.contains("\"fig7-uniform-qps\""));
+        assert!(json.contains("\"qps_vs_rebuild\""));
+    }
+
+    #[test]
+    fn percentiles_on_sorted_latencies() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let stats = mode_stats("engine", vec![ms(4), ms(1), ms(2), ms(3)], ms(10));
+        assert_eq!(stats.p50_ms, 2.5); // true midpoint of {1,2,3,4}
+        assert!((stats.p99_ms - 3.97).abs() < 1e-9); // rank 2.97 between 3 and 4
+        assert!((stats.qps - 400.0).abs() < 1e-9);
+        // Odd-length sample: exact middle element.
+        let stats = mode_stats("engine", vec![ms(3), ms(1), ms(2)], ms(10));
+        assert_eq!(stats.p50_ms, 2.0);
+    }
+}

@@ -23,14 +23,14 @@
 
 use crate::model::RankedObject;
 use crate::partitioning::{
-    route_data, route_scored_feature, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
+    route_data, route_scored_feature, CellRouting, COUNTER_MAP_DATA, COUNTER_MAP_DUPLICATES,
     COUNTER_MAP_FEATURES, COUNTER_MAP_PRUNED, COUNTER_REDUCE_DISTANCE_CHECKS,
     COUNTER_REDUCE_EARLY_TERMINATIONS, COUNTER_REDUCE_FEATURES_EXAMINED,
 };
 use crate::query::SpqQuery;
 use crate::store::{ObjectRef, SharedDataset};
 use spq_mapreduce::{GroupValues, MapContext, MapReduceTask, ReduceContext};
-use spq_spatial::{Point, SpacePartition};
+use spq_spatial::{CellId, Point, SpacePartition};
 use spq_text::Score;
 use std::cmp::Ordering;
 
@@ -52,6 +52,7 @@ pub struct ESpqScoTask<'a> {
     grid: &'a SpacePartition,
     query: &'a SpqQuery,
     prune: bool,
+    routing: Option<&'a CellRouting>,
 }
 
 impl<'a> ESpqScoTask<'a> {
@@ -63,6 +64,7 @@ impl<'a> ESpqScoTask<'a> {
             grid,
             query,
             prune: true,
+            routing: None,
         }
     }
 
@@ -70,6 +72,15 @@ impl<'a> ESpqScoTask<'a> {
     /// unchanged, the shuffle just carries every feature object).
     pub fn without_pruning(mut self) -> Self {
         self.prune = false;
+        self
+    }
+
+    /// Routes through prebuilt [`CellRouting`] tables (built for this
+    /// query's radius over `grid`) instead of walking the partition per
+    /// record — the engine's build-once path. Results are byte-identical.
+    pub fn with_routing(mut self, routing: &'a CellRouting) -> Self {
+        debug_assert_eq!(routing.radius().to_bits(), self.query.radius.to_bits());
+        self.routing = Some(routing);
         self
     }
 }
@@ -91,8 +102,10 @@ impl MapReduceTask for ESpqScoTask<'_> {
         match *record {
             ObjectRef::Data(i) => {
                 ctx.counters().inc(COUNTER_MAP_DATA);
-                let o = &self.dataset.data()[i as usize];
-                let cell = route_data(self.grid, &o.location);
+                let cell = match self.routing {
+                    Some(rt) => rt.data_cell(i),
+                    None => route_data(self.grid, &self.dataset.data()[i as usize].location),
+                };
                 ctx.emit(
                     self,
                     ScoKey {
@@ -109,8 +122,9 @@ impl MapReduceTask for ESpqScoTask<'_> {
                 // zero-score features travel too and the reducer stops
                 // at them (they sort last). Scored once per feature;
                 // every routed copy reuses it.
-                let routed = route_scored_feature(self.grid, self.query, f, self.prune, |c, w| {
-                    debug_assert!(!self.prune || !w.is_zero());
+                let prune = self.prune;
+                let mut emit = |c: CellId, w: Score| {
+                    debug_assert!(!prune || !w.is_zero());
                     ctx.emit(
                         self,
                         ScoKey {
@@ -119,7 +133,11 @@ impl MapReduceTask for ESpqScoTask<'_> {
                         },
                         ObjectRef::Feature(i),
                     );
-                });
+                };
+                let routed = match self.routing {
+                    Some(rt) => rt.route_scored_feature(self.query, f, i, self.prune, &mut emit),
+                    None => route_scored_feature(self.grid, self.query, f, self.prune, &mut emit),
+                };
                 match routed {
                     Some(copies) => {
                         ctx.counters().inc(COUNTER_MAP_FEATURES);

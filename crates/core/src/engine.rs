@@ -1,0 +1,541 @@
+//! The persistent query engine: build indexes once, serve many queries.
+//!
+//! The paper evaluates one query per MapReduce job, and
+//! [`SpqExecutor`] mirrors that lifecycle: every call re-plans the
+//! partition, re-routes every object and (on the owned-input entry
+//! points) re-copies the datasets. A serving system amortizes all of that
+//! across the query stream. [`QueryEngine`] is that system:
+//!
+//! * **Build once** — construction pins the [`SharedDataset`] and its
+//!   reference splits; the first query at each radius plans the space
+//!   partition and fossilises the full map-side routing into
+//!   [`CellRouting`] lookup tables (cached per radius, shared by every
+//!   later query); a [`KeywordIndex`] inverted index over the feature
+//!   keywords is built eagerly at construction.
+//! * **Serve many** — [`query`](QueryEngine::query) evaluates one query
+//!   against the prebuilt state, byte-identical to a fresh
+//!   [`SpqExecutor::run_dataset`] job; [`query_batch`](QueryEngine::query_batch)
+//!   additionally resolves each query's matching features through the
+//!   keyword index, so the map phase scans only candidate features
+//!   instead of the whole feature set; [`serve`](QueryEngine::serve)
+//!   pushes independent queries through the `spq-mapreduce` worker pool —
+//!   parallelism comes from **inter-query concurrency** (each query runs
+//!   as a single-threaded job), the right shape for high-QPS traffic of
+//!   many small queries.
+//!
+//! Determinism carries over from the job runner: for a fixed engine and
+//! query, every entry point returns the same bytes regardless of worker
+//! counts, and `query` matches a fresh per-query executor job exactly
+//! (`tests/engine_reuse.rs` proves both properties with proptests).
+//!
+//! ```
+//! use spq_core::{Algorithm, DataObject, FeatureObject, QueryEngine, SpqExecutor, SpqQuery};
+//! use spq_core::SharedDataset;
+//! use spq_spatial::{Point, Rect};
+//! use spq_text::KeywordSet;
+//!
+//! let dataset = SharedDataset::new(
+//!     vec![DataObject::new(1, Point::new(4.6, 4.8))],
+//!     vec![FeatureObject::new(4, Point::new(3.8, 5.5), KeywordSet::from_ids([0]))],
+//! );
+//! let executor = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+//!     .algorithm(Algorithm::ESpqSco)
+//!     .grid_size(4);
+//!
+//! // Build once…
+//! let engine = QueryEngine::new(executor, dataset);
+//!
+//! // …then serve an arbitrary stream of queries against the same state.
+//! let q1 = SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]));
+//! let q2 = SpqQuery::new(1, 2.5, KeywordSet::from_ids([0, 7]));
+//! assert_eq!(engine.query(&q1).unwrap().top_k[0].object, 1);
+//!
+//! let batch = engine.query_batch(&[q1.clone(), q2.clone()]).unwrap();
+//! assert_eq!(batch.len(), 2);
+//!
+//! let served = engine.serve(&[q1, q2], 2).unwrap();
+//! assert_eq!(served[0].top_k, batch[0].top_k);
+//! assert_eq!(engine.cached_plans(), 2); // one routing plan per radius
+//! ```
+
+use crate::executor::{SpqError, SpqExecutor, SpqResult};
+use crate::model::FeatureObject;
+use crate::partitioning::CellRouting;
+use crate::query::SpqQuery;
+use crate::store::{ObjectRef, SharedDataset};
+use parking_lot::Mutex;
+use spq_mapreduce::pool::run_tasks;
+use spq_mapreduce::{ClusterConfig, JobContext};
+use spq_spatial::SpacePartition;
+use spq_text::{KeywordSet, Term};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An inverted index from keyword to the feature objects carrying it.
+///
+/// Postings are CSR-packed (one flat, term-grouped slice of feature
+/// indices plus a per-term offset table) and each term's posting list is
+/// ascending, so merging a query's lists yields the candidate features in
+/// store order — exactly the order the map phase would have visited them.
+/// This is the engine's build-once replacement for the per-query keyword
+/// pruning scan: instead of testing `q.W ∩ f.W` for every feature on
+/// every query, a batched query probes `|q.W|` posting lists.
+#[derive(Debug, Clone)]
+pub struct KeywordIndex {
+    /// `postings[offsets[t]..offsets[t + 1]]` are the features carrying
+    /// term `t`, ascending.
+    offsets: Box<[usize]>,
+    postings: Box<[u32]>,
+}
+
+impl KeywordIndex {
+    /// Builds the index over a feature set (one pass to count, one pass
+    /// to fill).
+    pub fn build(features: &[FeatureObject]) -> Self {
+        let num_terms = features
+            .iter()
+            .flat_map(|f| f.keywords.iter())
+            .map(|t| t.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut offsets = vec![0usize; num_terms + 1];
+        for f in features {
+            for t in f.keywords.iter() {
+                offsets[t.index() + 1] += 1;
+            }
+        }
+        for t in 0..num_terms {
+            offsets[t + 1] += offsets[t];
+        }
+        let mut postings = vec![0u32; offsets[num_terms]];
+        let mut cursor = offsets.clone();
+        for (i, f) in features.iter().enumerate() {
+            for t in f.keywords.iter() {
+                postings[cursor[t.index()]] = i as u32;
+                cursor[t.index()] += 1;
+            }
+        }
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            postings: postings.into_boxed_slice(),
+        }
+    }
+
+    /// Number of distinct term slots (= highest indexed term id + 1).
+    pub fn num_terms(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The ascending feature indices carrying `term` (empty for terms no
+    /// feature carries).
+    pub fn postings(&self, term: Term) -> &[u32] {
+        if term.index() + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.postings[self.offsets[term.index()]..self.offsets[term.index() + 1]]
+    }
+
+    /// The features sharing at least one keyword with `keywords` —
+    /// exactly the set the map-side pruning rule of Algorithm 1 line 9
+    /// would keep — ascending and deduplicated.
+    pub fn candidates(&self, keywords: &KeywordSet) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for t in keywords.iter() {
+            out.extend_from_slice(self.postings(t));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// One cached per-radius plan: the space partition plus its prebuilt
+/// routing tables.
+#[derive(Debug)]
+struct PartitionPlan {
+    partition: Arc<SpacePartition>,
+    routing: CellRouting,
+}
+
+/// Upper bound on cached per-radius plans. Serving workloads use a small
+/// set of radius classes, so the bound exists purely as a memory safety
+/// valve against adversarial streams of distinct radii: each plan pins an
+/// `O(|O| + |F|·duplication)` routing table, and on overflow an arbitrary
+/// cached plan is evicted (plans rebuild deterministically, so eviction
+/// only costs time, never correctness).
+const MAX_CACHED_PLANS: usize = 64;
+
+/// A long-lived SPQ serving engine over one dataset.
+///
+/// See the [module docs](self) for the lifecycle. Construction is cheap
+/// apart from the keyword index (one pass over the feature keywords); the
+/// per-radius partition plans are built lazily by the first query that
+/// needs them and cached (keyed by the exact radius bits — real
+/// workloads use a small set of radius classes; a bound of 64 plans
+/// guards against unbounded-radius streams, evicting arbitrarily).
+///
+/// The engine is `Sync`: [`serve`](QueryEngine::serve) shares it across
+/// the worker pool, and external callers may do the same.
+#[derive(Debug)]
+pub struct QueryEngine {
+    exec: SpqExecutor,
+    serve_exec: SpqExecutor,
+    dataset: SharedDataset,
+    splits: Vec<Vec<ObjectRef>>,
+    /// The data-object prefix of every split — the immutable part of a
+    /// candidate-pruned batch split.
+    data_splits: Vec<Vec<ObjectRef>>,
+    keyword_index: KeywordIndex,
+    plans: Mutex<HashMap<u64, Arc<PartitionPlan>>>,
+    ctx: JobContext,
+}
+
+/// The engine's default split count — matches
+/// [`SpqExecutor::run_dataset`], so `engine.query` is byte-identical to
+/// the per-query path it replaces.
+pub const DEFAULT_NUM_SPLITS: usize = 8;
+
+impl QueryEngine {
+    /// Builds an engine over `dataset` with [`DEFAULT_NUM_SPLITS`]
+    /// round-robin splits. `executor` supplies the full query
+    /// configuration (bounds, algorithm, grid sizing, load balancing,
+    /// pruning, cluster).
+    pub fn new(executor: SpqExecutor, dataset: SharedDataset) -> Self {
+        Self::with_num_splits(executor, dataset, DEFAULT_NUM_SPLITS)
+    }
+
+    /// [`new`](Self::new) with an explicit number of round-robin splits
+    /// (= map tasks per job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_splits == 0`.
+    pub fn with_num_splits(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        num_splits: usize,
+    ) -> Self {
+        assert!(num_splits > 0, "engine needs at least one split");
+        let splits = dataset.ref_splits(num_splits);
+        // Derived from the actual splits (not re-derived from the
+        // round-robin rule) so the candidate-split layout can never drift
+        // from the full-split layout byte-identity depends on.
+        let data_splits: Vec<Vec<ObjectRef>> = splits
+            .iter()
+            .map(|s| s.iter().copied().filter(|r| r.is_data()).collect())
+            .collect();
+        let keyword_index = KeywordIndex::build(dataset.features());
+        let serve_exec = executor.clone().cluster(ClusterConfig::sequential());
+        Self {
+            exec: executor,
+            serve_exec,
+            dataset,
+            splits,
+            data_splits,
+            keyword_index,
+            plans: Mutex::new(HashMap::new()),
+            ctx: JobContext::new(),
+        }
+    }
+
+    /// The shared dataset the engine serves.
+    pub fn dataset(&self) -> &SharedDataset {
+        &self.dataset
+    }
+
+    /// The executor configuration the engine was built from.
+    pub fn executor(&self) -> &SpqExecutor {
+        &self.exec
+    }
+
+    /// The build-once inverted keyword index.
+    pub fn keyword_index(&self) -> &KeywordIndex {
+        &self.keyword_index
+    }
+
+    /// Number of per-radius partition plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// The cached plan for this query's radius, built on first use.
+    fn plan(&self, query: &SpqQuery) -> Arc<PartitionPlan> {
+        let key = query.radius.to_bits();
+        if let Some(plan) = self.plans.lock().get(&key) {
+            return Arc::clone(plan);
+        }
+        // Built outside the lock: concurrent builders may race, but the
+        // planning is deterministic so every racer builds the same plan
+        // and the first insert wins.
+        let partition = self
+            .exec
+            .plan_partition_shared(query, &self.dataset, &self.splits);
+        let routing = CellRouting::build(&partition, &self.dataset, query.radius);
+        let plan = Arc::new(PartitionPlan {
+            partition: Arc::new(partition),
+            routing,
+        });
+        let mut plans = self.plans.lock();
+        if plans.len() >= MAX_CACHED_PLANS && !plans.contains_key(&key) {
+            if let Some(&evict) = plans.keys().next() {
+                plans.remove(&evict);
+            }
+        }
+        Arc::clone(plans.entry(key).or_insert(plan))
+    }
+
+    fn run_with(
+        &self,
+        exec: &SpqExecutor,
+        splits: &[Vec<ObjectRef>],
+        query: &SpqQuery,
+    ) -> Result<SpqResult, SpqError> {
+        let plan = self.plan(query);
+        exec.run_planned(
+            &self.dataset,
+            splits,
+            query,
+            Arc::clone(&plan.partition),
+            Some(&plan.routing),
+            Some(&self.ctx),
+        )
+    }
+
+    /// Evaluates one query against the prebuilt state.
+    ///
+    /// Byte-identical — results, counters, record counts — to a fresh
+    /// [`SpqExecutor::run_dataset`] job over the same dataset; only the
+    /// plan/routing work is served from cache instead of being redone.
+    pub fn query(&self, query: &SpqQuery) -> Result<SpqResult, SpqError> {
+        self.run_with(&self.exec, &self.splits, query)
+    }
+
+    /// [`query`](Self::query) forced onto a single-threaded job — the
+    /// per-query building block of [`serve`](Self::serve), where
+    /// parallelism comes from running many such jobs concurrently. Same
+    /// bytes as `query` (jobs are worker-count-invariant).
+    pub fn query_sequential(&self, query: &SpqQuery) -> Result<SpqResult, SpqError> {
+        self.run_with(&self.serve_exec, &self.splits, query)
+    }
+
+    /// Evaluates a batch of queries, sharing the build-once structures
+    /// across the batch and pruning each query's map pass down to its
+    /// candidate features.
+    ///
+    /// Instead of letting every job test `q.W ∩ f.W` against all of `F`,
+    /// the batch resolves each query's matching features through the
+    /// [`KeywordIndex`] (one probe per query keyword) and maps over
+    /// splits containing only those candidates — the cells, scores and
+    /// emitted records are exactly those of [`query`](Self::query), so
+    /// `top_k` is byte-identical; only input-side statistics (map records
+    /// in, pruned-feature counters) differ, because pruned features are
+    /// no longer read at all. With keyword pruning disabled on the
+    /// executor (the shuffle-ablation mode), the batch falls back to full
+    /// splits.
+    ///
+    /// Results are returned in query order.
+    pub fn query_batch(&self, queries: &[SpqQuery]) -> Result<Vec<SpqResult>, SpqError> {
+        queries
+            .iter()
+            .map(|query| {
+                if self.exec.keyword_pruning_enabled() {
+                    let candidates = self.keyword_index.candidates(&query.keywords);
+                    let splits = self.candidate_splits(&candidates);
+                    self.run_with(&self.exec, &splits, query)
+                } else {
+                    self.run_with(&self.exec, &self.splits, query)
+                }
+            })
+            .collect()
+    }
+
+    /// Builds batch splits holding every data object plus only the
+    /// candidate features, preserving the engine's round-robin layout
+    /// (and therefore the per-split record order the shuffle depends on
+    /// for byte-identical output).
+    fn candidate_splits(&self, candidates: &[u32]) -> Vec<Vec<ObjectRef>> {
+        let n = self.data_splits.len();
+        let mut splits = self.data_splits.clone();
+        for &i in candidates {
+            splits[i as usize % n].push(ObjectRef::Feature(i));
+        }
+        splits
+    }
+
+    /// Evaluates independent queries concurrently on `workers` threads of
+    /// the `spq-mapreduce` pool, each as a single-threaded job
+    /// ([`query_sequential`](Self::query_sequential)) — inter-query
+    /// concurrency instead of intra-query splits, so a stream of small
+    /// queries saturates the host without oversubscribing it.
+    ///
+    /// Results come back in query order and are byte-identical to calling
+    /// [`query`](Self::query) sequentially, for any worker count.
+    pub fn serve(&self, queries: &[SpqQuery], workers: usize) -> Result<Vec<SpqResult>, SpqError> {
+        let outcomes = run_tasks(workers.max(1), queries.len(), |i| {
+            self.query_sequential(&queries[i])
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("query {}: {}", p.task_index, p.message),
+        })?;
+        outcomes.into_iter().collect()
+    }
+
+    /// [`serve`](Self::serve) with the worker count of
+    /// [`ClusterConfig::auto`] — which honours the `SPQ_WORKERS`
+    /// environment override and falls back to 4 workers on hosts that do
+    /// not report their parallelism (see
+    /// [`ClusterConfig::auto`] for the full resolution order).
+    pub fn serve_auto(&self, queries: &[SpqQuery]) -> Result<Vec<SpqResult>, SpqError> {
+        self.serve(queries, ClusterConfig::auto().workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DataObject;
+    use spq_spatial::{Point, Rect};
+
+    fn feature(id: u64, x: f64, y: f64, kw: &[u32]) -> FeatureObject {
+        FeatureObject::new(
+            id,
+            Point::new(x, y),
+            KeywordSet::from_ids(kw.iter().copied()),
+        )
+    }
+
+    fn paper_dataset() -> SharedDataset {
+        SharedDataset::new(
+            vec![
+                DataObject::new(1, Point::new(4.6, 4.8)),
+                DataObject::new(2, Point::new(7.5, 1.7)),
+                DataObject::new(3, Point::new(8.9, 5.2)),
+                DataObject::new(4, Point::new(1.8, 1.8)),
+                DataObject::new(5, Point::new(1.9, 9.0)),
+            ],
+            vec![
+                feature(1, 2.8, 1.2, &[0, 1]),
+                feature(2, 5.0, 3.8, &[2, 3]),
+                feature(3, 8.7, 1.9, &[4, 5]),
+                feature(4, 3.8, 5.5, &[0]),
+                feature(5, 5.2, 5.1, &[6, 7]),
+                feature(6, 7.4, 5.4, &[8, 9]),
+                feature(7, 3.0, 8.1, &[0, 10]),
+                feature(8, 9.5, 7.0, &[11]),
+            ],
+        )
+    }
+
+    fn executor() -> SpqExecutor {
+        SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4)
+    }
+
+    #[test]
+    fn keyword_index_posting_lists() {
+        let ds = paper_dataset();
+        let idx = KeywordIndex::build(ds.features());
+        assert_eq!(idx.num_terms(), 12);
+        // Term 0 appears on features f1, f4, f7 (indices 0, 3, 6).
+        assert_eq!(idx.postings(Term(0)), &[0, 3, 6]);
+        assert_eq!(idx.postings(Term(11)), &[7]);
+        assert_eq!(idx.postings(Term(999)), &[] as &[u32]);
+        assert_eq!(
+            idx.candidates(&KeywordSet::from_ids([0, 11, 500])),
+            vec![0, 3, 6, 7]
+        );
+        assert!(idx.candidates(&KeywordSet::from_ids([77])).is_empty());
+    }
+
+    #[test]
+    fn keyword_index_on_empty_features() {
+        let idx = KeywordIndex::build(&[]);
+        assert_eq!(idx.num_terms(), 0);
+        assert!(idx.candidates(&KeywordSet::from_ids([0])).is_empty());
+    }
+
+    #[test]
+    fn engine_query_matches_fresh_executor_job() {
+        let exec = executor();
+        let dataset = paper_dataset();
+        let engine = QueryEngine::new(exec.clone(), dataset.clone());
+        for (k, r, kw) in [(1, 1.5, vec![0]), (3, 1.5, vec![0]), (2, 2.5, vec![0, 4])] {
+            let q = SpqQuery::new(k, r, KeywordSet::from_ids(kw));
+            let fresh = exec.run_dataset(&dataset, &q).unwrap();
+            let served = engine.query(&q).unwrap();
+            assert_eq!(served.top_k, fresh.top_k);
+            assert_eq!(served.stats.counters, fresh.stats.counters);
+            assert_eq!(served.stats.shuffle_records, fresh.stats.shuffle_records);
+            // Replays are stable.
+            assert_eq!(engine.query(&q).unwrap().top_k, served.top_k);
+        }
+        assert_eq!(engine.cached_plans(), 2); // radii 1.5 and 2.5
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let queries: Vec<SpqQuery> = [
+            (1usize, 1.5, vec![0u32]),
+            (3, 1.5, vec![0]),
+            (2, 2.0, vec![4, 5]),
+        ]
+        .into_iter()
+        .map(|(k, r, kw)| SpqQuery::new(k, r, KeywordSet::from_ids(kw)))
+        .collect();
+        let batch = engine.query_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(b.top_k, engine.query(q).unwrap().top_k, "{q}");
+        }
+    }
+
+    #[test]
+    fn serve_preserves_query_order_for_any_worker_count() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let queries: Vec<SpqQuery> = (1..=5)
+            .map(|k| SpqQuery::new(k, 1.5, KeywordSet::from_ids([0])))
+            .collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| engine.query(q).unwrap().top_k)
+            .collect();
+        for workers in [1, 2, 8] {
+            let served = engine.serve(&queries, workers).unwrap();
+            let got: Vec<_> = served.into_iter().map(|r| r.top_k).collect();
+            assert_eq!(got, sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_without_pruning_still_matches() {
+        let exec = executor().keyword_pruning(false);
+        let dataset = paper_dataset();
+        let engine = QueryEngine::new(exec.clone(), dataset.clone());
+        let q = SpqQuery::new(3, 1.5, KeywordSet::from_ids([0]));
+        let batch = engine.query_batch(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(
+            batch[0].top_k,
+            exec.run_dataset(&dataset, &q).unwrap().top_k
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        // An adversarial stream of distinct radii must not grow the cache
+        // past the bound — and eviction must not disturb results.
+        let q_at = |r: f64| SpqQuery::new(1, r, KeywordSet::from_ids([0]));
+        let expect = engine.query(&q_at(1.5)).unwrap().top_k;
+        for i in 0..(MAX_CACHED_PLANS + 20) {
+            let r = 1.0 + i as f64 * 1e-3;
+            engine.query(&q_at(r)).unwrap();
+            assert!(engine.cached_plans() <= MAX_CACHED_PLANS);
+        }
+        assert_eq!(engine.query(&q_at(1.5)).unwrap().top_k, expect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_splits_rejected() {
+        let _ = QueryEngine::with_num_splits(executor(), paper_dataset(), 0);
+    }
+}

@@ -6,12 +6,14 @@ use crate::algo::pspq::PSpqTask;
 use crate::algo::Algorithm;
 use crate::merge::merge_top_k;
 use crate::model::{DataObject, FeatureObject, RankedObject, SpqObject};
+use crate::partitioning::CellRouting;
 use crate::query::SpqQuery;
 use crate::store::{ObjectRef, SharedDataset};
 use crate::theory::auto_grid_size;
-use spq_mapreduce::{ClusterConfig, JobError, JobRunner, JobStats};
+use spq_mapreduce::{ClusterConfig, JobContext, JobError, JobRunner, JobStats};
 use spq_spatial::{AdaptiveGrid, Grid, Point, Rect, SpacePartition};
 use std::fmt;
+use std::sync::Arc;
 
 /// How the query-time grid is sized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,17 +54,24 @@ pub enum LoadBalancing {
     },
 }
 
-/// Errors surfaced by [`SpqExecutor::run`].
+/// Errors surfaced by [`SpqExecutor::run`] and the engine entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpqError {
     /// The underlying MapReduce job failed.
     Job(JobError),
+    /// A query worker of [`crate::engine::QueryEngine::serve`] panicked
+    /// outside any MapReduce phase.
+    Worker {
+        /// Human-readable description of the failed query task.
+        message: String,
+    },
 }
 
 impl fmt::Display for SpqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpqError::Job(e) => write!(f, "mapreduce job failed: {e}"),
+            SpqError::Worker { message } => write!(f, "query worker failed: {message}"),
         }
     }
 }
@@ -86,8 +95,10 @@ pub struct SpqResult {
     pub stats: JobStats,
     /// The algorithm that ran.
     pub algorithm: Algorithm,
-    /// The query-time space partition that was used.
-    pub partition: SpacePartition,
+    /// The query-time space partition that was used. Shared (`Arc`) so a
+    /// serving engine can hand out its cached partition without cloning
+    /// it per query.
+    pub partition: Arc<SpacePartition>,
 }
 
 /// Configures and runs distributed spatial preference queries.
@@ -313,42 +324,75 @@ impl SpqExecutor {
         query: &SpqQuery,
     ) -> Result<SpqResult, SpqError> {
         let grid = self.plan_partition_shared(query, dataset, splits);
+        self.run_planned(dataset, splits, query, Arc::new(grid), None, None)
+    }
+
+    /// Runs the query over a **pre-planned** partition — the building
+    /// block behind [`crate::engine::QueryEngine`], which plans (and
+    /// caches) partitions itself. `routing` optionally supplies prebuilt
+    /// [`CellRouting`] tables for the partition at this query's radius;
+    /// `ctx` optionally supplies a reusable [`JobContext`] so a stream of
+    /// per-query jobs recycles its task scratch state. Both are pure
+    /// optimizations: for the same partition the result is byte-identical
+    /// to [`run_shared`](Self::run_shared).
+    pub fn run_planned(
+        &self,
+        dataset: &SharedDataset,
+        splits: &[Vec<ObjectRef>],
+        query: &SpqQuery,
+        partition: Arc<SpacePartition>,
+        routing: Option<&CellRouting>,
+        ctx: Option<&JobContext>,
+    ) -> Result<SpqResult, SpqError> {
         let runner = JobRunner::new(self.cluster);
+        let scratch;
+        let ctx = match ctx {
+            Some(ctx) => ctx,
+            None => {
+                scratch = JobContext::new();
+                &scratch
+            }
+        };
+        macro_rules! run_task {
+            ($task_type:ident) => {{
+                let mut task = $task_type::new(dataset, &partition, query);
+                if !self.keyword_pruning {
+                    task = task.without_pruning();
+                }
+                if let Some(routing) = routing {
+                    task = task.with_routing(routing);
+                }
+                let out = runner.run_in(ctx, &task, splits)?;
+                let stats = out.stats.clone();
+                (out.into_flat(), stats)
+            }};
+        }
         let (flat, stats) = match self.algorithm {
-            Algorithm::PSpq => {
-                let mut task = PSpqTask::new(dataset, &grid, query);
-                if !self.keyword_pruning {
-                    task = task.without_pruning();
-                }
-                let out = runner.run(&task, splits)?;
-                let stats = out.stats.clone();
-                (out.into_flat(), stats)
-            }
-            Algorithm::ESpqLen => {
-                let mut task = ESpqLenTask::new(dataset, &grid, query);
-                if !self.keyword_pruning {
-                    task = task.without_pruning();
-                }
-                let out = runner.run(&task, splits)?;
-                let stats = out.stats.clone();
-                (out.into_flat(), stats)
-            }
-            Algorithm::ESpqSco => {
-                let mut task = ESpqScoTask::new(dataset, &grid, query);
-                if !self.keyword_pruning {
-                    task = task.without_pruning();
-                }
-                let out = runner.run(&task, splits)?;
-                let stats = out.stats.clone();
-                (out.into_flat(), stats)
-            }
+            Algorithm::PSpq => run_task!(PSpqTask),
+            Algorithm::ESpqLen => run_task!(ESpqLenTask),
+            Algorithm::ESpqSco => run_task!(ESpqScoTask),
         };
         Ok(SpqResult {
             top_k: merge_top_k(flat, query.k),
             stats,
             algorithm: self.algorithm,
-            partition: grid,
+            partition,
         })
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm_choice(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured cluster.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        self.cluster
+    }
+
+    /// Whether the map-side keyword pruning rule is enabled.
+    pub fn keyword_pruning_enabled(&self) -> bool {
+        self.keyword_pruning
     }
 }
 

@@ -34,14 +34,21 @@
 //!   sort key (descending); the reducer reports data objects in score
 //!   order and stops after `k` (Section 5.2).
 //!
-//! [`SpqExecutor`] is the high-level entry point; [`store`] holds the
-//! shared immutable dataset behind the zero-copy shuffle (records travel
-//! as 8–16-byte handles, never as cloned objects); [`centralized`] holds
-//! the exact baselines used as ground truth; [`theory`] implements the
-//! Section-6 duplication-factor and cost analysis.
+//! [`SpqExecutor`] is the high-level per-query entry point; [`engine`]
+//! holds the persistent [`QueryEngine`] that builds the dataset store,
+//! partition routing and keyword index **once** and then serves an
+//! arbitrary query stream (single, batched, or concurrent); [`store`]
+//! holds the shared immutable dataset behind the zero-copy shuffle
+//! (records travel as 8–16-byte handles, never as cloned objects);
+//! [`centralized`] holds the exact baselines used as ground truth;
+//! [`theory`] implements the Section-6 duplication-factor and cost
+//! analysis.
+
+#![warn(missing_docs)]
 
 pub mod algo;
 pub mod centralized;
+pub mod engine;
 pub mod executor;
 pub mod merge;
 pub mod model;
@@ -53,8 +60,10 @@ pub mod topk;
 pub mod validate;
 
 pub use algo::Algorithm;
+pub use engine::{KeywordIndex, QueryEngine};
 pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
+pub use partitioning::CellRouting;
 pub use query::SpqQuery;
 pub use store::{ObjectRef, SharedDataset};
 pub use topk::TopKList;

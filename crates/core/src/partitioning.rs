@@ -10,9 +10,18 @@
 //!   contribute to any score);
 //! * a surviving feature object is routed to its enclosing cell *and*
 //!   duplicated into every cell within `MINDIST <= r` (Lemma 1).
+//!
+//! The routing decisions depend only on the partition, the object
+//! locations and the radius — **not** on the query keywords — so a
+//! long-lived engine serving many queries at the same radius can compute
+//! them once: [`CellRouting`] fossilises the full routing (enclosing cell
+//! per data object, enclosing cell + Lemma-1 targets per feature object)
+//! into flat lookup tables the algorithm tasks consume instead of
+//! re-walking the partition per query.
 
 use crate::model::FeatureObject;
 use crate::query::SpqQuery;
+use crate::store::SharedDataset;
 use spq_spatial::{CellId, Point, SpacePartition};
 use spq_text::Score;
 
@@ -110,6 +119,116 @@ pub fn route_scored_feature<F: FnMut(CellId, Score)>(
     Some(copies)
 }
 
+/// Prebuilt map-side routing for one `(partition, radius)` pair.
+///
+/// Built once by `spq_core::engine::QueryEngine` per distinct query
+/// radius and shared by every query served at that radius: the map phase
+/// then routes a data object with one array load and a feature object by
+/// replaying its precomputed target-cell run (CSR layout — one flat
+/// cell-id slice plus a per-feature offset table), instead of running
+/// point-location and the Lemma-1 MINDIST walk per query.
+///
+/// The tables replay **exactly** the live routing — same cells, same
+/// emission order (enclosing cell first, then the duplication targets in
+/// partition order) — so a job driven through a `CellRouting` is
+/// byte-identical to one routed live.
+#[derive(Debug, Clone)]
+pub struct CellRouting {
+    radius: f64,
+    /// Enclosing cell per data object (same index space as the store).
+    data_cells: Box<[u32]>,
+    /// `feature_targets[feature_offsets[i]..feature_offsets[i + 1]]` are
+    /// feature `i`'s target cells: its enclosing cell followed by every
+    /// Lemma-1 duplication target, in emission order.
+    feature_offsets: Box<[usize]>,
+    feature_targets: Box<[u32]>,
+}
+
+impl CellRouting {
+    /// Precomputes the routing of every object in `dataset` over
+    /// `partition` for queries of radius `radius`.
+    pub fn build(partition: &SpacePartition, dataset: &SharedDataset, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "routing radius must be finite and non-negative"
+        );
+        let data_cells = dataset
+            .data()
+            .iter()
+            .map(|o| route_data(partition, &o.location).0)
+            .collect();
+        let mut feature_offsets = Vec::with_capacity(dataset.features().len() + 1);
+        let mut feature_targets = Vec::new();
+        feature_offsets.push(0usize);
+        for f in dataset.features() {
+            feature_targets.push(partition.cell_of(&f.location).0);
+            partition
+                .for_each_duplication_target(&f.location, radius, |c| feature_targets.push(c.0));
+            feature_offsets.push(feature_targets.len());
+        }
+        Self {
+            radius,
+            data_cells,
+            feature_offsets: feature_offsets.into_boxed_slice(),
+            feature_targets: feature_targets.into_boxed_slice(),
+        }
+    }
+
+    /// The radius the feature targets were computed for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The precomputed enclosing cell of data object `i`.
+    #[inline]
+    pub fn data_cell(&self, i: u32) -> CellId {
+        CellId(self.data_cells[i as usize])
+    }
+
+    /// The precomputed target cells of feature object `i` (enclosing cell
+    /// first, then the Lemma-1 duplication targets).
+    #[inline]
+    pub fn feature_targets(&self, i: u32) -> &[u32] {
+        let i = i as usize;
+        &self.feature_targets[self.feature_offsets[i]..self.feature_offsets[i + 1]]
+    }
+
+    /// Total routed emissions over all features (the shuffle's feature
+    /// record count before keyword pruning).
+    pub fn total_feature_emissions(&self) -> usize {
+        self.feature_targets.len()
+    }
+
+    /// The prebuilt counterpart of [`route_scored_feature`]: applies the
+    /// keyword pruning rule, computes the score once, and replays feature
+    /// `i`'s precomputed target run. Returns the number of emitted copies
+    /// (>= 1), or `None` when the feature was pruned.
+    #[inline]
+    pub fn route_scored_feature<F: FnMut(CellId, Score)>(
+        &self,
+        query: &SpqQuery,
+        feature: &FeatureObject,
+        i: u32,
+        prune: bool,
+        mut emit: F,
+    ) -> Option<u64> {
+        debug_assert_eq!(
+            self.radius.to_bits(),
+            query.radius.to_bits(),
+            "routing tables were built for a different radius"
+        );
+        if prune && !feature_matches(query, feature) {
+            return None;
+        }
+        let score = query.score(&feature.keywords);
+        let targets = self.feature_targets(i);
+        for &c in targets {
+            emit(CellId(c), score);
+        }
+        Some(targets.len() as u64)
+    }
+}
+
 /// Number of duplicate emissions a routed feature produces (convenience
 /// used by the duplication-factor experiments; equals
 /// `emissions - 1`).
@@ -178,5 +297,50 @@ mod tests {
         let mut cells = vec![];
         assert!(route_feature(&grid(), &query(1.0), &f, |c| cells.push(c)));
         assert_eq!(cells, vec![CellId(5)]);
+    }
+
+    #[test]
+    fn prebuilt_routing_replays_live_routing_exactly() {
+        use crate::model::DataObject;
+        let data = vec![
+            DataObject::new(1, Point::new(1.8, 1.8)),
+            DataObject::new(2, Point::new(9.9, 9.9)),
+        ];
+        let features = vec![
+            feat(3.0, 8.1, &[0, 9]), // boundary: several Lemma-1 targets
+            feat(3.75, 3.75, &[0]),  // interior: one target
+            feat(5.0, 5.0, &[7, 8]), // pruned for q.W = {0}
+        ];
+        let dataset = SharedDataset::new(data, features);
+        let grid = grid();
+        let q = query(1.5);
+        let routing = CellRouting::build(&grid, &dataset, q.radius);
+
+        assert_eq!(routing.radius(), 1.5);
+        assert_eq!(
+            routing.data_cell(0),
+            route_data(&grid, &Point::new(1.8, 1.8))
+        );
+        assert_eq!(routing.data_cell(1), CellId(15));
+
+        for (i, f) in dataset.features().iter().enumerate() {
+            let mut live: Vec<(CellId, Score)> = vec![];
+            let live_copies = route_scored_feature(&grid, &q, f, true, |c, w| live.push((c, w)));
+            let mut pre: Vec<(CellId, Score)> = vec![];
+            let pre_copies = routing.route_scored_feature(&q, f, i as u32, true, |c, w| {
+                pre.push((c, w));
+            });
+            assert_eq!(live_copies, pre_copies, "feature {i}: copy counts");
+            assert_eq!(live, pre, "feature {i}: cells, scores and order");
+        }
+        // The pruned feature still has precomputed targets (routing is
+        // keyword-independent); pruning happens at query time.
+        assert!(!routing.feature_targets(2).is_empty());
+        assert_eq!(
+            routing.total_feature_emissions(),
+            (0..3)
+                .map(|i| routing.feature_targets(i).len())
+                .sum::<usize>()
+        );
     }
 }

@@ -9,6 +9,34 @@
 //! input side, the algorithms' handle values on the shuffle side), so a
 //! record costs 8–16 bytes regardless of how many keywords a feature
 //! carries, and nothing is cloned per emitted copy.
+//!
+//! The store is the unit of reuse: build it once, then evaluate as many
+//! queries as you like against it — whether through
+//! [`crate::SpqExecutor::run_shared`] or a persistent
+//! [`crate::engine::QueryEngine`]:
+//!
+//! ```
+//! use spq_core::{DataObject, FeatureObject, ObjectRef, SharedDataset, SpqExecutor, SpqQuery};
+//! use spq_spatial::{Point, Rect};
+//! use spq_text::KeywordSet;
+//!
+//! // Copied into the store exactly once…
+//! let dataset = SharedDataset::new(
+//!     vec![DataObject::new(1, Point::new(4.6, 4.8))],
+//!     vec![FeatureObject::new(4, Point::new(3.8, 5.5), KeywordSet::from_ids([0]))],
+//! );
+//! assert_eq!(dataset.total(), 2);
+//! assert_eq!(dataset.location_of(ObjectRef::Feature(0)), Point::new(3.8, 5.5));
+//!
+//! // …then split by reference and queried any number of times.
+//! let splits = dataset.ref_splits(2);
+//! let executor = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4);
+//! for k in [1, 3] {
+//!     let q = SpqQuery::new(k, 1.5, KeywordSet::from_ids([0]));
+//!     let result = executor.run_shared(&dataset, &splits, &q).unwrap();
+//!     assert_eq!(result.top_k[0].object, 1);
+//! }
+//! ```
 
 use crate::model::{DataObject, FeatureObject, SpqObject};
 use spq_spatial::Point;

@@ -31,4 +31,4 @@ pub mod workload;
 
 pub use dataset::Dataset;
 pub use generators::{ClusteredGen, DatasetGenerator, FlickrLike, TwitterLike, UniformGen};
-pub use workload::{KeywordSelection, QueryGenerator};
+pub use workload::{KeywordSelection, QueryGenerator, QueryStream, StreamConfig};

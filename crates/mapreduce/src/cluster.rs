@@ -23,11 +23,36 @@ pub struct ClusterConfig {
     pub workers: usize,
 }
 
+/// Environment variable overriding [`ClusterConfig::auto`]'s worker count.
+pub const WORKERS_ENV: &str = "SPQ_WORKERS";
+
+/// Worker count [`ClusterConfig::auto`] falls back to when the host does
+/// not report its parallelism (see [`ClusterConfig::auto`] for when that
+/// happens and how to override it).
+pub const WORKERS_FALLBACK: usize = 4;
+
 impl ClusterConfig {
     /// A cluster using every available core.
+    ///
+    /// Resolution order:
+    ///
+    /// 1. the [`SPQ_WORKERS`](WORKERS_ENV) environment variable, when set
+    ///    to a positive integer (malformed or zero values are ignored);
+    /// 2. [`std::thread::available_parallelism`];
+    /// 3. the fixed fallback of [`WORKERS_FALLBACK`] (= 4) workers.
+    ///
+    /// The fallback matters in containers and sandboxes where
+    /// `available_parallelism` errors out (no `/proc`, restricted
+    /// `sched_getaffinity`, …): there `auto()` silently becomes 4 workers,
+    /// which also caps anything that derives its concurrency from it —
+    /// e.g. `spq_core::engine::QueryEngine::serve_auto`. Set `SPQ_WORKERS`
+    /// to size such hosts explicitly.
     pub fn auto() -> Self {
+        if let Some(workers) = parse_workers(std::env::var(WORKERS_ENV).ok().as_deref()) {
+            return Self { workers };
+        }
         Self {
-            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            workers: std::thread::available_parallelism().map_or(WORKERS_FALLBACK, |n| n.get()),
         }
     }
 
@@ -51,6 +76,12 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         Self::auto()
     }
+}
+
+/// Parses a `SPQ_WORKERS`-style override: `Some(n)` for a positive
+/// integer, `None` for anything else (unset, malformed, zero).
+fn parse_workers(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// A deterministic virtual cluster for makespan estimation.
@@ -193,5 +224,28 @@ mod tests {
         assert!(ClusterConfig::auto().workers >= 1);
         assert_eq!(ClusterConfig::sequential().workers, 1);
         assert_eq!(ClusterConfig::with_workers(5).workers, 5);
+    }
+
+    #[test]
+    fn workers_env_parsing() {
+        assert_eq!(parse_workers(None), None);
+        assert_eq!(parse_workers(Some("")), None);
+        assert_eq!(parse_workers(Some("0")), None);
+        assert_eq!(parse_workers(Some("-2")), None);
+        assert_eq!(parse_workers(Some("not a number")), None);
+        assert_eq!(parse_workers(Some("3")), Some(3));
+        assert_eq!(parse_workers(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    fn workers_env_overrides_auto() {
+        // Other tests only require auto().workers >= 1, which holds for
+        // any value this test can set, so the process-global env var is
+        // safe to touch here.
+        std::env::set_var(WORKERS_ENV, "3");
+        assert_eq!(ClusterConfig::auto().workers, 3);
+        std::env::set_var(WORKERS_ENV, "bogus");
+        assert!(ClusterConfig::auto().workers >= 1); // ignored, not a panic
+        std::env::remove_var(WORKERS_ENV);
     }
 }

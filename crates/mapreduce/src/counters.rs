@@ -54,6 +54,13 @@ impl Counters {
             .map_or(0, |&(_, v)| v)
     }
 
+    /// Resets every counter while keeping the backing allocation, so a
+    /// recycled `Counters` (see `spq_mapreduce::JobContext`) starts empty
+    /// without re-allocating on its first bump.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &Counters) {
         for &(name, v) in &other.values {
@@ -143,5 +150,16 @@ mod tests {
         let c = Counters::new();
         assert!(c.is_empty());
         assert_eq!(c.to_string(), "");
+    }
+
+    #[test]
+    fn clear_resets_values() {
+        let mut c = Counters::new();
+        c.add("records", 12);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get("records"), 0);
+        c.inc("records");
+        assert_eq!(c.get("records"), 1);
     }
 }

@@ -1,4 +1,75 @@
 //! The job runner: map → shuffle → reduce over a bounded worker pool.
+//!
+//! [`JobRunner::run`] executes one [`MapReduceTask`] over horizontally
+//! partitioned input: every split becomes a map task, map output is
+//! partitioned/grouped by the shuffle (concatenating pre-grouped
+//! sub-bucket runs, sorting only the runs the task asks for), and each of
+//! the task's `num_reducers()` partitions becomes a reduce task. Results
+//! and counters are deterministic for a fixed task and input — the worker
+//! count only changes measured durations.
+//!
+//! Callers that run **many jobs over the same cluster** — one job per
+//! query, as `spq_core::engine::QueryEngine` does — should create one
+//! [`JobContext`] and go through [`JobRunner::run_in`], which recycles
+//! per-task scratch state (the [`Counters`] sets every map and reduce
+//! task allocates) across jobs instead of re-allocating it per query.
+//! [`JobRunner::run`] is the one-shot convenience wrapper over a fresh
+//! context.
+//!
+//! ```
+//! use spq_mapreduce::{
+//!     ClusterConfig, GroupValues, JobContext, JobRunner, MapContext, MapReduceTask,
+//!     ReduceContext,
+//! };
+//! use std::cmp::Ordering;
+//!
+//! /// Classic word count: natural key = the word itself.
+//! struct WordCount;
+//!
+//! impl MapReduceTask for WordCount {
+//!     type Input = String;
+//!     type Key = String;
+//!     type Value = u64;
+//!     type Output = (String, u64);
+//!
+//!     fn num_reducers(&self) -> usize {
+//!         2
+//!     }
+//!     fn map(&self, line: &String, ctx: &mut MapContext<'_, Self>) {
+//!         for word in line.split_whitespace() {
+//!             ctx.emit(self, word.to_owned(), 1);
+//!         }
+//!     }
+//!     fn partition(&self, key: &String) -> usize {
+//!         key.len() % 2
+//!     }
+//!     fn sort_cmp(&self, a: &String, b: &String) -> Ordering {
+//!         a.cmp(b)
+//!     }
+//!     fn reduce(
+//!         &self,
+//!         word: &String,
+//!         values: &mut GroupValues<'_, Self>,
+//!         ctx: &mut ReduceContext<'_, (String, u64)>,
+//!     ) {
+//!         ctx.emit((word.clone(), values.map(|(_, n)| n).sum()));
+//!     }
+//! }
+//!
+//! let runner = JobRunner::new(ClusterConfig::with_workers(2));
+//! let splits = vec![vec!["to be or".to_owned()], vec!["not to be".to_owned()]];
+//!
+//! // One-shot:
+//! let out = runner.run(&WordCount, &splits).unwrap();
+//! assert_eq!(out.len(), 4); // to, be, or, not
+//!
+//! // Job-per-query serving: reuse one context across jobs.
+//! let ctx = JobContext::new();
+//! for _ in 0..3 {
+//!     let again = runner.run_in(&ctx, &WordCount, &splits).unwrap();
+//!     assert_eq!(again.len(), out.len());
+//! }
+//! ```
 
 use crate::cluster::ClusterConfig;
 use crate::counters::Counters;
@@ -89,6 +160,48 @@ impl<O> JobOutput<O> {
     }
 }
 
+/// Reusable scratch state for running many jobs back to back.
+///
+/// Every map and reduce task allocates a task-local [`Counters`] set; a
+/// job-per-query workload (the engine's serve loop) would otherwise pay
+/// those allocations for every single query. A `JobContext` keeps the
+/// cleared counter sets of finished tasks and hands them back to the next
+/// job's tasks — create it once next to the [`JobRunner`] and pass it to
+/// [`JobRunner::run_in`]. Sharing one context from several threads is
+/// fine: checkout/recycle go through a mutex and fall back to a fresh
+/// allocation when the pool is empty.
+#[derive(Debug, Default)]
+pub struct JobContext {
+    recycled: Mutex<Vec<Counters>>,
+}
+
+/// Upper bound on pooled counter sets; beyond this, recycled sets are
+/// simply dropped (a safety valve, not a tuning knob — counter sets are a
+/// few dozen bytes each).
+const MAX_RECYCLED_COUNTERS: usize = 1024;
+
+impl JobContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a cleared counter set, reusing a recycled allocation when
+    /// one is available.
+    fn checkout_counters(&self) -> Counters {
+        self.recycled.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a task's counter set to the pool.
+    fn recycle_counters(&self, mut counters: Counters) {
+        counters.clear();
+        let mut pool = self.recycled.lock();
+        if pool.len() < MAX_RECYCLED_COUNTERS {
+            pool.push(counters);
+        }
+    }
+}
+
 /// Executes [`MapReduceTask`]s over horizontally partitioned input.
 #[derive(Debug, Clone, Default)]
 pub struct JobRunner {
@@ -128,8 +241,25 @@ impl JobRunner {
     /// The execution is deterministic for a fixed task and input: results
     /// and statistics record-counts do not depend on the number of
     /// workers (only the measured durations do).
+    ///
+    /// This is the one-shot wrapper over [`run_in`](Self::run_in) with a
+    /// fresh [`JobContext`]; callers running a stream of jobs should hold
+    /// a context of their own so per-task scratch state is recycled.
     pub fn run<T: MapReduceTask>(
         &self,
+        task: &T,
+        splits: &[Vec<T::Input>],
+    ) -> Result<JobOutput<T::Output>, JobError> {
+        self.run_in(&JobContext::new(), task, splits)
+    }
+
+    /// [`run`](Self::run) against a reusable [`JobContext`]: identical
+    /// semantics and identical (deterministic) output, but the per-task
+    /// counter sets are checked out of — and recycled back into — `ctx`
+    /// instead of being allocated per job.
+    pub fn run_in<T: MapReduceTask>(
+        &self,
+        ctx: &JobContext,
         task: &T,
         splits: &[Vec<T::Input>],
     ) -> Result<JobOutput<T::Output>, JobError> {
@@ -146,7 +276,7 @@ impl JobRunner {
                 let t0 = Instant::now();
                 let mut buckets: Vec<Vec<(T::Key, T::Value)>> =
                     (0..num_reducers * num_subs).map(|_| Vec::new()).collect();
-                let mut counters = Counters::new();
+                let mut counters = ctx.checkout_counters();
                 let mut records_out = 0u64;
                 let mut ctx = MapContext {
                     buckets: &mut buckets,
@@ -186,6 +316,7 @@ impl JobRunner {
         let mut shuffle_records = 0u64;
         for (buckets, stats, task_counters) in map_results {
             counters.merge(&task_counters);
+            ctx.recycle_counters(task_counters);
             shuffle_records += stats.records_out;
             map_tasks.push(stats);
             all_buckets.push(buckets);
@@ -259,7 +390,7 @@ impl JobRunner {
                 }
 
                 let mut out = Vec::new();
-                let mut task_counters = Counters::new();
+                let mut task_counters = ctx.checkout_counters();
                 let mut source = buffer.into_iter().peekable();
                 while let Some((group_key, _)) = source.peek() {
                     let group_key = group_key.clone();
@@ -292,6 +423,7 @@ impl JobRunner {
         let mut num_records = 0usize;
         for (out, stats, task_counters) in reduce_results {
             counters.merge(&task_counters);
+            ctx.recycle_counters(task_counters);
             reduce_tasks.push(stats);
             num_records += out.len();
             per_reducer.push(out);
@@ -591,6 +723,24 @@ mod tests {
         for workers in [2, 4, 8] {
             assert_eq!(run(workers), base);
         }
+    }
+
+    #[test]
+    fn context_reuse_is_invisible_to_results() {
+        let runner = JobRunner::new(ClusterConfig::with_workers(2));
+        let ctx = JobContext::new();
+        let fresh = runner
+            .run(&WordCount { reducers: 2 }, &word_count_input())
+            .unwrap();
+        for round in 0..3 {
+            let out = runner
+                .run_in(&ctx, &WordCount { reducers: 2 }, &word_count_input())
+                .unwrap();
+            assert_eq!(out.per_reducer(), fresh.per_reducer(), "round {round}");
+            assert_eq!(out.stats.counters, fresh.stats.counters, "round {round}");
+        }
+        // The pool actually holds recycled sets after a job.
+        assert!(!ctx.recycled.lock().is_empty());
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod task;
 
 pub use cluster::{ClusterConfig, SimulatedCluster};
 pub use counters::Counters;
-pub use job::{JobError, JobOutput, JobRunner};
+pub use job::{JobContext, JobError, JobOutput, JobRunner};
 pub use stats::{JobStats, Phase, TaskStats};
 pub use task::{GroupValues, MapContext, MapReduceTask, ReduceContext};

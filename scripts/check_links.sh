@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in tracked *.md files points at
+# a file (or directory) that actually exists. External links (http/https/
+# mailto) and in-page anchors are skipped; `path#anchor` links are checked
+# for the path part only. Exits non-zero listing every broken link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+    dir=$(dirname "$file")
+    # Markdown inline links: the (...) part of ](...), minus any title.
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        target="${target%% *}" # strip optional "title"
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $file: $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check FAILED"
+    exit 1
+fi
+echo "link check OK"

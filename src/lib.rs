@@ -15,7 +15,10 @@
 //! * [`spatial`] — the query-time grid with Lemma-1 feature duplication.
 //! * [`text`] — keyword sets, Jaccard scoring and the Equation-1 bound.
 //! * [`core`] — the three algorithms (pSPQ, eSPQlen, eSPQsco), centralized
-//!   baselines and the Section-6 cost theory.
+//!   baselines, the Section-6 cost theory, and the persistent
+//!   [`prelude::QueryEngine`] that builds the dataset store, partition
+//!   routing and keyword index once and then serves an arbitrary query
+//!   stream (single, batched, or concurrent).
 //! * [`data`] — dataset generators (UN, CL, Flickr-like, Twitter-like) and
 //!   query workloads.
 //!
@@ -60,10 +63,13 @@ pub use spq_text as text;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use spq_core::{
-        Algorithm, DataObject, FeatureObject, LoadBalancing, ObjectRef, RankedObject,
+        Algorithm, DataObject, FeatureObject, LoadBalancing, ObjectRef, QueryEngine, RankedObject,
         SharedDataset, SpqExecutor, SpqQuery, SpqResult,
     };
-    pub use spq_data::{ClusteredGen, DatasetGenerator, FlickrLike, TwitterLike, UniformGen};
+    pub use spq_data::{
+        ClusteredGen, DatasetGenerator, FlickrLike, QueryStream, StreamConfig, TwitterLike,
+        UniformGen,
+    };
     pub use spq_mapreduce::ClusterConfig;
     pub use spq_spatial::{Grid, Point, Rect};
     pub use spq_text::{KeywordSet, Score, Term, Vocabulary};
