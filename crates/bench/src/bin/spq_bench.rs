@@ -1,81 +1,48 @@
 //! The perf-trajectory binary: `cargo run -p spq-bench --release`.
 //!
-//! ```text
-//! spq-bench [--scale F] [--seed N] [--workers N] [--repeats N]
-//!           [--queries N] [--grid N] [--out FILE]
-//!           [--qps-queries N] [--qps-batch N] [--qps-out FILE]
-//! ```
+//! Flags are parsed by [`spq_bench::cli`] (see [`spq_bench::cli::USAGE`]).
+//! Two operating modes:
 //!
-//! Two sections, each writing its own trajectory document:
-//!
-//! 1. **Zero-copy trajectory** (`BENCH_PR2.json`): the fig7-uniform and
-//!    fig9-clustered workloads across all three algorithms through the
-//!    current zero-copy pipeline and the fossilised pre-refactor baseline
-//!    (median wall-clock per phase, shuffle records, bytes per record).
-//! 2. **Serving throughput** (`BENCH_PR3.json`): the fig7-uniform QPS
-//!    workload through the per-query-rebuild lifecycle and the persistent
-//!    `QueryEngine` (sequential, batched, concurrent) — queries/sec and
-//!    p50/p99 latency per mode.
+//! 1. **Generated datasets** (default): writes the zero-copy trajectory
+//!    (`BENCH_PR2.json` — fig7-uniform + fig9-clustered vs the fossilised
+//!    pre-refactor baseline) and the serving throughput document
+//!    (`BENCH_PR3.json` — rebuild vs the persistent `QueryEngine` modes).
+//! 2. **Loaded dataset** (`--data-tsv F --features-tsv F`): ingests an
+//!    external TSV dump (optionally synthesizing it first with
+//!    `--synthesize N`), benches the four serving modes over it with
+//!    byte-identity asserted against the in-memory path, and writes
+//!    `BENCH_INGEST.json` including ingest throughput in objects/sec.
 
-use spq_bench::qps::{qps_to_json, run_qps, QpsConfig};
-use spq_bench::trajectory::{run_trajectory, to_json, TrajectoryConfig};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
-         [--queries N] [--grid N] [--out FILE] \
-         [--qps-queries N] [--qps-batch N] [--qps-out FILE]"
-    );
-    std::process::exit(2)
-}
+use spq_bench::cli::{parse_args, Command, IngestCli, USAGE};
+use spq_bench::ingest_bench::{ingest_to_json, run_ingest_bench, IngestReport};
+use spq_bench::qps::{qps_to_json, run_qps};
+use spq_bench::trajectory::{run_trajectory, to_json};
+use spq_data::ingest::{synthesize_dump, DumpConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = TrajectoryConfig::default();
-    let mut qps_cfg = QpsConfig::default();
-    let mut out_path = String::from("BENCH_PR2.json");
-    let mut qps_out_path = String::from("BENCH_PR3.json");
-
-    let next = |i: &mut usize, args: &[String]| -> String {
-        *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage())
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => cfg.scale = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--seed" => cfg.seed = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--workers" => cfg.workers = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--repeats" => cfg.repeats = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--queries" => cfg.queries = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--grid" => cfg.grid = next(&mut i, &args).parse().unwrap_or_else(|_| usage()),
-            "--out" => out_path = next(&mut i, &args),
-            "--qps-queries" => {
-                qps_cfg.queries = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
-            }
-            "--qps-batch" => {
-                qps_cfg.batch = next(&mut i, &args).parse().unwrap_or_else(|_| usage())
-            }
-            "--qps-out" => qps_out_path = next(&mut i, &args),
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown argument {other:?}");
-                usage()
-            }
+    let options = match parse_args(&args) {
+        Ok(Command::Run(options)) => *options,
+        Ok(Command::Help) => {
+            eprintln!("{USAGE}");
+            return;
         }
-        i += 1;
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            std::process::exit(2)
+        }
+    };
+
+    if let Some(ingest) = options.ingest {
+        run_ingest_mode(&ingest);
+        return;
     }
-    // The QPS section follows the shared knobs.
-    qps_cfg.scale = cfg.scale;
-    qps_cfg.seed = cfg.seed;
-    qps_cfg.workers = cfg.workers;
-    qps_cfg.grid = cfg.grid;
 
-    let reports = run_trajectory(&cfg);
-    let json = to_json(&cfg, &reports);
-    std::fs::write(&out_path, &json).expect("write bench report");
+    let reports = run_trajectory(&options.trajectory);
+    let json = to_json(&options.trajectory, &reports);
+    std::fs::write(&options.out, &json).expect("write bench report");
 
-    println!("wrote {out_path}");
+    println!("wrote {}", options.out);
     for w in &reports {
         println!("\n{} ({} objects):", w.id, w.objects);
         println!(
@@ -96,16 +63,69 @@ fn main() {
         }
     }
 
-    let qps_report = run_qps(&qps_cfg);
-    let qps_json = qps_to_json(&qps_cfg, &qps_report);
-    std::fs::write(&qps_out_path, &qps_json).expect("write qps report");
+    let qps_report = run_qps(&options.qps);
+    let qps_json = qps_to_json(&options.qps, &qps_report);
+    std::fs::write(&options.qps_out, &qps_json).expect("write qps report");
 
-    println!("\nwrote {qps_out_path}");
+    println!("\nwrote {}", options.qps_out);
     println!(
         "\n{} ({} objects, {} queries, batch {}, {} workers):",
-        qps_report.id, qps_report.objects, qps_cfg.queries, qps_cfg.batch, qps_cfg.workers
+        qps_report.id,
+        qps_report.objects,
+        options.qps.queries,
+        options.qps.batch,
+        options.qps.workers
     );
-    for a in &qps_report.algorithms {
+    print_modes(&qps_report.algorithms);
+}
+
+fn run_ingest_mode(ingest: &IngestCli) {
+    if let Some(objects) = ingest.synthesize {
+        let summary = synthesize_dump(
+            &DumpConfig {
+                objects,
+                seed: ingest.config.seed,
+            },
+            &ingest.config.data_tsv,
+            &ingest.config.features_tsv,
+        )
+        .expect("synthesize dump");
+        println!(
+            "synthesized {} data + {} feature objects ({} keywords) into {} / {}",
+            summary.data_objects,
+            summary.feature_objects,
+            summary.keywords,
+            ingest.config.data_tsv.display(),
+            ingest.config.features_tsv.display()
+        );
+    }
+
+    let report: IngestReport = match run_ingest_bench(&ingest.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ingest failed: {e}");
+            std::process::exit(1)
+        }
+    };
+    let json = ingest_to_json(&ingest.config, &report);
+    std::fs::write(&ingest.out, &json).expect("write ingest report");
+
+    println!("wrote {}", ingest.out);
+    let i = &report.ingest;
+    println!(
+        "\n{}: {} objects ({} data + {} features), {} vocabulary terms",
+        report.id, i.objects, i.data_objects, i.feature_objects, i.vocab_terms
+    );
+    println!(
+        "  ingest: {:.0} ms, {:.0} objects/s ({} lines, {} skipped)",
+        i.wall_ms, i.objects_per_sec, i.lines, i.skipped
+    );
+    println!("  all serving modes byte-identical to the in-memory rebuild path");
+    print_modes(&report.algorithms);
+}
+
+fn print_modes(algorithms: &[spq_bench::qps::QpsAlgoReport]) {
+    for a in algorithms {
         println!("  {}:", a.algorithm.name());
         println!(
             "    {:<14}{:>10}{:>12}{:>12}{:>14}",

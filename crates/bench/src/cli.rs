@@ -1,0 +1,277 @@
+//! Argument parsing for the `spq-bench` binary, split out of `main` so
+//! the parser is unit-testable.
+//!
+//! Two hardening rules the old inline parser lacked:
+//!
+//! * Unknown flags are **errors** (exit with the usage string), never
+//!   silently ignored.
+//! * A value-taking flag refuses a following token that looks like a
+//!   flag, so `--out --whoops` reports a missing value instead of
+//!   silently swallowing `--whoops` as the output path (and then
+//!   ignoring whatever it was meant to do).
+
+use crate::ingest_bench::IngestBenchConfig;
+use crate::qps::QpsConfig;
+use crate::trajectory::TrajectoryConfig;
+
+/// The usage string printed on `--help` and on parse errors.
+pub const USAGE: &str = "usage: spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
+     [--queries N] [--grid N] [--out FILE] \
+     [--qps-queries N] [--qps-batch N] [--qps-out FILE] \
+     [--data-tsv FILE --features-tsv FILE] [--ingest-out FILE] \
+     [--ingest-queries N] [--ingest-batch N] [--synthesize N]\n\
+With --data-tsv/--features-tsv the binary benches the loaded dump \
+(writing --ingest-out, default BENCH_INGEST.json) instead of the \
+generated-dataset trajectories; --synthesize N first writes a \
+deterministic N-object dump to those two paths.";
+
+/// Everything `main` needs for one run.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Zero-copy trajectory section configuration.
+    pub trajectory: TrajectoryConfig,
+    /// Serving-throughput section configuration.
+    pub qps: QpsConfig,
+    /// Output path of the trajectory document.
+    pub out: String,
+    /// Output path of the QPS document.
+    pub qps_out: String,
+    /// Loaded-dataset mode, when `--data-tsv`/`--features-tsv` are given.
+    pub ingest: Option<IngestCli>,
+}
+
+/// The loaded-dataset mode's options.
+#[derive(Debug, Clone)]
+pub struct IngestCli {
+    /// Bench configuration (paths, stream shape, workers, grid).
+    pub config: IngestBenchConfig,
+    /// Output path of the ingest document.
+    pub out: String,
+    /// Synthesize an N-object dump to the two paths before ingesting.
+    pub synthesize: Option<usize>,
+}
+
+/// Parse outcome: run with options, or print usage and exit 0.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Run the bench with these options.
+    Run(Box<CliOptions>),
+    /// `--help`/`-h` was given.
+    Help,
+}
+
+/// Parses the argument list (without the program name). Errors carry a
+/// human-readable message; callers print it with [`USAGE`] and exit 2.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut cfg = TrajectoryConfig::default();
+    let mut qps_cfg = QpsConfig::default();
+    let mut out = String::from("BENCH_PR2.json");
+    let mut qps_out = String::from("BENCH_PR3.json");
+    let mut ingest_out = String::from("BENCH_INGEST.json");
+    let mut data_tsv: Option<String> = None;
+    let mut features_tsv: Option<String> = None;
+    let mut ingest_queries = 32usize;
+    let mut ingest_batch = 8usize;
+    let mut synthesize: Option<usize> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, String> {
+            i += 1;
+            match args.get(i) {
+                Some(v) if !v.starts_with("--") => Ok(v.clone()),
+                _ => Err(format!("missing value for {flag}")),
+            }
+        };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value {v:?} for {flag}"))
+        }
+        match flag {
+            "--scale" => cfg.scale = parsed(flag, value()?)?,
+            "--seed" => cfg.seed = parsed(flag, value()?)?,
+            "--workers" => cfg.workers = parsed(flag, value()?)?,
+            "--repeats" => cfg.repeats = parsed(flag, value()?)?,
+            "--queries" => cfg.queries = parsed(flag, value()?)?,
+            "--grid" => cfg.grid = parsed(flag, value()?)?,
+            "--out" => out = value()?,
+            "--qps-queries" => qps_cfg.queries = parsed(flag, value()?)?,
+            "--qps-batch" => qps_cfg.batch = parsed(flag, value()?)?,
+            "--qps-out" => qps_out = value()?,
+            "--data-tsv" => data_tsv = Some(value()?),
+            "--features-tsv" => features_tsv = Some(value()?),
+            "--ingest-out" => ingest_out = value()?,
+            "--ingest-queries" => ingest_queries = parsed(flag, value()?)?,
+            "--ingest-batch" => ingest_batch = parsed(flag, value()?)?,
+            "--synthesize" => synthesize = Some(parsed(flag, value()?)?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    // The QPS section follows the shared knobs.
+    qps_cfg.scale = cfg.scale;
+    qps_cfg.seed = cfg.seed;
+    qps_cfg.workers = cfg.workers;
+    qps_cfg.grid = cfg.grid;
+
+    let ingest = match (data_tsv, features_tsv) {
+        (Some(data), Some(features)) => Some(IngestCli {
+            config: IngestBenchConfig {
+                data_tsv: data.into(),
+                features_tsv: features.into(),
+                seed: cfg.seed,
+                workers: cfg.workers,
+                queries: ingest_queries,
+                batch: ingest_batch,
+                grid: cfg.grid,
+                ..IngestBenchConfig::default()
+            },
+            out: ingest_out,
+            synthesize,
+        }),
+        (None, None) => {
+            if synthesize.is_some() {
+                return Err(
+                    "--synthesize needs --data-tsv and --features-tsv output paths".to_owned(),
+                );
+            }
+            None
+        }
+        _ => return Err("--data-tsv and --features-tsv must be given together".to_owned()),
+    };
+
+    Ok(Command::Run(Box::new(CliOptions {
+        trajectory: cfg,
+        qps: qps_cfg,
+        out,
+        qps_out,
+        ingest,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    fn run(args: &[&str]) -> CliOptions {
+        match parse(args).unwrap() {
+            Command::Run(o) => *o,
+            Command::Help => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let o = run(&[]);
+        assert_eq!(o.out, "BENCH_PR2.json");
+        assert_eq!(o.qps_out, "BENCH_PR3.json");
+        assert!(o.ingest.is_none());
+        assert_eq!(o.qps.seed, o.trajectory.seed);
+    }
+
+    #[test]
+    fn parses_shared_and_qps_flags() {
+        let o = run(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--workers",
+            "3",
+            "--repeats",
+            "2",
+            "--queries",
+            "4",
+            "--grid",
+            "20",
+            "--out",
+            "a.json",
+            "--qps-queries",
+            "12",
+            "--qps-batch",
+            "6",
+            "--qps-out",
+            "b.json",
+        ]);
+        assert_eq!(o.trajectory.scale, 0.5);
+        assert_eq!(o.trajectory.seed, 9);
+        assert_eq!(o.trajectory.workers, 3);
+        assert_eq!(o.trajectory.repeats, 2);
+        assert_eq!(o.trajectory.queries, 4);
+        assert_eq!(o.trajectory.grid, 20);
+        assert_eq!(o.out, "a.json");
+        assert_eq!(o.qps.queries, 12);
+        assert_eq!(o.qps.batch, 6);
+        assert_eq!(o.qps_out, "b.json");
+        // Shared knobs propagate into the QPS section.
+        assert_eq!(o.qps.scale, 0.5);
+        assert_eq!(o.qps.seed, 9);
+        assert_eq!(o.qps.workers, 3);
+        assert_eq!(o.qps.grid, 20);
+    }
+
+    #[test]
+    fn unknown_flags_are_errors_anywhere() {
+        assert!(parse(&["--bogus"]).is_err());
+        // The regression this parser exists for: an unknown flag after
+        // --out must error, not be swallowed as the value of --out.
+        let err = parse(&["--out", "--bogus"]).unwrap_err();
+        assert!(err.contains("missing value for --out"), "{err}");
+        assert!(parse(&["--scale", "0.1", "--nope", "x"]).is_err());
+    }
+
+    #[test]
+    fn missing_and_bad_values_are_errors() {
+        assert!(parse(&["--seed"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["--seed", "abc"]).unwrap_err().contains("bad value"));
+        assert!(parse(&["--qps-batch"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&["--help"]).unwrap(), Command::Help));
+        assert!(matches!(parse(&["-h"]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn ingest_mode_requires_both_paths() {
+        let err = parse(&["--data-tsv", "d.tsv"]).unwrap_err();
+        assert!(err.contains("must be given together"));
+        let err = parse(&["--synthesize", "1000"]).unwrap_err();
+        assert!(err.contains("--synthesize needs"));
+
+        let o = run(&[
+            "--data-tsv",
+            "d.tsv",
+            "--features-tsv",
+            "f.tsv",
+            "--ingest-out",
+            "i.json",
+            "--ingest-queries",
+            "16",
+            "--ingest-batch",
+            "4",
+            "--synthesize",
+            "5000",
+            "--seed",
+            "7",
+            "--grid",
+            "10",
+        ]);
+        let ingest = o.ingest.expect("ingest mode");
+        assert_eq!(ingest.config.data_tsv.to_str(), Some("d.tsv"));
+        assert_eq!(ingest.config.features_tsv.to_str(), Some("f.tsv"));
+        assert_eq!(ingest.out, "i.json");
+        assert_eq!(ingest.config.queries, 16);
+        assert_eq!(ingest.config.batch, 4);
+        assert_eq!(ingest.synthesize, Some(5000));
+        assert_eq!(ingest.config.seed, 7);
+        assert_eq!(ingest.config.grid, 10);
+    }
+}

@@ -21,7 +21,9 @@
 //! cluster (the paper's 16 nodes × 8 cores).
 
 pub mod baseline;
+pub mod cli;
 pub mod figures;
+pub mod ingest_bench;
 pub mod params;
 pub mod qps;
 pub mod report;

@@ -18,8 +18,8 @@
 //! per mode: queries/second, p50/p99 per-query latency, total wall.
 
 use crate::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
-use spq_core::{Algorithm, QueryEngine, RankedObject, SpqExecutor};
-use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
+use spq_core::{Algorithm, QueryEngine, RankedObject, SpqExecutor, SpqQuery};
+use spq_data::{Dataset, DatasetGenerator, QueryStream, StreamConfig, UniformGen};
 use spq_mapreduce::pool::run_tasks;
 use spq_mapreduce::ClusterConfig;
 use spq_spatial::Rect;
@@ -140,49 +140,63 @@ fn mode_stats(id: &'static str, mut latencies: Vec<Duration>, wall: Duration) ->
     }
 }
 
-/// Runs the QPS comparison on the fig7-uniform workload.
-pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
-    let size = scaled(DEFAULT_SIZE_UN, cfg.scale);
-    eprintln!("[fig7-uniform-qps] generating {size} objects");
-    let dataset = UniformGen.generate(size, cfg.seed);
-    let cell = 1.0 / cfg.grid as f64;
-    let mut stream = QueryStream::new(
-        dataset.vocab_size,
-        StreamConfig {
-            radius_classes: [5.0, 10.0, 25.0]
-                .iter()
-                .map(|pct| cell * pct / 100.0)
-                .collect(),
-            hotspot_fraction: cfg.hotspot_fraction,
-            hotspots: cfg.hotspots,
-            seed: cfg.seed ^ 13,
-            ..StreamConfig::default()
-        },
-    );
-    let queries = stream.batch(cfg.queries);
+/// Inputs of one four-mode serving measurement — shared by the QPS
+/// harness (generated datasets) and the ingest bench (loaded dumps).
+#[derive(Debug)]
+pub struct ModeInputs<'a> {
+    /// Workload label for progress logging and assertion messages.
+    pub label: &'a str,
+    /// The dataset served.
+    pub dataset: &'a Dataset,
+    /// The measured query stream.
+    pub queries: &'a [SpqQuery],
+    /// Space bounds handed to the executor: the unit square for generated
+    /// datasets, the loaded bounds for ingested dumps.
+    pub bounds: Rect,
+    /// Worker threads: intra-query for `rebuild`/`engine`/`engine-batch`,
+    /// inter-query for `engine-serve`.
+    pub workers: usize,
+    /// Grid cells per axis.
+    pub grid: u32,
+    /// Batch size for `engine-batch`.
+    pub batch: usize,
+}
+
+/// Measures all three algorithms through the four serving modes and
+/// asserts every mode's `top_k` lists are byte-identical to the
+/// `rebuild` reference (the job-per-query lifecycle over the same
+/// objects) — so the numbers compare pure lifecycle overhead and a
+/// loaded dump is proven to serve the same bytes as the in-memory path.
+pub fn measure_algorithms(inputs: &ModeInputs<'_>) -> Vec<QpsAlgoReport> {
+    let ModeInputs {
+        label,
+        dataset,
+        queries,
+        bounds,
+        workers,
+        grid,
+        batch,
+    } = *inputs;
     // Built once, shared by every rebuild-mode query — the rebuild cost
     // measured is the store copy + plan + routing, not dataset generation.
     let owned_splits = dataset.to_splits(8);
     let (shared, _) = dataset.to_shared_splits(8);
 
-    let algorithms = Algorithm::ALL
+    Algorithm::ALL
         .iter()
         .map(|&algorithm| {
-            eprintln!(
-                "[fig7-uniform-qps] {algorithm}: {} queries x 4 modes",
-                queries.len()
-            );
-            let exec = SpqExecutor::new(Rect::unit())
+            eprintln!("[{label}] {algorithm}: {} queries x 4 modes", queries.len());
+            let exec = SpqExecutor::new(bounds)
                 .algorithm(algorithm)
-                .grid_size(cfg.grid)
-                .cluster(ClusterConfig::with_workers(cfg.workers));
+                .grid_size(grid)
+                .cluster(ClusterConfig::with_workers(workers));
             let engine = QueryEngine::new(exec.clone(), shared.clone());
 
             // -- rebuild: the job-per-query lifecycle ---------------------
             let mut latencies = Vec::with_capacity(queries.len());
             let mut reference: Vec<Vec<RankedObject>> = Vec::with_capacity(queries.len());
             let wall = Instant::now();
-            for q in &queries {
+            for q in queries {
                 let t0 = Instant::now();
                 let result = exec.run_splits(&owned_splits, q).expect("rebuild job");
                 latencies.push(t0.elapsed());
@@ -205,8 +219,8 @@ pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
             let mut latencies = Vec::with_capacity(queries.len());
             let wall = Instant::now();
             for (chunk, expect) in queries
-                .chunks(cfg.batch.max(1))
-                .zip(reference.chunks(cfg.batch.max(1)))
+                .chunks(batch.max(1))
+                .zip(reference.chunks(batch.max(1)))
             {
                 let t0 = Instant::now();
                 let results = engine.query_batch(chunk).expect("batch job");
@@ -220,7 +234,7 @@ pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
 
             // -- engine-serve: inter-query concurrency --------------------
             let wall = Instant::now();
-            let outcomes = run_tasks(cfg.workers.max(1), queries.len(), |i| {
+            let outcomes = run_tasks(workers.max(1), queries.len(), |i| {
                 let t0 = Instant::now();
                 let result = engine.query_sequential(&queries[i]).expect("serve job");
                 (t0.elapsed(), result.top_k)
@@ -239,7 +253,38 @@ pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
                 modes: vec![rebuild, engine_seq, engine_batch, engine_serve],
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Runs the QPS comparison on the fig7-uniform workload.
+pub fn run_qps(cfg: &QpsConfig) -> QpsReport {
+    let size = scaled(DEFAULT_SIZE_UN, cfg.scale);
+    eprintln!("[fig7-uniform-qps] generating {size} objects");
+    let dataset = UniformGen.generate(size, cfg.seed);
+    let cell = 1.0 / cfg.grid as f64;
+    let mut stream = QueryStream::new(
+        dataset.vocab_size,
+        StreamConfig {
+            radius_classes: [5.0, 10.0, 25.0]
+                .iter()
+                .map(|pct| cell * pct / 100.0)
+                .collect(),
+            hotspot_fraction: cfg.hotspot_fraction,
+            hotspots: cfg.hotspots,
+            seed: cfg.seed ^ 13,
+            ..StreamConfig::default()
+        },
+    );
+    let queries = stream.batch(cfg.queries);
+    let algorithms = measure_algorithms(&ModeInputs {
+        label: "fig7-uniform-qps",
+        dataset: &dataset,
+        queries: &queries,
+        bounds: Rect::unit(),
+        workers: cfg.workers,
+        grid: cfg.grid,
+        batch: cfg.batch,
+    });
 
     QpsReport {
         id: "fig7-uniform-qps",
@@ -253,6 +298,33 @@ fn json_mode(m: &ModeStats) -> String {
         "{{ \"id\": \"{}\", \"qps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"wall_ms\": {:.3} }}",
         m.id, m.qps, m.p50_ms, m.p99_ms, m.wall_ms
     )
+}
+
+/// Renders the `"algorithms": [ ... ]` entries shared by the QPS and
+/// ingest documents; `pad` is the indentation of each entry.
+pub(crate) fn json_algorithms(algorithms: &[QpsAlgoReport], pad: &str) -> String {
+    let mut out = String::new();
+    for (ai, a) in algorithms.iter().enumerate() {
+        out.push_str(&format!(
+            "{pad}{{\n{pad}  \"name\": \"{}\",\n{pad}  \"modes\": [\n",
+            a.algorithm.name()
+        ));
+        for (mi, m) in a.modes.iter().enumerate() {
+            out.push_str(&format!(
+                "{pad}    {}{}\n",
+                json_mode(m),
+                if mi + 1 < a.modes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "{pad}  ],\n{pad}  \"qps_vs_rebuild\": {{ \"engine\": {:.2}, \"engine-batch\": {:.2}, \"engine-serve\": {:.2} }}\n{pad}}}{}\n",
+            a.qps_vs_rebuild("engine"),
+            a.qps_vs_rebuild("engine-batch"),
+            a.qps_vs_rebuild("engine-serve"),
+            if ai + 1 < algorithms.len() { "," } else { "" }
+        ));
+    }
+    out
 }
 
 /// Renders the report as the `BENCH_PR3.json` document.
@@ -273,26 +345,7 @@ pub fn qps_to_json(cfg: &QpsConfig, report: &QpsReport) -> String {
         "  \"workloads\": [\n    {{\n      \"id\": \"{}\",\n      \"objects\": {},\n      \"algorithms\": [\n",
         report.id, report.objects
     ));
-    for (ai, a) in report.algorithms.iter().enumerate() {
-        out.push_str(&format!(
-            "        {{\n          \"name\": \"{}\",\n          \"modes\": [\n",
-            a.algorithm.name()
-        ));
-        for (mi, m) in a.modes.iter().enumerate() {
-            out.push_str(&format!(
-                "            {}{}\n",
-                json_mode(m),
-                if mi + 1 < a.modes.len() { "," } else { "" }
-            ));
-        }
-        out.push_str(&format!(
-            "          ],\n          \"qps_vs_rebuild\": {{ \"engine\": {:.2}, \"engine-batch\": {:.2}, \"engine-serve\": {:.2} }}\n        }}{}\n",
-            a.qps_vs_rebuild("engine"),
-            a.qps_vs_rebuild("engine-batch"),
-            a.qps_vs_rebuild("engine-serve"),
-            if ai + 1 < report.algorithms.len() { "," } else { "" }
-        ));
-    }
+    out.push_str(&json_algorithms(&report.algorithms, "        "));
     out.push_str("      ]\n    }\n  ]\n}\n");
     out
 }

@@ -135,6 +135,28 @@ impl KeywordIndex {
         &self.postings[self.offsets[term.index()]..self.offsets[term.index() + 1]]
     }
 
+    /// Number of features carrying `term` (its document frequency) —
+    /// zero for terms outside the indexed range.
+    pub fn term_frequency(&self, term: Term) -> usize {
+        self.postings(term).len()
+    }
+
+    /// The `n` most frequent terms, as `(term, frequency)` pairs sorted
+    /// by frequency descending then term id ascending. This is the
+    /// engine's "what is this dataset about" surface: after ingesting a
+    /// real dump, callers author meaningful queries by picking from the
+    /// head (frequent) or tail (selective) of this ranking instead of
+    /// guessing term ids.
+    pub fn top_terms(&self, n: usize) -> Vec<(Term, usize)> {
+        let mut ranked: Vec<(Term, usize)> = (0..self.num_terms())
+            .map(|t| (Term(t as u32), self.offsets[t + 1] - self.offsets[t]))
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n);
+        ranked
+    }
+
     /// The features sharing at least one keyword with `keywords` —
     /// exactly the set the map-side pruning rule of Algorithm 1 line 9
     /// would keep — ascending and deduplicated.
@@ -147,6 +169,27 @@ impl KeywordIndex {
         out.dedup();
         out
     }
+}
+
+/// Aggregate statistics of the dataset an engine serves — the surface a
+/// caller needs to author queries against a freshly ingested dump whose
+/// vocabulary and density it has never seen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Data objects `|O|`.
+    pub data_objects: usize,
+    /// Feature objects `|F|`.
+    pub feature_objects: usize,
+    /// Term-id slots in the keyword index (highest indexed id + 1).
+    pub term_slots: usize,
+    /// Terms carried by at least one feature (≤ `term_slots`).
+    pub distinct_terms: usize,
+    /// Total keyword occurrences across all features.
+    pub total_keywords: u64,
+    /// Mean keywords per feature (0 for a feature-less dataset).
+    pub mean_keywords: f64,
+    /// Length of the longest posting list (0 if no keywords).
+    pub max_posting: usize,
 }
 
 /// One cached per-radius plan: the space partition plus its prebuilt
@@ -238,9 +281,53 @@ impl QueryEngine {
         }
     }
 
+    /// Builds an engine directly over ingested object vectors (e.g. the
+    /// `spq-data` TSV loader's output) with [`DEFAULT_NUM_SPLITS`]
+    /// round-robin splits — the loaded-dump counterpart of
+    /// [`new`](Self::new), wrapping the vectors into the engine's
+    /// [`SharedDataset`] without an intermediate copy. Pair it with
+    /// [`dataset_stats`](Self::dataset_stats) and
+    /// [`KeywordIndex::top_terms`] to author queries against the real
+    /// vocabulary.
+    pub fn from_ingested(
+        executor: SpqExecutor,
+        data: Vec<crate::model::DataObject>,
+        features: Vec<FeatureObject>,
+    ) -> Self {
+        Self::new(executor, SharedDataset::new(data, features))
+    }
+
     /// The shared dataset the engine serves.
     pub fn dataset(&self) -> &SharedDataset {
         &self.dataset
+    }
+
+    /// Aggregate statistics of the served dataset, computed from the
+    /// build-once keyword index (no extra pass over the features).
+    pub fn dataset_stats(&self) -> DatasetStats {
+        let idx = &self.keyword_index;
+        let total_keywords = idx.postings.len() as u64;
+        let distinct_terms = (0..idx.num_terms())
+            .filter(|&t| idx.offsets[t + 1] > idx.offsets[t])
+            .count();
+        let max_posting = (0..idx.num_terms())
+            .map(|t| idx.offsets[t + 1] - idx.offsets[t])
+            .max()
+            .unwrap_or(0);
+        let feature_objects = self.dataset.features().len();
+        DatasetStats {
+            data_objects: self.dataset.data().len(),
+            feature_objects,
+            term_slots: idx.num_terms(),
+            distinct_terms,
+            total_keywords,
+            mean_keywords: if feature_objects == 0 {
+                0.0
+            } else {
+                total_keywords as f64 / feature_objects as f64
+            },
+            max_posting,
+        }
     }
 
     /// The executor configuration the engine was built from.
@@ -444,6 +531,52 @@ mod tests {
             vec![0, 3, 6, 7]
         );
         assert!(idx.candidates(&KeywordSet::from_ids([77])).is_empty());
+    }
+
+    #[test]
+    fn term_frequencies_and_top_terms() {
+        let ds = paper_dataset();
+        let idx = KeywordIndex::build(ds.features());
+        assert_eq!(idx.term_frequency(Term(0)), 3);
+        assert_eq!(idx.term_frequency(Term(11)), 1);
+        assert_eq!(idx.term_frequency(Term(999)), 0);
+        let top = idx.top_terms(3);
+        // Term 0 is on three features; every other term on exactly one,
+        // so the remainder ranks by id.
+        assert_eq!(top, vec![(Term(0), 3), (Term(1), 1), (Term(2), 1)]);
+        assert_eq!(idx.top_terms(100).len(), 12);
+        assert!(KeywordIndex::build(&[]).top_terms(5).is_empty());
+    }
+
+    #[test]
+    fn from_ingested_and_dataset_stats() {
+        let ds = paper_dataset();
+        let engine =
+            QueryEngine::from_ingested(executor(), ds.data().to_vec(), ds.features().to_vec());
+        let stats = engine.dataset_stats();
+        assert_eq!(stats.data_objects, 5);
+        assert_eq!(stats.feature_objects, 8);
+        assert_eq!(stats.term_slots, 12);
+        assert_eq!(stats.distinct_terms, 12);
+        assert_eq!(stats.total_keywords, 14);
+        assert!((stats.mean_keywords - 14.0 / 8.0).abs() < 1e-12);
+        assert_eq!(stats.max_posting, 3);
+        // Same bytes as an engine built the usual way.
+        let q = SpqQuery::new(2, 1.5, KeywordSet::from_ids([0]));
+        let other = QueryEngine::new(executor(), ds);
+        assert_eq!(
+            engine.query(&q).unwrap().top_k,
+            other.query(&q).unwrap().top_k
+        );
+    }
+
+    #[test]
+    fn stats_on_empty_dataset() {
+        let engine = QueryEngine::from_ingested(executor(), vec![], vec![]);
+        let stats = engine.dataset_stats();
+        assert_eq!(stats.feature_objects, 0);
+        assert_eq!(stats.mean_keywords, 0.0);
+        assert_eq!(stats.max_posting, 0);
     }
 
     #[test]

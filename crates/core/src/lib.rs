@@ -60,7 +60,7 @@ pub mod topk;
 pub mod validate;
 
 pub use algo::Algorithm;
-pub use engine::{KeywordIndex, QueryEngine};
+pub use engine::{DatasetStats, KeywordIndex, QueryEngine};
 pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
 pub use partitioning::CellRouting;

@@ -22,13 +22,26 @@
 //! distributed algorithms consume, [`tsv`] round-trips datasets to disk,
 //! and [`QueryGenerator`] draws query keyword sets (random / frequent /
 //! infrequent, footnote 2 of the paper).
+//!
+//! Real (or real-shaped) dumps enter through [`ingest`]: a streaming
+//! `id<TAB>x<TAB>y<TAB>keywords` loader that interns keyword strings into
+//! a [`vocab::Vocabulary`] and CSR-packs the keyword lists, with a
+//! line-numbered malformed-line policy and a deterministic
+//! [`ingest::synthesize_dump`] writer for tests and CI.
 
 pub mod dataset;
 pub mod distributions;
 pub mod generators;
+pub mod ingest;
 pub mod tsv;
+pub mod vocab;
 pub mod workload;
 
 pub use dataset::Dataset;
 pub use generators::{ClusteredGen, DatasetGenerator, FlickrLike, TwitterLike, UniformGen};
+pub use ingest::{
+    ingest_combined, ingest_files, synthesize_dump, DumpConfig, IngestError, IngestOptions,
+    Ingested, MalformedPolicy, SkipCounters,
+};
+pub use vocab::CsrKeywords;
 pub use workload::{KeywordSelection, QueryGenerator, QueryStream, StreamConfig};

@@ -4,19 +4,51 @@
 //! object per line, loadable as independent splits.
 //!
 //! ```text
+//! # bounds\t<minx>\t<miny>\t<maxx>\t<maxy>\t<vocab size>
 //! D\t<id>\t<x>\t<y>
 //! F\t<id>\t<x>\t<y>\t<term,term,...>
 //! ```
+//!
+//! Two term encodings share that line grammar, both parsed by the
+//! streaming loader in [`crate::ingest`]:
+//!
+//! * [`save`] / [`load`] — **numeric** terms (`0,17,42`): the internal
+//!   round-trip format for generated datasets, no vocabulary required.
+//! * [`save_with_vocab`] / [`load_with_vocab`] — **textual** terms
+//!   (`pizza,sushi`) resolved through a [`Vocabulary`]: the same shape as
+//!   an external dump, so a dataset saved this way re-ingests through the
+//!   interner and round-trips byte-stably (words re-intern to the ids
+//!   they had, because interning follows first occurrence and `F` lines
+//!   are written in dataset order).
 
 use crate::dataset::Dataset;
-use spq_core::{DataObject, FeatureObject};
-use spq_spatial::{Point, Rect};
-use spq_text::KeywordSet;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use crate::ingest::{self, IngestOptions};
+use crate::vocab::Vocabulary;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-/// Writes a dataset to a TSV file.
+/// Writes a dataset to a TSV file with numeric term ids.
 pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    save_impl(dataset, path, |out, t| write!(out, "{}", t.0))
+}
+
+/// Writes a dataset to a TSV file with textual keywords resolved through
+/// `vocab` — the interchange format for external tools and the stable
+/// round-trip target of [`crate::ingest`]. Terms missing from the
+/// vocabulary render as `t<id>` (matching [`spq_text::Term`]'s display),
+/// which re-ingests as an ordinary word.
+pub fn save_with_vocab(dataset: &Dataset, vocab: &Vocabulary, path: &Path) -> io::Result<()> {
+    save_impl(dataset, path, |out, t| match vocab.name(t) {
+        Some(word) => out.write_all(word.as_bytes()),
+        None => write!(out, "{t}"),
+    })
+}
+
+fn save_impl(
+    dataset: &Dataset,
+    path: &Path,
+    mut write_term: impl FnMut(&mut BufWriter<std::fs::File>, spq_text::Term) -> io::Result<()>,
+) -> io::Result<()> {
     let mut out = BufWriter::new(std::fs::File::create(path)?);
     writeln!(
         out,
@@ -31,104 +63,46 @@ pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
         writeln!(out, "D\t{}\t{}\t{}", o.id, o.location.x, o.location.y)?;
     }
     for f in &dataset.features {
-        let kw: Vec<String> = f.keywords.iter().map(|t| t.0.to_string()).collect();
-        writeln!(
-            out,
-            "F\t{}\t{}\t{}\t{}",
-            f.id,
-            f.location.x,
-            f.location.y,
-            kw.join(",")
-        )?;
+        write!(out, "F\t{}\t{}\t{}\t", f.id, f.location.x, f.location.y)?;
+        for (i, t) in f.keywords.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_term(&mut out, t)?;
+        }
+        out.write_all(b"\n")?;
     }
     out.flush()
 }
 
-fn parse_err(line_no: usize, msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {msg}"))
+/// Reads a dataset from a TSV file written by [`save`] (numeric terms).
+///
+/// Parsing runs through the [`crate::ingest`] loader, which is stricter
+/// than the pre-ingest parser deliberately: duplicate ids within a
+/// dataset and non-finite coordinates — inputs [`save`] can technically
+/// emit for a hand-built [`Dataset`] but that no generator produces and
+/// that would misbehave downstream (ambiguous results, grids with
+/// NaN/infinite extents) — are now reported as line-numbered errors
+/// instead of being loaded silently.
+pub fn load(path: &Path) -> io::Result<Dataset> {
+    Ok(ingest::ingest_combined_numeric(path)
+        .map_err(io::Error::from)?
+        .dataset)
 }
 
-/// Reads a dataset from a TSV file written by [`save`].
-pub fn load(path: &Path) -> io::Result<Dataset> {
-    let reader = BufReader::new(std::fs::File::open(path)?);
-    let mut bounds = Rect::unit();
-    let mut vocab_size = 0usize;
-    let mut data = Vec::new();
-    let mut features = Vec::new();
-
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = i + 1;
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split('\t').collect();
-        let num = |s: &str| -> io::Result<f64> {
-            s.parse::<f64>()
-                .map_err(|_| parse_err(line_no, &format!("bad number {s:?}")))
-        };
-        match fields[0] {
-            "# bounds" => {
-                if fields.len() != 6 {
-                    return Err(parse_err(line_no, "bounds header needs 5 fields"));
-                }
-                bounds = Rect::from_coords(
-                    num(fields[1])?,
-                    num(fields[2])?,
-                    num(fields[3])?,
-                    num(fields[4])?,
-                );
-                vocab_size = fields[5]
-                    .parse()
-                    .map_err(|_| parse_err(line_no, "bad vocab size"))?;
-            }
-            "D" => {
-                if fields.len() != 4 {
-                    return Err(parse_err(line_no, "data line needs 3 fields"));
-                }
-                let id = fields[1]
-                    .parse()
-                    .map_err(|_| parse_err(line_no, "bad id"))?;
-                data.push(DataObject::new(
-                    id,
-                    Point::new(num(fields[2])?, num(fields[3])?),
-                ));
-            }
-            "F" => {
-                if fields.len() != 5 {
-                    return Err(parse_err(line_no, "feature line needs 4 fields"));
-                }
-                let id = fields[1]
-                    .parse()
-                    .map_err(|_| parse_err(line_no, "bad id"))?;
-                let location = Point::new(num(fields[2])?, num(fields[3])?);
-                let mut terms = Vec::new();
-                if !fields[4].is_empty() {
-                    for t in fields[4].split(',') {
-                        terms
-                            .push(spq_text::Term(t.parse().map_err(|_| {
-                                parse_err(line_no, &format!("bad term {t:?}"))
-                            })?));
-                    }
-                }
-                features.push(FeatureObject::new(id, location, KeywordSet::new(terms)));
-            }
-            other => return Err(parse_err(line_no, &format!("unknown record tag {other:?}"))),
-        }
-    }
-
-    Ok(Dataset {
-        bounds,
-        data,
-        features,
-        vocab_size,
-    })
+/// Reads a dataset and its vocabulary from a TSV file written by
+/// [`save_with_vocab`] (textual terms, interned on load).
+pub fn load_with_vocab(path: &Path) -> io::Result<(Dataset, Vocabulary)> {
+    let ingested =
+        ingest::ingest_combined(path, &IngestOptions::default()).map_err(io::Error::from)?;
+    Ok((ingested.dataset, ingested.vocab))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::{DatasetGenerator, UniformGen};
+    use spq_spatial::Rect;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -182,5 +156,60 @@ mod tests {
     #[test]
     fn missing_file_is_io_error() {
         assert!(load(Path::new("/nonexistent/spq.tsv")).is_err());
+    }
+
+    #[test]
+    fn vocab_roundtrip_is_byte_stable() {
+        // Build a small worded dataset through the interner.
+        let mut vocab = Vocabulary::new();
+        let text = "# bounds\t0\t0\t1\t1\t0\nD\t1\t0.25\t0.5\nF\t9\t0.5\t0.5\tramen,izakaya\nF\t10\t0.75\t0.5\tizakaya\n";
+        let raw = temp_path("worded.tsv");
+        std::fs::write(&raw, text).unwrap();
+        let (d1, v1) = load_with_vocab(&raw).unwrap();
+        assert_eq!(v1.len(), 2);
+        assert_eq!(d1.vocab_size, 2);
+        vocab.intern("ramen");
+        vocab.intern("izakaya");
+        assert_eq!(v1, vocab);
+
+        // save_with_vocab → load_with_vocab is a fixed point.
+        let saved = temp_path("worded-2.tsv");
+        save_with_vocab(&d1, &v1, &saved).unwrap();
+        let (d2, v2) = load_with_vocab(&saved).unwrap();
+        assert_eq!(d1.data, d2.data);
+        assert_eq!(d1.features, d2.features);
+        assert_eq!(d1.bounds, d2.bounds);
+        assert_eq!(d1.vocab_size, d2.vocab_size);
+        assert_eq!(v1, v2);
+        let saved_again = temp_path("worded-3.tsv");
+        save_with_vocab(&d2, &v2, &saved_again).unwrap();
+        assert_eq!(
+            std::fs::read(&saved).unwrap(),
+            std::fs::read(&saved_again).unwrap(),
+            "second save is byte-identical"
+        );
+        for p in [&raw, &saved, &saved_again] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_terms_render_as_placeholders() {
+        let d = Dataset {
+            bounds: Rect::unit(),
+            data: vec![],
+            features: vec![spq_core::FeatureObject::new(
+                1,
+                spq_spatial::Point::new(0.5, 0.5),
+                spq_text::KeywordSet::from_ids([3]),
+            )],
+            vocab_size: 4,
+        };
+        let path = temp_path("placeholder.tsv");
+        save_with_vocab(&d, &Vocabulary::new(), &path).unwrap();
+        let (loaded, vocab) = load_with_vocab(&path).unwrap();
+        assert_eq!(vocab.get("t3"), Some(spq_text::Term(0)));
+        assert_eq!(loaded.features[0].keywords.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,156 @@
+//! Interned-vocabulary support for dataset loading.
+//!
+//! Real dumps carry keywords as *text*; all hot paths operate on dense
+//! [`Term`] ids. The [`Vocabulary`] interner (re-exported from
+//! `spq-text`) maps each distinct word to a `u32` id exactly once, and
+//! [`CsrKeywords`] accumulates the per-feature keyword lists into one
+//! CSR-packed buffer (a flat term slice plus an offset table) while the
+//! loader streams the file — so ingesting a million-object dump costs one
+//! `String` per *distinct* word and two growable buffers, never a
+//! `String` (or an intermediate `Vec`) per keyword occurrence.
+
+pub use spq_text::Vocabulary;
+
+use spq_text::{KeywordSet, Term};
+
+/// CSR-packed keyword lists: list `i` lives at
+/// `terms[offsets[i]..offsets[i + 1]]`, sorted and deduplicated.
+///
+/// The packer is the streaming loader's staging area for feature
+/// keywords: each parsed line pushes its terms through a reusable scratch
+/// buffer ([`push_list`](Self::push_list)), and only once the whole dump
+/// is read are the lists materialised into per-feature [`KeywordSet`]s
+/// ([`into_keyword_sets`](Self::into_keyword_sets)) — one exactly-sized
+/// allocation per feature instead of a grow-and-shrink per line.
+#[derive(Debug, Clone)]
+pub struct CsrKeywords {
+    /// `offsets[i]..offsets[i + 1]` bounds list `i`; always starts `[0]`.
+    offsets: Vec<u32>,
+    /// All lists, concatenated in push order.
+    terms: Vec<Term>,
+}
+
+impl Default for CsrKeywords {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsrKeywords {
+    /// Creates an empty packer.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            terms: Vec::new(),
+        }
+    }
+
+    /// Appends one keyword list. The scratch buffer is sorted and
+    /// deduplicated in place (establishing the [`KeywordSet`] invariant
+    /// once, at pack time) and left empty for the caller to reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed buffer would exceed `u32::MAX` total terms.
+    pub fn push_list(&mut self, scratch: &mut Vec<Term>) {
+        scratch.sort_unstable();
+        scratch.dedup();
+        self.terms.extend_from_slice(scratch);
+        scratch.clear();
+        let end = u32::try_from(self.terms.len()).expect("CSR keyword buffer exceeds u32 terms");
+        self.offsets.push(end);
+    }
+
+    /// Number of packed lists.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if no lists have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total packed terms across all lists.
+    pub fn total_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// List `i` (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &[Term] {
+        &self.terms[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates over the packed lists in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Term]> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Materialises the lists into per-feature [`KeywordSet`]s — the only
+    /// point of the load path that allocates per feature, and each
+    /// allocation is exactly sized.
+    pub fn into_keyword_sets(self) -> Vec<KeywordSet> {
+        self.iter()
+            .map(|list| KeywordSet::from_sorted(list.to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(ids: &[u32]) -> Vec<Term> {
+        ids.iter().copied().map(Term).collect()
+    }
+
+    #[test]
+    fn packs_sorts_and_dedups_lists() {
+        let mut csr = CsrKeywords::new();
+        let mut scratch = terms(&[5, 1, 5, 3]);
+        csr.push_list(&mut scratch);
+        assert!(scratch.is_empty(), "scratch is recycled");
+        scratch.extend(terms(&[2]));
+        csr.push_list(&mut scratch);
+        csr.push_list(&mut scratch); // empty list
+
+        assert_eq!(csr.len(), 3);
+        assert_eq!(csr.total_terms(), 4);
+        assert_eq!(csr.get(0), &terms(&[1, 3, 5])[..]);
+        assert_eq!(csr.get(1), &terms(&[2])[..]);
+        assert_eq!(csr.get(2), &[] as &[Term]);
+    }
+
+    #[test]
+    fn empty_packer() {
+        let csr = CsrKeywords::new();
+        assert!(csr.is_empty());
+        assert_eq!(csr.len(), 0);
+        assert_eq!(csr.iter().count(), 0);
+        assert!(csr.into_keyword_sets().is_empty());
+    }
+
+    #[test]
+    fn materialises_keyword_sets() {
+        let mut csr = CsrKeywords::new();
+        csr.push_list(&mut terms(&[9, 2]));
+        csr.push_list(&mut terms(&[4]));
+        let sets = csr.into_keyword_sets();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0], KeywordSet::from_ids([2, 9]));
+        assert_eq!(sets[1], KeywordSet::from_ids([4]));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        // Default must uphold the leading-zero offset invariant.
+        let mut csr = CsrKeywords::default();
+        assert!(csr.is_empty());
+        csr.push_list(&mut terms(&[1]));
+        assert_eq!(csr.get(0), &terms(&[1])[..]);
+    }
+}

@@ -224,6 +224,9 @@ type ReduceInput<T> = (
 /// See [`ReduceInput`].
 type ReduceSlot<T> = Mutex<Option<ReduceInput<T>>>;
 
+/// One map task's emitted buckets, indexed `reducer * num_subs + sub`.
+type MapBuckets<T> = Vec<Vec<(<T as MapReduceTask>::Key, <T as MapReduceTask>::Value)>>;
+
 impl JobRunner {
     /// Creates a runner with the given cluster configuration.
     pub fn new(config: ClusterConfig) -> Self {
@@ -311,8 +314,7 @@ impl JobRunner {
         let shuffle_start = Instant::now();
         let mut counters = Counters::new();
         let mut map_tasks = Vec::with_capacity(map_results.len());
-        let mut all_buckets: Vec<Vec<Vec<(T::Key, T::Value)>>> =
-            Vec::with_capacity(map_results.len());
+        let mut all_buckets: Vec<MapBuckets<T>> = Vec::with_capacity(map_results.len());
         let mut shuffle_records = 0u64;
         for (buckets, stats, task_counters) in map_results {
             counters.merge(&task_counters);
@@ -377,8 +379,7 @@ impl JobRunner {
                 // a run the task declared unsorted is the task's own
                 // responsibility — it promised order-insensitivity.)
                 #[cfg(debug_assertions)]
-                for sub in 1..num_subs {
-                    let b = run_starts[sub];
+                for &b in run_starts.iter().take(num_subs).skip(1) {
                     if b > 0 && b < buffer.len() {
                         debug_assert!(
                             task.sort_cmp(&buffer[b - 1].0, &buffer[b].0)

@@ -18,6 +18,17 @@ pub struct Vocabulary {
     names: Vec<String>,
 }
 
+/// Two vocabularies are equal iff they assign the same ids to the same
+/// words — the `by_name` map is derived from `names`, so comparing the
+/// insertion-ordered word list is sufficient.
+impl PartialEq for Vocabulary {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Vocabulary {}
+
 impl Vocabulary {
     /// Creates an empty vocabulary.
     pub fn new() -> Self {
@@ -63,6 +74,11 @@ impl Vocabulary {
     /// True if no terms have been interned.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Iterates over the interned words in term-id order.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
     }
 
     /// Interns every word of a whitespace-separated string into a set.

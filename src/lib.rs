@@ -67,7 +67,8 @@ pub mod prelude {
         SharedDataset, SpqExecutor, SpqQuery, SpqResult,
     };
     pub use spq_data::{
-        ClusteredGen, DatasetGenerator, FlickrLike, QueryStream, StreamConfig, TwitterLike,
+        ingest_files, synthesize_dump, ClusteredGen, DatasetGenerator, DumpConfig, FlickrLike,
+        IngestOptions, Ingested, MalformedPolicy, QueryStream, StreamConfig, TwitterLike,
         UniformGen,
     };
     pub use spq_mapreduce::ClusterConfig;

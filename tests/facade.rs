@@ -45,7 +45,11 @@ fn all_algorithms_agree_with_centralized_baseline() {
         let result = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0))
             .algorithm(algo)
             .grid_size(4)
-            .run(&[hotels.clone()], &[restaurants.clone()], &query)
+            .run(
+                std::slice::from_ref(&hotels),
+                std::slice::from_ref(&restaurants),
+                &query,
+            )
             .unwrap();
         let got: Vec<_> = result.top_k.iter().map(|r| (r.object, r.score)).collect();
         let want: Vec<_> = baseline.iter().map(|r| (r.object, r.score)).collect();

@@ -230,8 +230,9 @@ mod tests {
 
     #[test]
     fn runs_and_counts_iterations() {
-        let mut c = Criterion::default();
-        c.window = Duration::from_millis(5);
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
         let mut ran = 0u32;
         c.bench_function("smoke", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
@@ -239,8 +240,9 @@ mod tests {
 
     #[test]
     fn batched_runs_setup_per_iteration() {
-        let mut c = Criterion::default();
-        c.window = Duration::from_millis(5);
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
         let mut group = c.benchmark_group("g");
         group.measurement_time(Duration::from_millis(5));
         group.bench_function(BenchmarkId::new("b", 1), |b| {

@@ -274,8 +274,8 @@ mod tests {
         #[test]
         fn combinators((len, v) in (1usize..4, crate::collection::vec((0u32..5, 0.0f64..1.0), 2..6))
             .prop_map(|(a, v)| (a, v))) {
-            prop_assert!(len >= 1 && len < 4);
-            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!((1..4).contains(&len));
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
         }
     }
 
