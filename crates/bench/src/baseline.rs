@@ -147,8 +147,11 @@ impl MapReduceTask for BaselinePSpqTask<'_> {
                 ClonedPayload::Feature(_, f_loc, f_kw) => {
                     features_examined += 1;
                     // Re-scored per routed copy — the old behaviour.
+                    // (Tie handling matches the live task: w == τ is
+                    // admitted so both sides produce the canonical top-k
+                    // and the byte-identity assertion stays meaningful.)
                     let w = self.query.score(&f_kw);
-                    if w > topk.tau() {
+                    if !w.is_zero() && w >= topk.tau() {
                         distance_checks += objects.len() as u64;
                         for (i, &(id, location)) in objects.iter().enumerate() {
                             if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
@@ -262,12 +265,14 @@ impl MapReduceTask for BaselineESpqLenTask<'_> {
                     if objects.is_empty() {
                         break;
                     }
+                    // Termination and tie handling match the live task
+                    // (canonical top-k; see espq_len.rs).
                     let bound = self.query.upper_bound(key.len as usize);
-                    if topk.tau() >= bound {
+                    if topk.tau() > bound {
                         break;
                     }
                     let w = self.query.score(&f_kw);
-                    if w > topk.tau() {
+                    if !w.is_zero() && w >= topk.tau() {
                         for (i, &(id, location)) in objects.iter().enumerate() {
                             if location.dist_sq(&f_loc) <= r_sq && w > scores[i] {
                                 scores[i] = w;

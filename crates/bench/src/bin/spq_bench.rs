@@ -13,7 +13,10 @@
 //!    byte-identity asserted against the in-memory path, and writes
 //!    `BENCH_INGEST.json` including ingest throughput in objects/sec.
 
-use spq_bench::cli::{parse_args, Command, IngestCli, USAGE};
+use spq_bench::backend_bench::{
+    backend_to_json, run_backend_bench, BackendBenchConfig, BackendSource,
+};
+use spq_bench::cli::{parse_args, BackendCli, CliOptions, Command, IngestCli, USAGE};
 use spq_bench::ingest_bench::{ingest_to_json, run_ingest_bench, IngestReport};
 use spq_bench::qps::{qps_to_json, run_qps};
 use spq_bench::trajectory::{run_trajectory, to_json};
@@ -32,6 +35,11 @@ fn main() {
             std::process::exit(2)
         }
     };
+
+    if let Some(backend) = &options.backend {
+        run_backend_mode(backend, &options);
+        return;
+    }
 
     if let Some(ingest) = options.ingest {
         run_ingest_mode(&ingest);
@@ -79,7 +87,71 @@ fn main() {
     print_modes(&qps_report.algorithms);
 }
 
-fn run_ingest_mode(ingest: &IngestCli) {
+/// The backend-matrix mode: `--backend` (repeatable), writing
+/// `BENCH_PR5.json`. Uses the dump paths when given (synthesizing first
+/// when asked), a generated dataset otherwise.
+fn run_backend_mode(backend: &BackendCli, options: &CliOptions) {
+    let source = match &options.ingest {
+        Some(ingest) => {
+            synthesize_if_requested(ingest);
+            BackendSource::Loaded {
+                data_tsv: ingest.config.data_tsv.clone(),
+                features_tsv: ingest.config.features_tsv.clone(),
+            }
+        }
+        None => BackendSource::Generated {
+            scale: options.trajectory.scale,
+        },
+    };
+    let cfg = BackendBenchConfig {
+        backends: backend.backends.clone(),
+        source,
+        seed: options.trajectory.seed,
+        workers: options.trajectory.workers,
+        queries: backend.queries,
+        batch: backend.batch,
+        grid: options.trajectory.grid,
+        ..BackendBenchConfig::default()
+    };
+    let report = match run_backend_bench(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("backend bench failed: {e}");
+            std::process::exit(1)
+        }
+    };
+    let json = backend_to_json(&cfg, &report);
+    std::fs::write(&backend.out, &json).expect("write backend report");
+
+    println!("wrote {}", backend.out);
+    println!(
+        "\n{} ({} objects, {} requests, batch {}, {} workers) — all backends byte-identical to the single-store engine:",
+        report.id, report.objects, cfg.queries, cfg.batch, cfg.workers
+    );
+    for section in &report.backends {
+        println!(
+            "  backend {} (built in {:.0} ms):",
+            section.backend, section.build_ms
+        );
+        for a in &section.algorithms {
+            println!(
+                "    {}: shards/query {:.1}, wire B/query {:.0}, plan-cache hit rate {:.2}",
+                a.algorithm.name(),
+                a.stats.mean_shards_touched,
+                a.stats.mean_shuffle_bytes,
+                a.stats.plan_cache_hit_rate
+            );
+            for m in &a.modes {
+                println!(
+                    "      {:<14}{:>10.1} qps{:>12.3} p50 ms{:>12.3} p99 ms",
+                    m.id, m.qps, m.p50_ms, m.p99_ms
+                );
+            }
+        }
+    }
+}
+
+fn synthesize_if_requested(ingest: &IngestCli) {
     if let Some(objects) = ingest.synthesize {
         let summary = synthesize_dump(
             &DumpConfig {
@@ -99,6 +171,10 @@ fn run_ingest_mode(ingest: &IngestCli) {
             ingest.config.features_tsv.display()
         );
     }
+}
+
+fn run_ingest_mode(ingest: &IngestCli) {
+    synthesize_if_requested(ingest);
 
     let report: IngestReport = match run_ingest_bench(&ingest.config) {
         Ok(report) => report,

@@ -19,11 +19,17 @@ pub const USAGE: &str = "usage: spq-bench [--scale F] [--seed N] [--workers N] [
      [--queries N] [--grid N] [--out FILE] \
      [--qps-queries N] [--qps-batch N] [--qps-out FILE] \
      [--data-tsv FILE --features-tsv FILE] [--ingest-out FILE] \
-     [--ingest-queries N] [--ingest-batch N] [--synthesize N]\n\
+     [--ingest-queries N] [--ingest-batch N] [--synthesize N] \
+     [--backend local|sharded|sharded:N]... [--backend-out FILE] \
+     [--backend-queries N] [--backend-batch N]\n\
 With --data-tsv/--features-tsv the binary benches the loaded dump \
 (writing --ingest-out, default BENCH_INGEST.json) instead of the \
 generated-dataset trajectories; --synthesize N first writes a \
-deterministic N-object dump to those two paths.";
+deterministic N-object dump to those two paths.\n\
+With --backend (repeatable) the binary instead benches the typed-facade \
+backend matrix over the dump (or a generated dataset when no TSV paths \
+are given), asserting byte-identity across backends and writing \
+--backend-out (default BENCH_PR5.json).";
 
 /// Everything `main` needs for one run.
 #[derive(Debug, Clone)]
@@ -38,6 +44,21 @@ pub struct CliOptions {
     pub qps_out: String,
     /// Loaded-dataset mode, when `--data-tsv`/`--features-tsv` are given.
     pub ingest: Option<IngestCli>,
+    /// Backend-matrix mode, when any `--backend` is given.
+    pub backend: Option<BackendCli>,
+}
+
+/// The backend-matrix mode's options.
+#[derive(Debug, Clone)]
+pub struct BackendCli {
+    /// Backends to measure, in flag order.
+    pub backends: Vec<spq_core::Backend>,
+    /// Output path of the backend-matrix document.
+    pub out: String,
+    /// Length of the measured query stream.
+    pub queries: usize,
+    /// Batch size for `execute-batch`.
+    pub batch: usize,
 }
 
 /// The loaded-dataset mode's options.
@@ -73,6 +94,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut ingest_queries = 32usize;
     let mut ingest_batch = 8usize;
     let mut synthesize: Option<usize> = None;
+    let mut backends: Vec<spq_core::Backend> = Vec::new();
+    let mut backend_out = String::from("BENCH_PR5.json");
+    let mut backend_queries = 24usize;
+    let mut backend_batch = 8usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -104,6 +129,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--ingest-queries" => ingest_queries = parsed(flag, value()?)?,
             "--ingest-batch" => ingest_batch = parsed(flag, value()?)?,
             "--synthesize" => synthesize = Some(parsed(flag, value()?)?),
+            "--backend" => backends.push(value()?.parse::<spq_core::Backend>()?),
+            "--backend-out" => backend_out = value()?,
+            "--backend-queries" => backend_queries = parsed(flag, value()?)?,
+            "--backend-batch" => backend_batch = parsed(flag, value()?)?,
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -141,12 +170,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         _ => return Err("--data-tsv and --features-tsv must be given together".to_owned()),
     };
 
+    let backend = if backends.is_empty() {
+        None
+    } else {
+        Some(BackendCli {
+            backends,
+            out: backend_out,
+            queries: backend_queries,
+            batch: backend_batch,
+        })
+    };
+
     Ok(Command::Run(Box::new(CliOptions {
         trajectory: cfg,
         qps: qps_cfg,
         out,
         qps_out,
         ingest,
+        backend,
     })))
 }
 
@@ -172,7 +213,57 @@ mod tests {
         assert_eq!(o.out, "BENCH_PR2.json");
         assert_eq!(o.qps_out, "BENCH_PR3.json");
         assert!(o.ingest.is_none());
+        assert!(o.backend.is_none());
         assert_eq!(o.qps.seed, o.trajectory.seed);
+    }
+
+    #[test]
+    fn backend_flags_accumulate() {
+        use spq_core::Backend;
+        let o = run(&[
+            "--backend",
+            "local",
+            "--backend",
+            "sharded:4",
+            "--backend-out",
+            "b5.json",
+            "--backend-queries",
+            "12",
+            "--backend-batch",
+            "6",
+        ]);
+        let backend = o.backend.expect("backend mode");
+        assert_eq!(
+            backend.backends,
+            vec![Backend::Local, Backend::Sharded { shards: 4 }]
+        );
+        assert_eq!(backend.out, "b5.json");
+        assert_eq!(backend.queries, 12);
+        assert_eq!(backend.batch, 6);
+    }
+
+    #[test]
+    fn backend_mode_combines_with_dump_paths() {
+        let o = run(&[
+            "--backend",
+            "sharded",
+            "--data-tsv",
+            "d.tsv",
+            "--features-tsv",
+            "f.tsv",
+            "--synthesize",
+            "1000",
+        ]);
+        assert!(o.backend.is_some());
+        assert!(o.ingest.is_some());
+    }
+
+    #[test]
+    fn bad_backend_names_are_errors() {
+        assert!(parse(&["--backend", "remote"]).is_err());
+        assert!(parse(&["--backend", "sharded:0"]).is_err());
+        let err = parse(&["--backend"]).unwrap_err();
+        assert!(err.contains("missing value for --backend"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! the in-process job, plus the simulated makespan on a 128-slot virtual
 //! cluster (the paper's 16 nodes × 8 cores).
 
+pub mod backend_bench;
 pub mod baseline;
 pub mod cli;
 pub mod figures;

@@ -129,7 +129,11 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     a + (b - a) * frac
 }
 
-fn mode_stats(id: &'static str, mut latencies: Vec<Duration>, wall: Duration) -> ModeStats {
+pub(crate) fn mode_stats(
+    id: &'static str,
+    mut latencies: Vec<Duration>,
+    wall: Duration,
+) -> ModeStats {
     latencies.sort_unstable();
     ModeStats {
         id,

@@ -189,14 +189,20 @@ impl MapReduceTask for ESpqLenTask<'_> {
                         break;
                     }
                     // Lines 9-11: the termination test uses only the
-                    // keyword length carried in the composite key.
+                    // keyword length carried in the composite key. The
+                    // paper terminates at τ >= w̄; we require τ > w̄ (and
+                    // below admit w == τ) so that boundary-tied features
+                    // can still swap smaller-id objects into Lk — the
+                    // cell's output is then the *canonical* top-k, a pure
+                    // function of (dataset, query), which keeps sharded
+                    // backends byte-identical to the single-store engine.
                     let bound = self.query.upper_bound(key.len as usize);
-                    if topk.tau() >= bound {
+                    if topk.tau() > bound {
                         ctx.counters().inc(COUNTER_REDUCE_EARLY_TERMINATIONS);
                         break;
                     }
                     features_examined += 1;
-                    if w > topk.tau() {
+                    if !w.is_zero() && w >= topk.tau() {
                         let f_loc = self.dataset.features()[i as usize].location;
                         distance_checks += objects.len() as u64;
                         for (j, &(id, location)) in objects.iter().enumerate() {

@@ -183,8 +183,15 @@ impl MapReduceTask for PSpqTask<'_> {
                 }
                 ObjectHandle::Feature(i, w) => {
                     features_examined += 1;
-                    // Line 9: only features beating τ can change Lk.
-                    if w > topk.tau() {
+                    // Line 9 of Algorithm 2 skips features with w <= τ.
+                    // We keep w == τ (and only drop w < τ or w == 0):
+                    // under a k-boundary score tie, a feature at exactly
+                    // τ can still swap a smaller-id object into Lk, and
+                    // admitting it makes the cell's output the *canonical*
+                    // top-k — a pure function of (dataset, query), which
+                    // is what lets sharded scatter/gather backends stay
+                    // byte-identical to the single-store engine.
+                    if !w.is_zero() && w >= topk.tau() {
                         let f_loc = self.dataset.features()[i as usize].location;
                         distance_checks += objects.len() as u64;
                         for (j, &(id, location)) in objects.iter().enumerate() {

@@ -62,6 +62,7 @@ use crate::executor::{SpqError, SpqExecutor, SpqResult};
 use crate::model::FeatureObject;
 use crate::partitioning::CellRouting;
 use crate::query::SpqQuery;
+use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
 use crate::store::{ObjectRef, SharedDataset};
 use parking_lot::Mutex;
 use spq_mapreduce::pool::run_tasks;
@@ -69,7 +70,9 @@ use spq_mapreduce::{ClusterConfig, JobContext};
 use spq_spatial::SpacePartition;
 use spq_text::{KeywordSet, Term};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An inverted index from keyword to the feature objects carrying it.
 ///
@@ -200,6 +203,48 @@ struct PartitionPlan {
     routing: CellRouting,
 }
 
+/// Cumulative engine counters (atomics — the engine is `Sync` and these
+/// are bumped from concurrent serve workers).
+#[derive(Debug, Default)]
+struct EngineMetrics {
+    queries: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    keyword_probes: AtomicU64,
+    keyword_hits: AtomicU64,
+}
+
+/// A point-in-time snapshot of an engine's cumulative counters — the
+/// observability surface behind the ROADMAP's "engine observability"
+/// item. Counters only ever grow; diff two snapshots for a rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries executed through any entry point.
+    pub queries: u64,
+    /// Queries whose per-radius partition plan was served from cache.
+    pub plan_cache_hits: u64,
+    /// Queries that had to build (and cache) their partition plan.
+    pub plan_cache_misses: u64,
+    /// Query keywords probed against the inverted keyword index.
+    pub keyword_probes: u64,
+    /// Probed keywords that hit a non-empty posting list.
+    pub keyword_hits: u64,
+}
+
+impl MetricsSnapshot {
+    /// Merges two snapshots (used by the sharded engine to aggregate its
+    /// per-shard engines).
+    pub fn merged(self, other: MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries + other.queries,
+            plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
+            keyword_probes: self.keyword_probes + other.keyword_probes,
+            keyword_hits: self.keyword_hits + other.keyword_hits,
+        }
+    }
+}
+
 /// Upper bound on cached per-radius plans. Serving workloads use a small
 /// set of radius classes, so the bound exists purely as a memory safety
 /// valve against adversarial streams of distinct radii: each plan pins an
@@ -231,6 +276,7 @@ pub struct QueryEngine {
     keyword_index: KeywordIndex,
     plans: Mutex<HashMap<u64, Arc<PartitionPlan>>>,
     ctx: JobContext,
+    metrics: EngineMetrics,
 }
 
 /// The engine's default split count — matches
@@ -278,6 +324,7 @@ impl QueryEngine {
             keyword_index,
             plans: Mutex::new(HashMap::new()),
             ctx: JobContext::new(),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -346,11 +393,16 @@ impl QueryEngine {
     }
 
     /// The cached plan for this query's radius, built on first use.
-    fn plan(&self, query: &SpqQuery) -> Arc<PartitionPlan> {
+    /// Returns the plan together with whether it was a cache hit.
+    fn plan(&self, query: &SpqQuery) -> (Arc<PartitionPlan>, bool) {
         let key = query.radius.to_bits();
         if let Some(plan) = self.plans.lock().get(&key) {
-            return Arc::clone(plan);
+            self.metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(plan), true);
         }
+        self.metrics
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         // Built outside the lock: concurrent builders may race, but the
         // planning is deterministic so every racer builds the same plan
         // and the first insert wins.
@@ -368,7 +420,7 @@ impl QueryEngine {
                 plans.remove(&evict);
             }
         }
-        Arc::clone(plans.entry(key).or_insert(plan))
+        (Arc::clone(plans.entry(key).or_insert(plan)), false)
     }
 
     fn run_with(
@@ -377,15 +429,28 @@ impl QueryEngine {
         splits: &[Vec<ObjectRef>],
         query: &SpqQuery,
     ) -> Result<SpqResult, SpqError> {
-        let plan = self.plan(query);
-        exec.run_planned(
+        Ok(self.run_measured(exec, splits, query)?.0)
+    }
+
+    /// [`run_with`](Self::run_with) that also reports whether the
+    /// partition plan was served from cache.
+    fn run_measured(
+        &self,
+        exec: &SpqExecutor,
+        splits: &[Vec<ObjectRef>],
+        query: &SpqQuery,
+    ) -> Result<(SpqResult, bool), SpqError> {
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        let (plan, hit) = self.plan(query);
+        let result = exec.run_planned(
             &self.dataset,
             splits,
             query,
             Arc::clone(&plan.partition),
             Some(&plan.routing),
             Some(&self.ctx),
-        )
+        )?;
+        Ok((result, hit))
     }
 
     /// Evaluates one query against the prebuilt state.
@@ -474,6 +539,200 @@ impl QueryEngine {
     /// [`ClusterConfig::auto`] for the full resolution order).
     pub fn serve_auto(&self, queries: &[SpqQuery]) -> Result<Vec<SpqResult>, SpqError> {
         self.serve(queries, ClusterConfig::auto().workers)
+    }
+
+    // ---- The typed request path (crate::service) ------------------------
+
+    /// The executor serving a request: the engine's own when the request
+    /// carries no overrides, otherwise a derived copy (executors are a
+    /// few plain-old-data fields; deriving is allocation-free).
+    ///
+    /// With `sequential` the job stays single-threaded **regardless of
+    /// the request's worker budget** — sequential execution is the
+    /// serve-worker building block, where the budget is already consumed
+    /// by the inter-query concurrency (exactly as the sharded scatter
+    /// clears the budget before driving its shards). Honouring it here
+    /// would nest multi-worker jobs inside the serve pool.
+    fn exec_for(&self, options: &QueryOptions, sequential: bool) -> SpqExecutor {
+        let mut exec = if sequential {
+            self.serve_exec.clone()
+        } else {
+            self.exec.clone()
+        };
+        if let Some(algorithm) = options.algorithm {
+            exec = exec.algorithm(algorithm);
+        }
+        if !sequential {
+            if let Some(workers) = options.workers {
+                exec = exec.cluster(ClusterConfig::with_workers(workers));
+            }
+        }
+        if let Some(enabled) = options.keyword_pruning {
+            exec = exec.keyword_pruning(enabled);
+        }
+        exec
+    }
+
+    /// Runs one query under per-request options; `sequential` forces a
+    /// single-threaded job (the serve-worker building block), exactly as
+    /// [`query_sequential`](Self::query_sequential) does for the shim
+    /// path.
+    pub(crate) fn run_opts(
+        &self,
+        query: &SpqQuery,
+        options: &QueryOptions,
+        sequential: bool,
+    ) -> Result<(SpqResult, bool), SpqError> {
+        let exec = self.exec_for(options, sequential);
+        self.run_measured(&exec, &self.splits, query)
+    }
+
+    /// [`run_opts`](Self::run_opts) with the map pass pruned down to the
+    /// query's candidate features through the keyword index (unless
+    /// pruning is disabled, which falls back to full splits). Results are
+    /// byte-identical to the full-split path — candidate splits preserve
+    /// the round-robin record order the shuffle depends on. This is the
+    /// building block of [`execute_batch`](Self::execute_batch) and of
+    /// every sharded scatter (each shard probes its own build-once
+    /// index).
+    pub(crate) fn run_opts_pruned(
+        &self,
+        query: &SpqQuery,
+        options: &QueryOptions,
+        sequential: bool,
+    ) -> Result<(SpqResult, bool), SpqError> {
+        let exec = self.exec_for(options, sequential);
+        if exec.keyword_pruning_enabled() {
+            let candidates = self.keyword_index.candidates(&query.keywords);
+            let splits = self.candidate_splits(&candidates);
+            self.run_measured(&exec, &splits, query)
+        } else {
+            self.run_measured(&exec, &self.splits, query)
+        }
+    }
+
+    /// Probes each query keyword against the build-once keyword index,
+    /// returning `(terms probed, terms matched)` and bumping the
+    /// cumulative metrics. `matched == 0` proves the query cannot score
+    /// any object.
+    pub(crate) fn keyword_stats(&self, keywords: &KeywordSet) -> (usize, usize) {
+        let probed = keywords.len();
+        let matched = keywords
+            .iter()
+            .filter(|&t| self.keyword_index.term_frequency(t) > 0)
+            .count();
+        self.metrics
+            .keyword_probes
+            .fetch_add(probed as u64, Ordering::Relaxed);
+        self.metrics
+            .keyword_hits
+            .fetch_add(matched as u64, Ordering::Relaxed);
+        (probed, matched)
+    }
+
+    /// Wraps one executed result into a typed response.
+    fn respond(
+        &self,
+        request: &QueryRequest,
+        result: SpqResult,
+        plan_hit: bool,
+        keywords: (usize, usize),
+        started: Instant,
+    ) -> QueryResponse {
+        let stats = QueryStats {
+            algorithm: result.algorithm,
+            plan_cache_hit: plan_hit,
+            shards_touched: 1,
+            shuffle_records: result.stats.shuffle_records,
+            shuffle_bytes: result.shuffle_bytes,
+            wall_micros: started.elapsed().as_micros() as u64,
+            keyword_terms_probed: keywords.0,
+            keyword_terms_matched: keywords.1,
+        };
+        QueryResponse {
+            results: result.top_k,
+            stats,
+            trace: request.options.trace.then(|| vec![result.stats]),
+        }
+    }
+
+    /// Executes one typed [`QueryRequest`] — the request-path counterpart
+    /// of [`query`](Self::query). Validates first, honours the request's
+    /// options, and reports per-query [`QueryStats`].
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_as(request, false, false)
+    }
+
+    /// [`execute`](Self::execute) forced onto a single-threaded job — the
+    /// building block [`serve_requests`](Self::serve_requests) runs on its
+    /// workers (a per-request worker budget is ignored here; see
+    /// [`exec_for`](Self::exec_for)). Same bytes (jobs are
+    /// worker-count-invariant).
+    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_as(request, true, false)
+    }
+
+    /// The one request lifecycle every typed entry point goes through:
+    /// validate → probe the keyword index → run (candidate-pruned when
+    /// `pruned`) → wrap stats.
+    fn execute_as(
+        &self,
+        request: &QueryRequest,
+        sequential: bool,
+        pruned: bool,
+    ) -> Result<QueryResponse, SpqError> {
+        request.validate()?;
+        let started = Instant::now();
+        let keywords = self.keyword_stats(&request.query.keywords);
+        let (result, plan_hit) = if pruned {
+            self.run_opts_pruned(&request.query, &request.options, sequential)?
+        } else {
+            self.run_opts(&request.query, &request.options, sequential)?
+        };
+        Ok(self.respond(request, result, plan_hit, keywords, started))
+    }
+
+    /// Executes a batch of typed requests — the request-path counterpart
+    /// of [`query_batch`](Self::query_batch): each request's map pass is
+    /// pruned down to its candidate features through the keyword index
+    /// (unless pruning is disabled by the engine or the request), and the
+    /// responses come back in request order, byte-identical to
+    /// [`execute`](Self::execute) one by one.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
+        requests
+            .iter()
+            .map(|request| self.execute_as(request, false, true))
+            .collect()
+    }
+
+    /// Executes independent typed requests concurrently on `workers`
+    /// threads — the request-path counterpart of [`serve`](Self::serve).
+    /// Responses in request order, byte-identical to sequential
+    /// [`execute`](Self::execute) calls for any worker count.
+    pub fn serve_requests(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryResponse>, SpqError> {
+        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
+            self.execute_sequential(&requests[i])
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("request {}: {}", p.task_index, p.message),
+        })?;
+        outcomes.into_iter().collect()
+    }
+
+    /// A snapshot of the engine's cumulative counters: queries served,
+    /// plan-cache hits/misses, keyword-index probe outcomes.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.metrics.queries.load(Ordering::Relaxed),
+            plan_cache_hits: self.metrics.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.metrics.plan_cache_misses.load(Ordering::Relaxed),
+            keyword_probes: self.metrics.keyword_probes.load(Ordering::Relaxed),
+            keyword_hits: self.metrics.keyword_hits.load(Ordering::Relaxed),
+        }
     }
 }
 

@@ -10,7 +10,7 @@ use crate::partitioning::CellRouting;
 use crate::query::SpqQuery;
 use crate::store::{ObjectRef, SharedDataset};
 use crate::theory::auto_grid_size;
-use spq_mapreduce::{ClusterConfig, JobContext, JobError, JobRunner, JobStats};
+use spq_mapreduce::{ClusterConfig, ExecutionBackend, JobContext, JobError, JobStats, LocalPool};
 use spq_spatial::{AdaptiveGrid, Grid, Point, Rect, SpacePartition};
 use std::fmt;
 use std::sync::Arc;
@@ -54,7 +54,15 @@ pub enum LoadBalancing {
     },
 }
 
-/// Errors surfaced by [`SpqExecutor::run`] and the engine entry points.
+/// The error taxonomy of the serving API.
+///
+/// Every fallible entry point — the per-query [`SpqExecutor`], the
+/// persistent engines, and the typed [`crate::service`] facade — reports
+/// through this enum, so callers can route on *what kind* of failure
+/// occurred: a rejected request ([`InvalidQuery`](Self::InvalidQuery)),
+/// a misconfigured engine ([`InvalidConfig`](Self::InvalidConfig)), or a
+/// runtime execution failure ([`Job`](Self::Job) /
+/// [`Worker`](Self::Worker)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpqError {
     /// The underlying MapReduce job failed.
@@ -65,6 +73,37 @@ pub enum SpqError {
         /// Human-readable description of the failed query task.
         message: String,
     },
+    /// A request was rejected before execution (non-finite radius, `k` of
+    /// zero, a zero worker budget, …). Only the typed request path
+    /// validates; the plain-`SpqQuery` shims keep their permissive
+    /// historical behaviour.
+    InvalidQuery {
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// An engine or backend was configured in a way that cannot serve
+    /// (zero shards, duplicate data-object ids under a sharded wire
+    /// format, …). Raised at build time, never per query.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        message: String,
+    },
+}
+
+impl SpqError {
+    /// Builds an [`InvalidQuery`](Self::InvalidQuery) error.
+    pub fn invalid_query(message: impl Into<String>) -> Self {
+        SpqError::InvalidQuery {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an [`InvalidConfig`](Self::InvalidConfig) error.
+    pub fn invalid_config(message: impl Into<String>) -> Self {
+        SpqError::InvalidConfig {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for SpqError {
@@ -72,6 +111,8 @@ impl fmt::Display for SpqError {
         match self {
             SpqError::Job(e) => write!(f, "mapreduce job failed: {e}"),
             SpqError::Worker { message } => write!(f, "query worker failed: {message}"),
+            SpqError::InvalidQuery { message } => write!(f, "invalid query: {message}"),
+            SpqError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }
     }
 }
@@ -99,6 +140,12 @@ pub struct SpqResult {
     /// serving engine can hand out its cached partition without cloning
     /// it per query.
     pub partition: Arc<SpacePartition>,
+    /// Bytes that crossed the in-process shuffle:
+    /// `stats.shuffle_records × size_of::<(Key, Value)>()` of the
+    /// algorithm's composite key and handle value — the same accounting
+    /// the PR 2 trajectory bench uses, now surfaced per query so the
+    /// service layer can report it.
+    pub shuffle_bytes: u64,
 }
 
 /// Configures and runs distributed spatial preference queries.
@@ -344,7 +391,35 @@ impl SpqExecutor {
         routing: Option<&CellRouting>,
         ctx: Option<&JobContext>,
     ) -> Result<SpqResult, SpqError> {
-        let runner = JobRunner::new(self.cluster);
+        self.run_planned_on(
+            &LocalPool::new(self.cluster),
+            dataset,
+            splits,
+            query,
+            partition,
+            routing,
+            ctx,
+        )
+    }
+
+    /// [`run_planned`](Self::run_planned) over an explicit
+    /// [`ExecutionBackend`] — the seam through which the same planned
+    /// job's map/reduce tasks can be placed somewhere other than the
+    /// in-process pool (the executor's own cluster configuration is
+    /// ignored; placement is entirely the backend's). Every backend
+    /// honouring the [`ExecutionBackend`] determinism contract returns
+    /// byte-identical results here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_planned_on<B: ExecutionBackend>(
+        &self,
+        backend: &B,
+        dataset: &SharedDataset,
+        splits: &[Vec<ObjectRef>],
+        query: &SpqQuery,
+        partition: Arc<SpacePartition>,
+        routing: Option<&CellRouting>,
+        ctx: Option<&JobContext>,
+    ) -> Result<SpqResult, SpqError> {
         let scratch;
         let ctx = match ctx {
             Some(ctx) => ctx,
@@ -353,6 +428,10 @@ impl SpqExecutor {
                 &scratch
             }
         };
+        /// One shuffle record's in-memory wire size for byte accounting.
+        fn record_bytes<T: spq_mapreduce::MapReduceTask>(_: &T) -> u64 {
+            std::mem::size_of::<(T::Key, T::Value)>() as u64
+        }
         macro_rules! run_task {
             ($task_type:ident) => {{
                 let mut task = $task_type::new(dataset, &partition, query);
@@ -362,12 +441,14 @@ impl SpqExecutor {
                 if let Some(routing) = routing {
                     task = task.with_routing(routing);
                 }
-                let out = runner.run_in(ctx, &task, splits)?;
+                let record_bytes = record_bytes(&task);
+                let out = backend.execute(ctx, &task, splits)?;
                 let stats = out.stats.clone();
-                (out.into_flat(), stats)
+                let shuffle_bytes = stats.shuffle_records * record_bytes;
+                (out.into_flat(), stats, shuffle_bytes)
             }};
         }
-        let (flat, stats) = match self.algorithm {
+        let (flat, stats, shuffle_bytes) = match self.algorithm {
             Algorithm::PSpq => run_task!(PSpqTask),
             Algorithm::ESpqLen => run_task!(ESpqLenTask),
             Algorithm::ESpqSco => run_task!(ESpqScoTask),
@@ -377,6 +458,7 @@ impl SpqExecutor {
             stats,
             algorithm: self.algorithm,
             partition,
+            shuffle_bytes,
         })
     }
 

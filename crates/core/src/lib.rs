@@ -54,16 +54,20 @@ pub mod merge;
 pub mod model;
 pub mod partitioning;
 pub mod query;
+pub mod service;
+pub mod sharded;
 pub mod store;
 pub mod theory;
 pub mod topk;
 pub mod validate;
 
 pub use algo::Algorithm;
-pub use engine::{DatasetStats, KeywordIndex, QueryEngine};
+pub use engine::{DatasetStats, KeywordIndex, MetricsSnapshot, QueryEngine};
 pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
 pub use partitioning::CellRouting;
 pub use query::SpqQuery;
+pub use service::{Backend, QueryOptions, QueryRequest, QueryResponse, QueryStats, SpqService};
+pub use sharded::{ShardStats, ShardedEngine};
 pub use store::{ObjectRef, SharedDataset};
 pub use topk::TopKList;

@@ -1,0 +1,408 @@
+//! The typed serving facade: requests in, responses with statistics out.
+//!
+//! The engines underneath speak `SpqQuery → SpqResult` — enough for the
+//! paper's experiments, too little for a service: there is nowhere to ask
+//! for a different algorithm on one query, no per-query observability,
+//! and no way to choose the execution backend without changing types.
+//! This module is the public serving API over all of that:
+//!
+//! * [`QueryRequest`] — a query plus [`QueryOptions`]: per-request
+//!   algorithm override, a worker **budget** (all execution is
+//!   worker-count-invariant, so budget knobs never change result bytes —
+//!   there are no timeouts to race against), the keyword-pruning ablation
+//!   toggle and a trace flag.
+//! * [`QueryResponse`] — the ranked results plus per-query [`QueryStats`]
+//!   (plan-cache hit, shards touched, shuffle records/bytes, wall micros,
+//!   keyword-index probe outcome) and, when tracing, the full per-job
+//!   [`JobStats`].
+//! * [`Backend`] — which engine serves: [`Backend::Local`] (one
+//!   build-once [`QueryEngine`] on the in-process pool) or
+//!   [`Backend::Sharded`] (a scatter/gather
+//!   [`ShardedEngine`] over per-shard
+//!   dataset slices). Both return byte-identical results.
+//! * [`SpqService`] — the backend-erased handle examples and benches
+//!   serve through.
+//!
+//! Requests **validate before execution** ([`QueryRequest::validate`]):
+//! a non-finite radius or a zero worker budget comes back as
+//! [`SpqError::InvalidQuery`] instead of a panic deep inside routing. The
+//! plain-`SpqQuery` engine methods ([`QueryEngine::query`] and friends)
+//! remain as permissive back-compat shims.
+//!
+//! ```
+//! use spq_core::service::{Backend, QueryRequest, SpqService};
+//! use spq_core::{DataObject, FeatureObject, SharedDataset, SpqExecutor, SpqQuery};
+//! use spq_spatial::{Point, Rect};
+//! use spq_text::KeywordSet;
+//!
+//! let dataset = SharedDataset::new(
+//!     vec![DataObject::new(1, Point::new(4.6, 4.8))],
+//!     vec![FeatureObject::new(4, Point::new(3.8, 5.5), KeywordSet::from_ids([0]))],
+//! );
+//! let executor = SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4);
+//!
+//! let service = SpqService::build(executor, dataset, Backend::Sharded { shards: 2 }).unwrap();
+//! let request = QueryRequest::new(SpqQuery::new(1, 1.5, KeywordSet::from_ids([0])));
+//! let response = service.execute(&request).unwrap();
+//! assert_eq!(response.results[0].object, 1);
+//! assert_eq!(response.stats.shards_touched, 1); // only one shard holds data
+//! ```
+
+use crate::algo::Algorithm;
+use crate::engine::QueryEngine;
+use crate::executor::{SpqError, SpqExecutor};
+use crate::model::RankedObject;
+use crate::query::SpqQuery;
+use crate::sharded::ShardedEngine;
+use crate::store::SharedDataset;
+use spq_mapreduce::JobStats;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which engine a [`SpqService`] serves through.
+///
+/// Every backend returns **byte-identical** results for the same request
+/// (`tests/backend_equivalence.rs` proptests it); the choice trades
+/// single-store simplicity against shard-per-node scale-out shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One build-once [`QueryEngine`] over the whole dataset, executing
+    /// jobs on the in-process [`spq_mapreduce::LocalPool`].
+    Local,
+    /// A [`ShardedEngine`]: the data
+    /// objects are sliced into `shards` per-shard stores (features are
+    /// broadcast by `Arc`), each shard runs its own build-once engine,
+    /// and queries scatter/gather with a top-k merge.
+    Sharded {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+}
+
+impl Backend {
+    /// The backend's stable identifier (`"local"` / `"sharded"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Local => "local",
+            Backend::Sharded { .. } => "sharded",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Local => write!(f, "local"),
+            Backend::Sharded { shards } => write!(f, "sharded:{shards}"),
+        }
+    }
+}
+
+/// Default shard count for `"sharded"` given without an explicit count.
+pub const DEFAULT_SHARDS: usize = 4;
+
+impl FromStr for Backend {
+    type Err = String;
+
+    /// Parses `"local"`, `"sharded"` (= [`DEFAULT_SHARDS`] shards) or
+    /// `"sharded:N"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "local" => Ok(Backend::Local),
+            "sharded" => Ok(Backend::Sharded {
+                shards: DEFAULT_SHARDS,
+            }),
+            other => match other.strip_prefix("sharded:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(shards) if shards > 0 => Ok(Backend::Sharded { shards }),
+                    _ => Err(format!("bad shard count {n:?} (want sharded:N, N >= 1)")),
+                },
+                None => Err(format!(
+                    "unknown backend {other:?} (want local, sharded or sharded:N)"
+                )),
+            },
+        }
+    }
+}
+
+/// Per-request execution options. All knobs are **result-invariant**:
+/// they change where and how fast a query runs, never what it answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Run this algorithm instead of the engine's configured one.
+    pub algorithm: Option<Algorithm>,
+    /// Worker budget for this request: intra-job workers on the local
+    /// backend, scatter width on the sharded backend. Jobs are
+    /// worker-count-invariant, so this is a pure resource knob — the
+    /// timeout-free way to bound a query's CPU appetite.
+    pub workers: Option<usize>,
+    /// Override the map-side keyword-pruning rule (the shuffle ablation;
+    /// results are unchanged, the shuffle just carries every feature).
+    pub keyword_pruning: Option<bool>,
+    /// Attach the full per-job [`JobStats`] to the response (one entry on
+    /// the local backend, one per touched shard on the sharded one).
+    pub trace: bool,
+}
+
+/// One typed query request: the query itself plus [`QueryOptions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The spatial preference query.
+    pub query: SpqQuery,
+    /// Execution options (all result-invariant).
+    pub options: QueryOptions,
+}
+
+impl QueryRequest {
+    /// Wraps a query with default options.
+    pub fn new(query: SpqQuery) -> Self {
+        Self {
+            query,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Overrides the algorithm for this request.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.options.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Sets the worker budget for this request.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.options.workers = Some(workers);
+        self
+    }
+
+    /// Overrides the keyword-pruning rule for this request.
+    pub fn with_keyword_pruning(mut self, enabled: bool) -> Self {
+        self.options.keyword_pruning = Some(enabled);
+        self
+    }
+
+    /// Requests a full execution trace on the response.
+    pub fn with_trace(mut self) -> Self {
+        self.options.trace = true;
+        self
+    }
+
+    /// Checks the request before execution. The typed path rejects inputs
+    /// that the permissive shims would either panic on (non-finite radius
+    /// reaches a routing assert) or answer degenerately (`k == 0`).
+    pub fn validate(&self) -> Result<(), SpqError> {
+        if !self.query.radius.is_finite() || self.query.radius < 0.0 {
+            return Err(SpqError::invalid_query(format!(
+                "radius must be finite and non-negative, got {}",
+                self.query.radius
+            )));
+        }
+        if self.query.k == 0 {
+            return Err(SpqError::invalid_query("k must be at least 1"));
+        }
+        if self.options.workers == Some(0) {
+            return Err(SpqError::invalid_query(
+                "worker budget must be at least 1 when set",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl From<SpqQuery> for QueryRequest {
+    fn from(query: SpqQuery) -> Self {
+        QueryRequest::new(query)
+    }
+}
+
+/// Per-query execution statistics, reported on every [`QueryResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The algorithm that answered the request.
+    pub algorithm: Algorithm,
+    /// Whether every consulted engine served this query's partition plan
+    /// from its per-radius cache (`false` when any plan was built, and on
+    /// requests short-circuited before consulting a plan).
+    pub plan_cache_hit: bool,
+    /// Shards the query scattered to (1 on the local backend; 0 when the
+    /// keyword index proved no feature can match).
+    pub shards_touched: usize,
+    /// Records that crossed the data-movement boundary: the in-process
+    /// shuffle on the local backend, the serialized gather on the sharded
+    /// one.
+    pub shuffle_records: u64,
+    /// Bytes behind [`shuffle_records`](Self::shuffle_records) — actual
+    /// wire bytes for the sharded gather, `records × record size` for the
+    /// in-process shuffle.
+    pub shuffle_bytes: u64,
+    /// End-to-end wall time of the request, microseconds.
+    pub wall_micros: u64,
+    /// Query keywords probed against the build-once keyword index.
+    pub keyword_terms_probed: usize,
+    /// Probed keywords carried by at least one feature. `0` means the
+    /// query cannot match anything and short-circuits.
+    pub keyword_terms_matched: usize,
+}
+
+/// The outcome of one executed [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The global top-k, canonical order (score desc, id asc) — the same
+    /// bytes [`QueryEngine::query`] returns for the same query.
+    pub results: Vec<RankedObject>,
+    /// Per-query execution statistics.
+    pub stats: QueryStats,
+    /// Full per-job statistics, present when the request set
+    /// [`QueryOptions::trace`]: one entry on the local backend, one per
+    /// touched shard on the sharded backend.
+    pub trace: Option<Vec<JobStats>>,
+}
+
+/// A backend-erased serving handle: one build step, then typed requests.
+///
+/// This is the type examples, benches and downstream callers hold; the
+/// enum is public so callers that need backend-specific surface (per-shard
+/// statistics, the raw engine) can match on it.
+#[derive(Debug)]
+pub enum SpqService {
+    /// Serving through one build-once [`QueryEngine`].
+    Local(QueryEngine),
+    /// Serving through a scatter/gather [`ShardedEngine`].
+    Sharded(ShardedEngine),
+}
+
+impl SpqService {
+    /// Builds the engine for `backend` over `dataset`. `executor`
+    /// supplies the query configuration (bounds, algorithm, grid sizing,
+    /// load balancing, pruning, cluster), exactly as for
+    /// [`QueryEngine::new`].
+    pub fn build(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        backend: Backend,
+    ) -> Result<Self, SpqError> {
+        match backend {
+            Backend::Local => Ok(SpqService::Local(QueryEngine::new(executor, dataset))),
+            Backend::Sharded { shards } => Ok(SpqService::Sharded(ShardedEngine::new(
+                executor, dataset, shards,
+            )?)),
+        }
+    }
+
+    /// The backend this service was built with.
+    pub fn backend(&self) -> Backend {
+        match self {
+            SpqService::Local(_) => Backend::Local,
+            SpqService::Sharded(engine) => Backend::Sharded {
+                shards: engine.num_shards(),
+            },
+        }
+    }
+
+    /// Executes one request.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        match self {
+            SpqService::Local(engine) => engine.execute(request),
+            SpqService::Sharded(engine) => engine.execute(request),
+        }
+    }
+
+    /// Executes a batch of requests, returned in request order. On the
+    /// local backend the batch shares the build-once keyword index to
+    /// prune each query's map pass to its candidate features (the
+    /// `engine-batch` serving mode); on the sharded backend each request
+    /// scatters independently.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
+        match self {
+            SpqService::Local(engine) => engine.execute_batch(requests),
+            SpqService::Sharded(engine) => engine.execute_batch(requests),
+        }
+    }
+
+    /// Executes independent requests concurrently on `workers` threads,
+    /// results in request order (byte-identical to sequential
+    /// [`execute`](Self::execute) calls, for any worker count).
+    pub fn serve(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryResponse>, SpqError> {
+        match self {
+            SpqService::Local(engine) => engine.serve_requests(requests, workers),
+            SpqService::Sharded(engine) => engine.serve_requests(requests, workers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_text::KeywordSet;
+
+    fn q(k: usize, r: f64) -> SpqQuery {
+        SpqQuery::new(k, r, KeywordSet::from_ids([0]))
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        assert_eq!("local".parse::<Backend>().unwrap(), Backend::Local);
+        assert_eq!(
+            "sharded".parse::<Backend>().unwrap(),
+            Backend::Sharded {
+                shards: DEFAULT_SHARDS
+            }
+        );
+        assert_eq!(
+            "sharded:8".parse::<Backend>().unwrap(),
+            Backend::Sharded { shards: 8 }
+        );
+        for s in ["", "remote", "sharded:", "sharded:0", "sharded:x"] {
+            assert!(s.parse::<Backend>().is_err(), "{s:?}");
+        }
+        for b in [Backend::Local, Backend::Sharded { shards: 3 }] {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!(Backend::Local.name(), "local");
+        assert_eq!(Backend::Sharded { shards: 9 }.name(), "sharded");
+    }
+
+    #[test]
+    fn request_builders_set_options() {
+        let r = QueryRequest::new(q(3, 1.0))
+            .with_algorithm(Algorithm::PSpq)
+            .with_workers(2)
+            .with_keyword_pruning(false)
+            .with_trace();
+        assert_eq!(r.options.algorithm, Some(Algorithm::PSpq));
+        assert_eq!(r.options.workers, Some(2));
+        assert_eq!(r.options.keyword_pruning, Some(false));
+        assert!(r.options.trace);
+        let shim: QueryRequest = q(3, 1.0).into();
+        assert_eq!(shim.options, QueryOptions::default());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_requests() {
+        assert!(QueryRequest::new(q(1, 1.0)).validate().is_ok());
+        // Radius 0 is allowed (a point query).
+        assert!(QueryRequest::new(q(1, 0.0)).validate().is_ok());
+        // `SpqQuery::new` asserts these invariants at construction, but
+        // the fields are `pub` (requests may arrive deserialized); the
+        // typed path turns corruption into errors instead of panics deep
+        // inside routing.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut request = QueryRequest::new(q(1, 1.0));
+            request.query.radius = bad;
+            let err = request.validate().unwrap_err();
+            assert!(matches!(err, SpqError::InvalidQuery { .. }), "{bad}");
+        }
+        let mut request = QueryRequest::new(q(1, 1.0));
+        request.query.k = 0;
+        let err = request.validate().unwrap_err();
+        assert!(err.to_string().contains("k must be"));
+        let err = QueryRequest::new(q(1, 1.0))
+            .with_workers(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("worker budget"));
+    }
+}

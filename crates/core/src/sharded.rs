@@ -1,0 +1,601 @@
+//! Shard-per-node serving: scatter a query to per-shard engines, gather
+//! serialized top-k records, merge.
+//!
+//! The paper's cells are independent work units *within* one job; this
+//! module lifts the same idea one level up, to the shape a cluster
+//! deployment would take (cf. Tornado's separation of query routing from
+//! placement, PAPERS.md): the data objects are sliced into `N` per-shard
+//! [`SharedDataset`]s at build time — features are **broadcast** to every
+//! shard by cloning the `Arc`, never the array — and each shard runs its
+//! own build-once [`QueryEngine`] (keyword index, per-radius partition
+//! plans and routing tables, all local to the shard).
+//!
+//! A query then:
+//!
+//! 1. **probes** the keyword index once — if no feature carries any query
+//!    keyword, no object can score and the query touches zero shards;
+//! 2. **scatters** to every relevant shard (shards holding data), each
+//!    evaluating the query against its slice as a single-threaded job —
+//!    inter-shard concurrency is the parallelism, exactly the
+//!    shard-per-node serving shape;
+//! 3. **gathers** each shard's local top-k as *serialized wire records* —
+//!    [`wire::RECORD_BYTES`]-byte `(data index, score bits)` pairs, the
+//!    cross-shard counterpart of the 8–16-byte handles that cross the
+//!    in-process shuffle — and re-resolves them against the global store;
+//! 4. **merges** with the same [`merge_top_k`] the single-store engine
+//!    uses.
+//!
+//! Because data objects are never duplicated across shards (the paper's
+//! Section 4.2 invariant, applied at shard granularity) and every shard
+//! sees the complete feature set, each shard's `τ` values are exact and
+//! the gathered merge is **byte-identical** to the single-store engine —
+//! results, scores and order (`tests/backend_equivalence.rs` proptests
+//! this across shard counts, algorithms and partitionings). Only
+//! execution statistics differ: features are routed once per shard, so
+//! map-side counters scale with the shard count.
+
+use crate::engine::{MetricsSnapshot, QueryEngine};
+use crate::executor::{SpqError, SpqExecutor};
+use crate::merge::merge_top_k;
+use crate::model::{DataObject, ObjectId, RankedObject};
+use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
+use crate::store::SharedDataset;
+use spq_mapreduce::pool::run_tasks;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The cross-shard wire format: what a shard's gather response looks like
+/// as bytes.
+///
+/// Each record is a little-endian `(u32 global data index, u64 score
+/// bits)` pair — 12 bytes, in the same 8–16-byte class as the in-process
+/// shuffle handles, and resolved the same way: against the shared store,
+/// never by shipping objects. Encoding and decoding are exact (`f64`
+/// bits round-trip), which is what lets the gathered merge stay
+/// byte-identical to the single-store engine.
+pub mod wire {
+    use super::*;
+    use spq_text::Score;
+
+    /// Serialized size of one gather record.
+    pub const RECORD_BYTES: usize = 12;
+
+    /// Serializes a shard's local top-k into wire records. `id_to_index`
+    /// maps data-object ids to indices in the *global* store (built once
+    /// at engine construction), so the receiver resolves records without
+    /// any per-shard coordinate space.
+    pub fn encode_results(
+        results: &[RankedObject],
+        id_to_index: &HashMap<ObjectId, u32>,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(results.len() * RECORD_BYTES);
+        for r in results {
+            let index = id_to_index
+                .get(&r.object)
+                .expect("shard result resolves to a known data object");
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&r.score.value().to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes wire records, resolving each index against the global
+    /// data store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed buffer (length not a multiple of
+    /// [`RECORD_BYTES`], index out of range) — the in-process transport
+    /// cannot truncate, so this is a bug canary, not an I/O error path.
+    pub fn decode_results(bytes: &[u8], data: &[DataObject]) -> Vec<RankedObject> {
+        assert!(
+            bytes.len().is_multiple_of(RECORD_BYTES),
+            "wire buffer of {} bytes is not a whole number of records",
+            bytes.len()
+        );
+        bytes
+            .chunks_exact(RECORD_BYTES)
+            .map(|chunk| {
+                let index = u32::from_le_bytes(chunk[..4].try_into().unwrap()) as usize;
+                let bits = u64::from_le_bytes(chunk[4..].try_into().unwrap());
+                let object = &data[index];
+                RankedObject::new(
+                    object.id,
+                    object.location,
+                    Score::from_f64(f64::from_bits(bits)),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Cumulative per-shard traffic counters.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    queries: AtomicU64,
+    records_shipped: AtomicU64,
+    bytes_shipped: AtomicU64,
+}
+
+/// One shard: a build-once engine over its data slice plus traffic
+/// counters.
+#[derive(Debug)]
+struct Shard {
+    engine: QueryEngine,
+    counters: ShardCounters,
+}
+
+/// A point-in-time view of one shard, for monitoring and the
+/// `sharded_serve` example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Data objects this shard owns.
+    pub data_objects: usize,
+    /// Feature objects visible to the shard (the broadcast set — equal
+    /// across shards).
+    pub feature_objects: usize,
+    /// Queries this shard has served.
+    pub queries: u64,
+    /// Top-k records the shard has shipped through the gather.
+    pub records_shipped: u64,
+    /// Wire bytes behind [`records_shipped`](Self::records_shipped).
+    pub bytes_shipped: u64,
+    /// Per-radius partition plans currently cached by the shard's engine.
+    pub cached_plans: usize,
+}
+
+/// The scatter/gather engine behind [`crate::service::Backend::Sharded`].
+///
+/// See the [module docs](self) for the lifecycle and the byte-identity
+/// argument. Build once with [`new`](Self::new), then serve typed
+/// requests through [`execute`](Self::execute) /
+/// [`execute_batch`](Self::execute_batch) /
+/// [`serve_requests`](Self::serve_requests).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    dataset: SharedDataset,
+    exec: SpqExecutor,
+    shards: Vec<Shard>,
+    id_to_index: HashMap<ObjectId, u32>,
+    scatter_workers: usize,
+}
+
+impl ShardedEngine {
+    /// Slices `dataset` into `num_shards` contiguous data chunks (features
+    /// broadcast by `Arc`) and builds one engine per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SpqError::InvalidConfig`] when `num_shards == 0`, or when the
+    /// data objects carry duplicate ids — the wire format resolves shard
+    /// results by id, so ids must be unique (the ingest pipeline already
+    /// enforces this for loaded dumps).
+    pub fn new(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        num_shards: usize,
+    ) -> Result<Self, SpqError> {
+        if num_shards == 0 {
+            return Err(SpqError::invalid_config(
+                "sharded backend needs at least one shard",
+            ));
+        }
+        let data = dataset.data();
+        let mut id_to_index = HashMap::with_capacity(data.len());
+        for (i, object) in data.iter().enumerate() {
+            if id_to_index.insert(object.id, i as u32).is_some() {
+                return Err(SpqError::invalid_config(format!(
+                    "duplicate data object id {} — the sharded wire format resolves by id",
+                    object.id
+                )));
+            }
+        }
+        let scatter_workers = executor.cluster_config().workers.max(1);
+        let shards = (0..num_shards)
+            .map(|s| {
+                let start = s * data.len() / num_shards;
+                let end = (s + 1) * data.len() / num_shards;
+                let slice = SharedDataset::with_shared_features(
+                    data[start..end].to_vec(),
+                    dataset.features_arc(),
+                );
+                Shard {
+                    engine: QueryEngine::new(executor.clone(), slice),
+                    counters: ShardCounters::default(),
+                }
+            })
+            .collect();
+        Ok(Self {
+            dataset,
+            exec: executor,
+            shards,
+            id_to_index,
+            scatter_workers,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global (unsharded) store the gather resolves against.
+    pub fn dataset(&self) -> &SharedDataset {
+        &self.dataset
+    }
+
+    /// The executor configuration every shard engine was built from.
+    pub fn executor(&self) -> &SpqExecutor {
+        &self.exec
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardStats {
+                shard: i,
+                data_objects: shard.engine.dataset().data().len(),
+                feature_objects: shard.engine.dataset().features().len(),
+                queries: shard.counters.queries.load(Ordering::Relaxed),
+                records_shipped: shard.counters.records_shipped.load(Ordering::Relaxed),
+                bytes_shipped: shard.counters.bytes_shipped.load(Ordering::Relaxed),
+                cached_plans: shard.engine.cached_plans(),
+            })
+            .collect()
+    }
+
+    /// Cumulative engine counters aggregated over all shard engines.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shards
+            .iter()
+            .map(|s| s.engine.metrics())
+            .fold(MetricsSnapshot::default(), MetricsSnapshot::merged)
+    }
+
+    /// Executes one typed request: probe, scatter, gather, merge.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_inner(request, None)
+    }
+
+    /// [`execute`](Self::execute) with a sequential (width-1) scatter —
+    /// the per-request building block of
+    /// [`serve_requests`](Self::serve_requests), which parallelizes
+    /// *across* requests instead of across shards.
+    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_inner(request, Some(1))
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        scatter_override: Option<usize>,
+    ) -> Result<QueryResponse, SpqError> {
+        request.validate()?;
+        let started = Instant::now();
+        let query = &request.query;
+        let options = &request.options;
+        let algorithm = options.algorithm.unwrap_or(self.exec.algorithm_choice());
+
+        // Probe once (features are broadcast, so shard 0's index speaks
+        // for all): a query whose keywords no feature carries cannot
+        // score any object, on any shard.
+        let keywords = self.shards[0].engine.keyword_stats(&query.keywords);
+        let relevant: Vec<usize> = if keywords.1 == 0 {
+            Vec::new()
+        } else {
+            (0..self.shards.len())
+                .filter(|&s| !self.shards[s].engine.dataset().data().is_empty())
+                .collect()
+        };
+        if relevant.is_empty() {
+            return Ok(QueryResponse {
+                results: Vec::new(),
+                stats: QueryStats {
+                    algorithm,
+                    plan_cache_hit: false,
+                    shards_touched: 0,
+                    shuffle_records: 0,
+                    shuffle_bytes: 0,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                    keyword_terms_probed: keywords.0,
+                    keyword_terms_matched: keywords.1,
+                },
+                trace: options.trace.then(Vec::new),
+            });
+        }
+
+        // Scatter: each relevant shard evaluates the query against its
+        // slice as a single-threaded job; the request's worker budget
+        // bounds the scatter width (results are width-invariant).
+        let scatter = scatter_override
+            .or(options.workers)
+            .unwrap_or(self.scatter_workers)
+            .clamp(1, relevant.len());
+        let shard_options = QueryOptions {
+            workers: None, // consumed by the scatter; shard jobs stay sequential
+            ..*options
+        };
+        // Each shard probes its own build-once keyword index and maps
+        // only over its candidate features — the same candidate-split
+        // pruning the batched local path uses, byte-identical to a full
+        // scan.
+        let outcomes = run_tasks(scatter, relevant.len(), |i| {
+            self.shards[relevant[i]]
+                .engine
+                .run_opts_pruned(query, &shard_options, true)
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("shard {}: {}", relevant[p.task_index], p.message),
+        })?;
+
+        // Gather: serialize each shard's local top-k into wire records,
+        // ship, resolve against the global store, merge. The ship is a
+        // real encode/decode round-trip so the wire format is exercised
+        // on every query, not just in tests.
+        let mut flat = Vec::new();
+        let mut plan_cache_hit = true;
+        let mut shuffle_records = 0u64;
+        let mut shuffle_bytes = 0u64;
+        let mut trace = options.trace.then(Vec::new);
+        for (&s, outcome) in relevant.iter().zip(outcomes) {
+            let (result, hit) = outcome?;
+            let bytes = wire::encode_results(&result.top_k, &self.id_to_index);
+            let shard = &self.shards[s];
+            shard.counters.queries.fetch_add(1, Ordering::Relaxed);
+            shard
+                .counters
+                .records_shipped
+                .fetch_add(result.top_k.len() as u64, Ordering::Relaxed);
+            shard
+                .counters
+                .bytes_shipped
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            plan_cache_hit &= hit;
+            shuffle_records += result.top_k.len() as u64;
+            shuffle_bytes += bytes.len() as u64;
+            flat.extend(wire::decode_results(&bytes, self.dataset.data()));
+            if let Some(t) = &mut trace {
+                t.push(result.stats);
+            }
+        }
+        let results = merge_top_k(flat, query.k);
+
+        Ok(QueryResponse {
+            results,
+            stats: QueryStats {
+                algorithm,
+                plan_cache_hit,
+                shards_touched: relevant.len(),
+                shuffle_records,
+                shuffle_bytes,
+                wall_micros: started.elapsed().as_micros() as u64,
+                keyword_terms_probed: keywords.0,
+                keyword_terms_matched: keywords.1,
+            },
+            trace,
+        })
+    }
+
+    /// Executes a batch of requests, in request order. Each request
+    /// scatters independently; per-shard candidate pruning happens inside
+    /// the shard engines exactly as for single requests.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Executes independent requests concurrently on `workers` threads,
+    /// each with a sequential scatter — inter-query concurrency, the
+    /// high-QPS serving shape. Responses in request order, byte-identical
+    /// to sequential [`execute`](Self::execute) calls.
+    pub fn serve_requests(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryResponse>, SpqError> {
+        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
+            self.execute_sequential(&requests[i])
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("request {}: {}", p.task_index, p.message),
+        })?;
+        outcomes.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FeatureObject;
+    use crate::query::SpqQuery;
+    use spq_spatial::{Point, Rect};
+    use spq_text::{KeywordSet, Score};
+
+    fn feature(id: u64, x: f64, y: f64, kw: &[u32]) -> FeatureObject {
+        FeatureObject::new(
+            id,
+            Point::new(x, y),
+            KeywordSet::from_ids(kw.iter().copied()),
+        )
+    }
+
+    fn paper_dataset() -> SharedDataset {
+        SharedDataset::new(
+            vec![
+                DataObject::new(1, Point::new(4.6, 4.8)),
+                DataObject::new(2, Point::new(7.5, 1.7)),
+                DataObject::new(3, Point::new(8.9, 5.2)),
+                DataObject::new(4, Point::new(1.8, 1.8)),
+                DataObject::new(5, Point::new(1.9, 9.0)),
+            ],
+            vec![
+                feature(1, 2.8, 1.2, &[0, 1]),
+                feature(2, 5.0, 3.8, &[2, 3]),
+                feature(3, 8.7, 1.9, &[4, 5]),
+                feature(4, 3.8, 5.5, &[0]),
+                feature(5, 5.2, 5.1, &[6, 7]),
+                feature(6, 7.4, 5.4, &[8, 9]),
+                feature(7, 3.0, 8.1, &[0, 10]),
+                feature(8, 9.5, 7.0, &[11]),
+            ],
+        )
+    }
+
+    fn executor() -> SpqExecutor {
+        SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4)
+    }
+
+    fn request(k: usize, r: f64, kw: &[u32]) -> QueryRequest {
+        QueryRequest::new(SpqQuery::new(
+            k,
+            r,
+            KeywordSet::from_ids(kw.iter().copied()),
+        ))
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let ds = paper_dataset();
+        let id_to_index: HashMap<ObjectId, u32> = ds
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.id, i as u32))
+            .collect();
+        let results = vec![
+            RankedObject::new(1, Point::new(4.6, 4.8), Score::ONE),
+            RankedObject::new(4, Point::new(1.8, 1.8), Score::ratio(1, 3)),
+        ];
+        let bytes = wire::encode_results(&results, &id_to_index);
+        assert_eq!(bytes.len(), 2 * wire::RECORD_BYTES);
+        assert_eq!(wire::decode_results(&bytes, ds.data()), results);
+        assert!(wire::decode_results(&[], ds.data()).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wire_rejects_torn_buffers() {
+        let _ = wire::decode_results(&[0u8; 7], paper_dataset().data());
+    }
+
+    #[test]
+    fn matches_single_store_engine_for_every_shard_count() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        for shards in [1, 2, 3, 5, 8] {
+            let sharded = ShardedEngine::new(executor(), paper_dataset(), shards).unwrap();
+            for req in [
+                request(1, 1.5, &[0]),
+                request(3, 1.5, &[0]),
+                request(5, 2.5, &[0, 4, 11]),
+            ] {
+                let expect = engine.execute(&req).unwrap();
+                let got = sharded.execute(&req).unwrap();
+                assert_eq!(got.results, expect.results, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_keywords_touch_no_shard() {
+        let sharded = ShardedEngine::new(executor(), paper_dataset(), 3).unwrap();
+        let response = sharded.execute(&request(3, 1.5, &[77])).unwrap();
+        assert!(response.results.is_empty());
+        assert_eq!(response.stats.shards_touched, 0);
+        assert_eq!(response.stats.keyword_terms_matched, 0);
+        assert_eq!(response.stats.shuffle_bytes, 0);
+        assert!(sharded.shard_stats().iter().all(|s| s.queries == 0));
+    }
+
+    #[test]
+    fn shard_stats_track_gather_traffic() {
+        let sharded = ShardedEngine::new(executor(), paper_dataset(), 2).unwrap();
+        let response = sharded.execute(&request(3, 1.5, &[0])).unwrap();
+        assert_eq!(response.stats.shards_touched, 2);
+        assert_eq!(
+            response.stats.shuffle_bytes,
+            response.stats.shuffle_records * wire::RECORD_BYTES as u64
+        );
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.data_objects).sum::<usize>(), 5);
+        assert!(stats.iter().all(|s| s.feature_objects == 8));
+        assert!(stats.iter().all(|s| s.queries == 1));
+        assert_eq!(
+            stats.iter().map(|s| s.bytes_shipped).sum::<u64>(),
+            response.stats.shuffle_bytes
+        );
+        // Aggregated metrics counted the scatter: 2 shard queries + the
+        // probe on shard 0.
+        let metrics = sharded.metrics();
+        assert_eq!(metrics.queries, 2);
+        assert_eq!(metrics.keyword_probes, 1);
+    }
+
+    #[test]
+    fn more_shards_than_data_objects() {
+        let sharded = ShardedEngine::new(executor(), paper_dataset(), 16).unwrap();
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let req = request(5, 1.5, &[0]);
+        let got = sharded.execute(&req).unwrap();
+        assert_eq!(got.results, engine.execute(&req).unwrap().results);
+        // Only shards that own data are touched.
+        assert_eq!(got.stats.shards_touched, 5);
+    }
+
+    #[test]
+    fn serve_and_batch_match_execute() {
+        let sharded = ShardedEngine::new(executor(), paper_dataset(), 3).unwrap();
+        let requests: Vec<QueryRequest> = (1..=4).map(|k| request(k, 1.5, &[0])).collect();
+        let expect: Vec<_> = requests
+            .iter()
+            .map(|r| sharded.execute(r).unwrap().results)
+            .collect();
+        let batch = sharded.execute_batch(&requests).unwrap();
+        assert_eq!(
+            batch.iter().map(|r| &r.results).collect::<Vec<_>>(),
+            expect.iter().collect::<Vec<_>>()
+        );
+        for workers in [1, 2, 8] {
+            let served = sharded.serve_requests(&requests, workers).unwrap();
+            let got: Vec<_> = served.into_iter().map(|r| r.results).collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        assert!(matches!(
+            ShardedEngine::new(executor(), paper_dataset(), 0),
+            Err(SpqError::InvalidConfig { .. })
+        ));
+        let dup = SharedDataset::new(
+            vec![
+                DataObject::new(7, Point::new(1.0, 1.0)),
+                DataObject::new(7, Point::new(2.0, 2.0)),
+            ],
+            vec![],
+        );
+        let err = ShardedEngine::new(executor(), dup, 2).unwrap_err();
+        assert!(err.to_string().contains("duplicate data object id 7"));
+    }
+
+    #[test]
+    fn trace_carries_one_job_stats_per_touched_shard() {
+        let sharded = ShardedEngine::new(executor(), paper_dataset(), 2).unwrap();
+        let response = sharded
+            .execute(&request(2, 1.5, &[0]).with_trace())
+            .unwrap();
+        let trace = response.trace.expect("trace requested");
+        assert_eq!(trace.len(), 2);
+        // Untraced requests don't pay for it.
+        assert!(sharded
+            .execute(&request(2, 1.5, &[0]))
+            .unwrap()
+            .trace
+            .is_none());
+    }
+}

@@ -82,6 +82,22 @@ impl SharedDataset {
         }
     }
 
+    /// Wraps an owned data slice around an **already shared** feature
+    /// array. This is the shard constructor: a sharded engine slices the
+    /// data objects into per-shard chunks but broadcasts one feature
+    /// array to every shard — cloning the `Arc`, never the features —
+    /// so `N` shards cost `N` data chunks plus exactly one copy of `F`.
+    pub fn with_shared_features(data: Vec<DataObject>, features: Arc<[FeatureObject]>) -> Self {
+        assert!(
+            data.len() <= u32::MAX as usize && features.len() <= u32::MAX as usize,
+            "shared dataset indices are u32"
+        );
+        Self {
+            data: data.into(),
+            features,
+        }
+    }
+
     /// Builds a store from pre-built mixed splits, returning reference
     /// splits with the identical structure (same split boundaries, same
     /// order) — the compatibility path for callers still holding owned
@@ -220,6 +236,15 @@ mod tests {
             "even indices land in split 0"
         );
         assert_eq!(splits[1], vec![ObjectRef::Data(1)]);
+    }
+
+    #[test]
+    fn with_shared_features_shares_the_feature_arc() {
+        let ds = sample();
+        let shard = SharedDataset::with_shared_features(ds.data()[..1].to_vec(), ds.features_arc());
+        assert_eq!(shard.data().len(), 1);
+        assert!(Arc::ptr_eq(&shard.features_arc(), &ds.features_arc()));
+        assert_eq!(shard.total(), 2);
     }
 
     #[test]

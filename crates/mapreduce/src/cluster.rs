@@ -14,6 +14,7 @@
 //!   FIFO Hadoop scheduler does for a single job's task queue.
 
 use crate::stats::JobStats;
+use std::fmt;
 use std::time::Duration;
 
 /// Execution configuration for [`crate::JobRunner`].
@@ -31,13 +32,48 @@ pub const WORKERS_ENV: &str = "SPQ_WORKERS";
 /// happens and how to override it).
 pub const WORKERS_FALLBACK: usize = 4;
 
+/// Why a [`SPQ_WORKERS`](WORKERS_ENV) value could not be used.
+///
+/// Returned by [`ClusterConfig::try_auto`]; [`ClusterConfig::auto`] prints
+/// the same diagnostic to stderr and falls back, so a typo in a deployment
+/// manifest is *visible* instead of silently sizing the pool differently
+/// than the operator asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkersEnvError {
+    /// The value did not parse as an unsigned integer.
+    NotANumber {
+        /// The raw value found in the environment.
+        value: String,
+    },
+    /// The value parsed but was zero (a pool needs at least one worker).
+    Zero,
+}
+
+impl fmt::Display for WorkersEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkersEnvError::NotANumber { value } => write!(
+                f,
+                "{WORKERS_ENV}={value:?} is not a positive integer worker count"
+            ),
+            WorkersEnvError::Zero => {
+                write!(f, "{WORKERS_ENV}=0 is invalid: need at least one worker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkersEnvError {}
+
 impl ClusterConfig {
     /// A cluster using every available core.
     ///
     /// Resolution order:
     ///
     /// 1. the [`SPQ_WORKERS`](WORKERS_ENV) environment variable, when set
-    ///    to a positive integer (malformed or zero values are ignored);
+    ///    to a positive integer — a malformed or zero value prints a
+    ///    one-line diagnostic to stderr and falls through (use
+    ///    [`try_auto`](Self::try_auto) to make that an error instead);
     /// 2. [`std::thread::available_parallelism`];
     /// 3. the fixed fallback of [`WORKERS_FALLBACK`] (= 4) workers.
     ///
@@ -48,9 +84,30 @@ impl ClusterConfig {
     /// e.g. `spq_core::engine::QueryEngine::serve_auto`. Set `SPQ_WORKERS`
     /// to size such hosts explicitly.
     pub fn auto() -> Self {
-        if let Some(workers) = parse_workers(std::env::var(WORKERS_ENV).ok().as_deref()) {
-            return Self { workers };
+        match Self::try_auto() {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("spq-mapreduce: ignoring {e}; using host parallelism");
+                Self::host_parallelism()
+            }
         }
+    }
+
+    /// [`auto`](Self::auto) with strict [`SPQ_WORKERS`](WORKERS_ENV)
+    /// handling: a malformed or zero value is returned as a
+    /// [`WorkersEnvError`] instead of being logged and skipped — the right
+    /// entry point for services that would rather fail fast at startup
+    /// than run with a worker count the operator did not intend.
+    pub fn try_auto() -> Result<Self, WorkersEnvError> {
+        match parse_workers(std::env::var(WORKERS_ENV).ok().as_deref())? {
+            Some(workers) => Ok(Self { workers }),
+            None => Ok(Self::host_parallelism()),
+        }
+    }
+
+    /// The host-reported parallelism with the documented fixed fallback,
+    /// ignoring the environment override entirely.
+    fn host_parallelism() -> Self {
         Self {
             workers: std::thread::available_parallelism().map_or(WORKERS_FALLBACK, |n| n.get()),
         }
@@ -78,10 +135,20 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Parses a `SPQ_WORKERS`-style override: `Some(n)` for a positive
-/// integer, `None` for anything else (unset, malformed, zero).
-fn parse_workers(value: Option<&str>) -> Option<usize> {
-    value?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+/// Parses a `SPQ_WORKERS`-style override: `Ok(Some(n))` for a positive
+/// integer, `Ok(None)` when the variable is unset, and a typed
+/// [`WorkersEnvError`] for malformed or zero values (so callers can choose
+/// between logging and failing — silently ignoring an operator-provided
+/// value is not an option).
+fn parse_workers(value: Option<&str>) -> Result<Option<usize>, WorkersEnvError> {
+    let Some(raw) = value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(WorkersEnvError::Zero),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(WorkersEnvError::NotANumber {
+            value: raw.to_owned(),
+        }),
+    }
 }
 
 /// A deterministic virtual cluster for makespan estimation.
@@ -228,13 +295,34 @@ mod tests {
 
     #[test]
     fn workers_env_parsing() {
-        assert_eq!(parse_workers(None), None);
-        assert_eq!(parse_workers(Some("")), None);
-        assert_eq!(parse_workers(Some("0")), None);
-        assert_eq!(parse_workers(Some("-2")), None);
-        assert_eq!(parse_workers(Some("not a number")), None);
-        assert_eq!(parse_workers(Some("3")), Some(3));
-        assert_eq!(parse_workers(Some(" 12 ")), Some(12));
+        // Unset: defer to host parallelism.
+        assert_eq!(parse_workers(None), Ok(None));
+        // Valid positive integers, whitespace tolerated.
+        assert_eq!(parse_workers(Some("3")), Ok(Some(3)));
+        assert_eq!(parse_workers(Some(" 12 ")), Ok(Some(12)));
+        // Malformed values carry the offending text in the diagnostic.
+        for bad in ["", "-2", "not a number", "3.5", "4x"] {
+            assert_eq!(
+                parse_workers(Some(bad)),
+                Err(WorkersEnvError::NotANumber {
+                    value: bad.to_owned()
+                }),
+                "{bad:?}"
+            );
+        }
+        // Zero is its own diagnostic (it parses, but can't run tasks).
+        assert_eq!(parse_workers(Some("0")), Err(WorkersEnvError::Zero));
+        assert_eq!(parse_workers(Some(" 0 ")), Err(WorkersEnvError::Zero));
+    }
+
+    #[test]
+    fn workers_env_errors_render_the_variable_name() {
+        let e = WorkersEnvError::NotANumber {
+            value: "bogus".to_owned(),
+        };
+        assert!(e.to_string().contains("SPQ_WORKERS"));
+        assert!(e.to_string().contains("bogus"));
+        assert!(WorkersEnvError::Zero.to_string().contains("SPQ_WORKERS=0"));
     }
 
     #[test]
@@ -244,8 +332,22 @@ mod tests {
         // safe to touch here.
         std::env::set_var(WORKERS_ENV, "3");
         assert_eq!(ClusterConfig::auto().workers, 3);
+        assert_eq!(
+            ClusterConfig::try_auto(),
+            Ok(ClusterConfig::with_workers(3))
+        );
+        // Malformed: auto() logs and falls back; try_auto() surfaces it.
         std::env::set_var(WORKERS_ENV, "bogus");
-        assert!(ClusterConfig::auto().workers >= 1); // ignored, not a panic
+        assert!(ClusterConfig::auto().workers >= 1); // diagnosed, not a panic
+        assert_eq!(
+            ClusterConfig::try_auto(),
+            Err(WorkersEnvError::NotANumber {
+                value: "bogus".to_owned()
+            })
+        );
+        std::env::set_var(WORKERS_ENV, "0");
+        assert_eq!(ClusterConfig::try_auto(), Err(WorkersEnvError::Zero));
         std::env::remove_var(WORKERS_ENV);
+        assert!(ClusterConfig::try_auto().is_ok());
     }
 }

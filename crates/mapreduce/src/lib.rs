@@ -19,6 +19,10 @@
 //!   reduce (the paper's Map/Partitioner/Comparator/Reduce quadruple).
 //! * [`JobRunner`] — executes a task over horizontally partitioned input
 //!   splits on a bounded worker pool, with a sort-based shuffle.
+//! * [`ExecutionBackend`] — the placement seam underneath the runner:
+//!   *where* a planned job's map/reduce tasks run. [`LocalPool`] is the
+//!   in-process implementation; remote/cluster backends plug in here
+//!   without touching task code.
 //! * [`GroupValues`] — the streaming per-group value iterator handed to
 //!   reducers; **early termination** is simply returning before the
 //!   iterator is exhausted, and the runtime accounts skipped records.
@@ -33,6 +37,7 @@
 //! volume (duplication factor) — while staying deterministic and
 //! dependency-light.
 
+pub mod backend;
 pub mod cluster;
 pub mod counters;
 pub mod job;
@@ -40,7 +45,8 @@ pub mod pool;
 pub mod stats;
 pub mod task;
 
-pub use cluster::{ClusterConfig, SimulatedCluster};
+pub use backend::{BackendDescriptor, ExecutionBackend, LocalPool};
+pub use cluster::{ClusterConfig, SimulatedCluster, WorkersEnvError};
 pub use counters::Counters;
 pub use job::{JobContext, JobError, JobOutput, JobRunner};
 pub use stats::{JobStats, Phase, TaskStats};

@@ -15,10 +15,13 @@
 //! * [`spatial`] — the query-time grid with Lemma-1 feature duplication.
 //! * [`text`] — keyword sets, Jaccard scoring and the Equation-1 bound.
 //! * [`core`] — the three algorithms (pSPQ, eSPQlen, eSPQsco), centralized
-//!   baselines, the Section-6 cost theory, and the persistent
+//!   baselines, the Section-6 cost theory, the persistent
 //!   [`prelude::QueryEngine`] that builds the dataset store, partition
 //!   routing and keyword index once and then serves an arbitrary query
-//!   stream (single, batched, or concurrent).
+//!   stream (single, batched, or concurrent), and the typed serving
+//!   facade ([`prelude::SpqService`]: [`prelude::QueryRequest`] in,
+//!   [`prelude::QueryResponse`] with per-query stats out) over pluggable
+//!   execution backends — single-store or scatter/gather sharded.
 //! * [`data`] — dataset generators (UN, CL, Flickr-like, Twitter-like) and
 //!   query workloads.
 //!
@@ -63,8 +66,10 @@ pub use spq_text as text;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use spq_core::{
-        Algorithm, DataObject, FeatureObject, LoadBalancing, ObjectRef, QueryEngine, RankedObject,
-        SharedDataset, SpqExecutor, SpqQuery, SpqResult,
+        Algorithm, Backend, DataObject, FeatureObject, LoadBalancing, MetricsSnapshot, ObjectRef,
+        QueryEngine, QueryOptions, QueryRequest, QueryResponse, QueryStats, RankedObject,
+        ShardStats, ShardedEngine, SharedDataset, SpqError, SpqExecutor, SpqQuery, SpqResult,
+        SpqService,
     };
     pub use spq_data::{
         ingest_files, synthesize_dump, ClusteredGen, DatasetGenerator, DumpConfig, FlickrLike,
