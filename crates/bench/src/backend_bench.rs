@@ -4,10 +4,13 @@
 //! Where the QPS harness compares serving *lifecycles* over one engine,
 //! this bench compares execution *backends* through the typed facade: the
 //! same query stream is served through [`SpqService`] built on each
-//! requested [`Backend`] (`local`, `sharded:N`), and every response is
-//! asserted byte-identical to the plain single-store engine — so the
-//! numbers compare pure backend overhead (scatter width, gather wire
-//! traffic, per-shard planning) on provably equal answers.
+//! requested [`Backend`] (`local`, `sharded:N`, `remote:N`), and every
+//! response is asserted byte-identical to the plain single-store engine —
+//! so the numbers compare pure backend overhead (scatter width, gather
+//! wire traffic, per-shard planning, TCP framing on `remote:N`) on
+//! provably equal answers. The `remote:N` rows additionally report frame
+//! bytes per query and retries observed — the `BENCH_PR6.json` document
+//! CI publishes from this bench.
 //!
 //! Three modes per backend, mirroring the serving modes of PR 3/PR 4 so
 //! the trajectories stay comparable:
@@ -102,6 +105,12 @@ pub struct StatsSummary {
     pub mean_shuffle_bytes: f64,
     /// Fraction of queries whose partition plan came from cache.
     pub plan_cache_hit_rate: f64,
+    /// Mean TCP frame bytes per query (requests plus responses, all
+    /// workers); `0` on in-process backends.
+    pub mean_frame_bytes: f64,
+    /// Mean retry-state-machine re-asks per query; `0` unless a worker
+    /// failed mid-run.
+    pub mean_retries: f64,
 }
 
 /// One backend × algorithm measurement.
@@ -248,6 +257,8 @@ pub fn run_backend_bench(cfg: &BackendBenchConfig) -> Result<BackendReport, Inge
                     let mut shards_touched = 0u64;
                     let mut shuffle_bytes = 0u64;
                     let mut plan_hits = 0u64;
+                    let mut retries = 0u64;
+                    let frame_bytes_before = service.remote_traffic_bytes().unwrap_or(0);
                     let wall = Instant::now();
                     for (request, expect) in requests.iter().zip(reference.iter()) {
                         let t0 = Instant::now();
@@ -260,13 +271,20 @@ pub fn run_backend_bench(cfg: &BackendBenchConfig) -> Result<BackendReport, Inge
                         shards_touched += response.stats.shards_touched as u64;
                         shuffle_bytes += response.stats.shuffle_bytes;
                         plan_hits += response.stats.plan_cache_hit as u64;
+                        retries += response.stats.retries;
                     }
                     let execute = mode_stats("execute", latencies, wall.elapsed());
+                    let frame_bytes = service
+                        .remote_traffic_bytes()
+                        .unwrap_or(0)
+                        .saturating_sub(frame_bytes_before);
                     let n = requests.len().max(1) as f64;
                     let stats = StatsSummary {
                         mean_shards_touched: shards_touched as f64 / n,
                         mean_shuffle_bytes: shuffle_bytes as f64 / n,
                         plan_cache_hit_rate: plan_hits as f64 / n,
+                        mean_frame_bytes: frame_bytes as f64 / n,
+                        mean_retries: retries as f64 / n,
                     };
 
                     // -- execute-batch: the engine-batch path -------------
@@ -375,10 +393,12 @@ pub fn backend_to_json(cfg: &BackendBenchConfig, report: &BackendReport) -> Stri
                 ));
             }
             out.push_str(&format!(
-                "          ],\n          \"stats\": {{ \"mean_shards_touched\": {:.2}, \"mean_shuffle_bytes\": {:.1}, \"plan_cache_hit_rate\": {:.3} }}\n        }}{}\n",
+                "          ],\n          \"stats\": {{ \"mean_shards_touched\": {:.2}, \"mean_shuffle_bytes\": {:.1}, \"plan_cache_hit_rate\": {:.3}, \"mean_frame_bytes\": {:.1}, \"mean_retries\": {:.3} }}\n        }}{}\n",
                 a.stats.mean_shards_touched,
                 a.stats.mean_shuffle_bytes,
                 a.stats.plan_cache_hit_rate,
+                a.stats.mean_frame_bytes,
+                a.stats.mean_retries,
                 if ai + 1 < section.algorithms.len() { "," } else { "" }
             ));
         }
@@ -406,6 +426,7 @@ mod tests {
                 Backend::Local,
                 Backend::Sharded { shards: 2 },
                 Backend::Sharded { shards: 5 },
+                Backend::Remote { workers: 2 },
             ],
             source: BackendSource::Generated { scale: 1e-9 }, // 1k-object floor
             queries: 6,
@@ -417,7 +438,7 @@ mod tests {
         // mode against the single-store engine, so completing at all is
         // the correctness part.
         let report = run_backend_bench(&cfg).unwrap();
-        assert_eq!(report.backends.len(), 3);
+        assert_eq!(report.backends.len(), 4);
         for section in &report.backends {
             assert_eq!(section.algorithms.len(), 3);
             for a in &section.algorithms {
@@ -426,10 +447,21 @@ mod tests {
                     assert!(m.qps > 0.0, "{}: {} qps", section.backend, m.id);
                 }
                 match section.backend {
-                    Backend::Local => assert_eq!(a.stats.mean_shards_touched, 1.0),
+                    Backend::Local => {
+                        assert_eq!(a.stats.mean_shards_touched, 1.0);
+                        assert_eq!(a.stats.mean_frame_bytes, 0.0);
+                    }
                     Backend::Sharded { shards } => {
                         assert!(a.stats.mean_shards_touched <= shards as f64);
                         assert!(a.stats.mean_shards_touched >= 1.0);
+                        assert_eq!(a.stats.mean_frame_bytes, 0.0);
+                    }
+                    Backend::Remote { workers } => {
+                        assert!(a.stats.mean_shards_touched <= workers as f64);
+                        // Every query crossed the wire in frames; nobody
+                        // died, so no retries.
+                        assert!(a.stats.mean_frame_bytes > 0.0);
+                        assert_eq!(a.stats.mean_retries, 0.0);
                     }
                 }
             }
@@ -438,8 +470,11 @@ mod tests {
         assert!(json.contains("\"identical_to_single_store\": true"));
         assert!(json.contains("\"backend\": \"local\""));
         assert!(json.contains("\"backend\": \"sharded:2\""));
+        assert!(json.contains("\"backend\": \"remote:2\""));
         assert!(json.contains("\"execute-batch\""));
         assert!(json.contains("\"mean_shards_touched\""));
+        assert!(json.contains("\"mean_frame_bytes\""));
+        assert!(json.contains("\"mean_retries\""));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub const USAGE: &str = "usage: spq-bench [--scale F] [--seed N] [--workers N] [
      [--qps-queries N] [--qps-batch N] [--qps-out FILE] \
      [--data-tsv FILE --features-tsv FILE] [--ingest-out FILE] \
      [--ingest-queries N] [--ingest-batch N] [--synthesize N] \
-     [--backend local|sharded|sharded:N]... [--backend-out FILE] \
+     [--backend local|sharded|sharded:N|remote:N]... [--backend-out FILE] \
      [--backend-queries N] [--backend-batch N]\n\
 With --data-tsv/--features-tsv the binary benches the loaded dump \
 (writing --ingest-out, default BENCH_INGEST.json) instead of the \
@@ -29,7 +29,10 @@ deterministic N-object dump to those two paths.\n\
 With --backend (repeatable) the binary instead benches the typed-facade \
 backend matrix over the dump (or a generated dataset when no TSV paths \
 are given), asserting byte-identity across backends and writing \
---backend-out (default BENCH_PR5.json).";
+--backend-out (default BENCH_PR5.json). remote:N serves through N TCP \
+worker processes — self-hosted unless SPQ_REMOTE_WORKERS names N \
+host:port addresses — and reports frame bytes and retries per query \
+(CI writes this matrix to BENCH_PR6.json).";
 
 /// Everything `main` needs for one run.
 #[derive(Debug, Clone)]
@@ -259,8 +262,24 @@ mod tests {
     }
 
     #[test]
+    fn remote_backends_parse_with_a_worker_count() {
+        use spq_core::Backend;
+        let o = run(&["--backend", "remote:3", "--backend", "remote:1"]);
+        assert_eq!(
+            o.backend.expect("backend mode").backends,
+            vec![
+                Backend::Remote { workers: 3 },
+                Backend::Remote { workers: 1 }
+            ]
+        );
+    }
+
+    #[test]
     fn bad_backend_names_are_errors() {
+        // Bare `remote` stays an error: the worker count is the contract.
         assert!(parse(&["--backend", "remote"]).is_err());
+        assert!(parse(&["--backend", "remote:0"]).is_err());
+        assert!(parse(&["--backend", "remote:x"]).is_err());
         assert!(parse(&["--backend", "sharded:0"]).is_err());
         let err = parse(&["--backend"]).unwrap_err();
         assert!(err.contains("missing value for --backend"), "{err}");

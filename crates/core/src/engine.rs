@@ -648,6 +648,7 @@ impl QueryEngine {
             wall_micros: started.elapsed().as_micros() as u64,
             keyword_terms_probed: keywords.0,
             keyword_terms_matched: keywords.1,
+            retries: 0,
         };
         QueryResponse {
             results: result.top_k,
@@ -665,8 +666,8 @@ impl QueryEngine {
 
     /// [`execute`](Self::execute) forced onto a single-threaded job — the
     /// building block [`serve_requests`](Self::serve_requests) runs on its
-    /// workers (a per-request worker budget is ignored here; see
-    /// [`exec_for`](Self::exec_for)). Same bytes (jobs are
+    /// workers (a per-request worker budget is ignored here; see the
+    /// private `exec_for` helper). Same bytes (jobs are
     /// worker-count-invariant).
     pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
         self.execute_as(request, true, false)

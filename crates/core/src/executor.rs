@@ -88,6 +88,21 @@ pub enum SpqError {
         /// What was wrong with the configuration.
         message: String,
     },
+    /// A remote worker failed the query in a way that is not attributable
+    /// to a single lost worker: a protocol violation, an undecodable
+    /// response, or a typed error the worker itself reported.
+    Remote {
+        /// Human-readable description of the remote failure.
+        message: String,
+    },
+    /// A remote worker process died (or missed its deadline) and its
+    /// shards could not be recovered on any surviving worker.
+    WorkerLost {
+        /// Index of the last worker that was tried.
+        worker: usize,
+        /// The transport error observed on the final attempt.
+        message: String,
+    },
 }
 
 impl SpqError {
@@ -104,6 +119,13 @@ impl SpqError {
             message: message.into(),
         }
     }
+
+    /// Builds a [`Remote`](Self::Remote) error.
+    pub fn remote(message: impl Into<String>) -> Self {
+        SpqError::Remote {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for SpqError {
@@ -113,6 +135,10 @@ impl fmt::Display for SpqError {
             SpqError::Worker { message } => write!(f, "query worker failed: {message}"),
             SpqError::InvalidQuery { message } => write!(f, "invalid query: {message}"),
             SpqError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            SpqError::Remote { message } => write!(f, "remote execution failed: {message}"),
+            SpqError::WorkerLost { worker, message } => {
+                write!(f, "remote worker {worker} lost: {message}")
+            }
         }
     }
 }
@@ -475,6 +501,21 @@ impl SpqExecutor {
     /// Whether the map-side keyword pruning rule is enabled.
     pub fn keyword_pruning_enabled(&self) -> bool {
         self.keyword_pruning
+    }
+
+    /// The configured data-space bounds.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The configured grid-sizing policy.
+    pub fn grid_sizing(&self) -> GridSizing {
+        self.sizing
+    }
+
+    /// The configured load-balancing (partition-shape) policy.
+    pub fn load_balancing_choice(&self) -> LoadBalancing {
+        self.balancing
     }
 }
 

@@ -54,6 +54,7 @@ pub mod merge;
 pub mod model;
 pub mod partitioning;
 pub mod query;
+pub mod remote;
 pub mod service;
 pub mod sharded;
 pub mod store;
@@ -67,6 +68,7 @@ pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
 pub use partitioning::CellRouting;
 pub use query::SpqQuery;
+pub use remote::{RemoteEngine, ShardHost, SPQ_REMOTE_WORKERS};
 pub use service::{Backend, QueryOptions, QueryRequest, QueryResponse, QueryStats, SpqService};
 pub use sharded::{ShardStats, ShardedEngine};
 pub use store::{ObjectRef, SharedDataset};

@@ -1,0 +1,1231 @@
+//! Remote serving: the sharded layout placed on worker **processes**
+//! behind TCP, with fault recovery.
+//!
+//! [`crate::sharded`] proves the scatter/gather shape inside one process;
+//! this module moves each shard behind a socket. A [`RemoteEngine`] slices
+//! the data objects exactly like [`crate::sharded::ShardedEngine`] — same
+//! contiguous chunks, features broadcast to every shard — but instead of
+//! building shard engines in-process it **provisions** each shard onto a
+//! worker over the [`spq_mapreduce::remote`] frame protocol. Workers are
+//! either spawned in-process (the default — real sockets, no extra
+//! processes) or external `spq-worker` binaries named by
+//! [`SPQ_REMOTE_WORKERS`].
+//!
+//! A query then scatters [`OP_SHARD_QUERY`] frames to the workers holding
+//! relevant shards and gathers [`OP_SHARD_RESULT`] frames carrying the
+//! same 12-byte [`wire`] records the in-process gather uses, so the merged
+//! top-k is **byte-identical** to every other backend
+//! (`tests/backend_equivalence.rs` proptests it across worker counts).
+//!
+//! ## Fault handling
+//!
+//! Workers die. The manager's per-shard retry state machine is:
+//!
+//! 1. ask the worker the shard is placed on; on a transport failure
+//!    (connect refused, deadline missed, torn or corrupt frame) retry the
+//!    **same worker once** — the client reconnects under exponential
+//!    backoff, which rides out a worker restart;
+//! 2. if the worker fails again it goes on the engine-wide **exclusion
+//!    list**; the shard's provision payload (kept from build time) is
+//!    re-provisioned onto the next surviving worker and the query is
+//!    re-asked there;
+//! 3. when every worker is excluded, the query fails with
+//!    [`SpqError::WorkerLost`].
+//!
+//! Every re-ask increments [`QueryStats::retries`]; recovery never changes
+//! result bytes, because any worker computes the same answer for the same
+//! shard (`tests/remote_faults.rs` proptests this under injected
+//! [`FaultPlan`]s). A typed error *reported by* a worker ([`OP_ERROR`],
+//! e.g. a panic inside the algorithm) is **not** retried: it is
+//! deterministic and would fail identically everywhere, so it surfaces
+//! directly as [`SpqError::Remote`], matching the local backends'
+//! error-path behaviour.
+
+use crate::engine::QueryEngine;
+use crate::executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor};
+use crate::merge::merge_top_k;
+use crate::model::{DataObject, FeatureObject, ObjectId};
+use crate::query::SpqQuery;
+use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
+use crate::sharded::wire;
+use crate::store::SharedDataset;
+use crate::Algorithm;
+use parking_lot::Mutex;
+use spq_mapreduce::pool::run_tasks;
+use spq_mapreduce::remote::codec::{
+    decode_job_stats, encode_job_stats, put_bytes, put_f64, put_u32, put_u64, put_u8,
+};
+use spq_mapreduce::remote::{
+    decode_error_payload, ByteReader, ClientConfig, CodecError, FaultPlan, FrameHandler,
+    WorkerClient, WorkerServer, OP_ERROR, OP_FAULT_OK, OP_PROVISION, OP_PROVISION_OK, OP_SET_FAULT,
+    OP_SHARD_QUERY, OP_SHARD_RESULT,
+};
+use spq_mapreduce::{ClusterConfig, JobStats};
+use spq_text::{KeywordSet, SetSimilarity};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Environment variable naming external worker processes for
+/// [`crate::service::Backend::Remote`]: a comma-separated `host:port`
+/// list, e.g. `SPQ_REMOTE_WORKERS=127.0.0.1:7001,127.0.0.1:7002`.
+///
+/// When set, `remote:N` requires **exactly `N` addresses** — a worker
+/// count that disagrees with the deployment list is a configuration error,
+/// not something to silently round. When unset, `remote:N` spawns `N`
+/// in-process workers on ephemeral localhost ports. This is independent of
+/// `SPQ_WORKERS` ([`spq_mapreduce::cluster::WORKERS_ENV`]), which sizes
+/// the *thread* pool inside each process: `SPQ_REMOTE_WORKERS` places
+/// shards across processes, `SPQ_WORKERS` sizes the scatter width and
+/// per-job parallelism within one.
+pub const SPQ_REMOTE_WORKERS: &str = "SPQ_REMOTE_WORKERS";
+
+/// Parses a [`SPQ_REMOTE_WORKERS`]-style list into validated
+/// `host:port` addresses.
+///
+/// # Errors
+///
+/// [`SpqError::InvalidConfig`] on an empty list, an empty entry, a
+/// missing `:port`, or a port that is not a decimal `u16` ≥ 1.
+pub fn parse_worker_addrs(list: &str) -> Result<Vec<String>, SpqError> {
+    let mut addrs = Vec::new();
+    for raw in list.split(',') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            return Err(SpqError::invalid_config(format!(
+                "{SPQ_REMOTE_WORKERS}: empty worker address in {list:?}"
+            )));
+        }
+        let Some((host, port)) = entry.rsplit_once(':') else {
+            return Err(SpqError::invalid_config(format!(
+                "{SPQ_REMOTE_WORKERS}: worker address {entry:?} has no :port"
+            )));
+        };
+        if host.is_empty() {
+            return Err(SpqError::invalid_config(format!(
+                "{SPQ_REMOTE_WORKERS}: worker address {entry:?} has no host"
+            )));
+        }
+        match port.parse::<u16>() {
+            Ok(p) if p > 0 => addrs.push(entry.to_owned()),
+            _ => {
+                return Err(SpqError::invalid_config(format!(
+                    "{SPQ_REMOTE_WORKERS}: bad port {port:?} in {entry:?} (want 1..=65535)"
+                )))
+            }
+        }
+    }
+    Ok(addrs)
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs. All little-endian, layered on the mapreduce byte codec;
+// round-tripped by proptests in `tests/remote_wire.rs`.
+// ---------------------------------------------------------------------
+
+fn algorithm_to_u8(a: Algorithm) -> u8 {
+    match a {
+        Algorithm::PSpq => 0,
+        Algorithm::ESpqLen => 1,
+        Algorithm::ESpqSco => 2,
+    }
+}
+
+fn algorithm_from_u8(v: u8) -> Result<Algorithm, CodecError> {
+    match v {
+        0 => Ok(Algorithm::PSpq),
+        1 => Ok(Algorithm::ESpqLen),
+        2 => Ok(Algorithm::ESpqSco),
+        other => Err(CodecError::invalid(format!(
+            "unknown algorithm tag {other}"
+        ))),
+    }
+}
+
+fn similarity_to_u8(s: SetSimilarity) -> u8 {
+    match s {
+        SetSimilarity::Jaccard => 0,
+        SetSimilarity::Dice => 1,
+        SetSimilarity::Overlap => 2,
+    }
+}
+
+fn similarity_from_u8(v: u8) -> Result<SetSimilarity, CodecError> {
+    match v {
+        0 => Ok(SetSimilarity::Jaccard),
+        1 => Ok(SetSimilarity::Dice),
+        2 => Ok(SetSimilarity::Overlap),
+        other => Err(CodecError::invalid(format!(
+            "unknown similarity tag {other}"
+        ))),
+    }
+}
+
+fn encode_executor(exec: &SpqExecutor, out: &mut Vec<u8>) {
+    let bounds = exec.bounds();
+    put_f64(out, bounds.min().x);
+    put_f64(out, bounds.min().y);
+    put_f64(out, bounds.max().x);
+    put_f64(out, bounds.max().y);
+    put_u8(out, algorithm_to_u8(exec.algorithm_choice()));
+    match exec.grid_sizing() {
+        GridSizing::Fixed(n) => {
+            put_u8(out, 0);
+            put_u32(out, n);
+        }
+        GridSizing::Auto { max_cells_per_axis } => {
+            put_u8(out, 1);
+            put_u32(out, max_cells_per_axis);
+        }
+    }
+    match exec.load_balancing_choice() {
+        LoadBalancing::UniformGrid => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+        LoadBalancing::AdaptiveQuadtree { sample_size } => {
+            put_u8(out, 1);
+            put_u64(out, sample_size as u64);
+        }
+    }
+    put_u8(out, exec.keyword_pruning_enabled() as u8);
+    put_u64(out, exec.cluster_config().workers as u64);
+}
+
+fn decode_executor(r: &mut ByteReader<'_>) -> Result<SpqExecutor, CodecError> {
+    let (min_x, min_y, max_x, max_y) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+    if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite()) {
+        return Err(CodecError::invalid("non-finite data-space bounds"));
+    }
+    let algorithm = algorithm_from_u8(r.u8()?)?;
+    let sizing_tag = r.u8()?;
+    let sizing_value = r.u32()?;
+    let balancing_tag = r.u8()?;
+    let balancing_value = r.u64()?;
+    let keyword_pruning = r.u8()? != 0;
+    let workers = r.u64()? as usize;
+    let mut exec = SpqExecutor::new(spq_spatial::Rect::from_coords(min_x, min_y, max_x, max_y))
+        .algorithm(algorithm)
+        .keyword_pruning(keyword_pruning)
+        .cluster(ClusterConfig::with_workers(workers.max(1)));
+    exec = match sizing_tag {
+        0 => exec.grid_size(sizing_value),
+        1 => exec.auto_grid(sizing_value),
+        other => {
+            return Err(CodecError::invalid(format!(
+                "unknown grid-sizing tag {other}"
+            )))
+        }
+    };
+    exec = match balancing_tag {
+        0 => exec.load_balancing(LoadBalancing::UniformGrid),
+        1 => exec.load_balancing(LoadBalancing::AdaptiveQuadtree {
+            sample_size: balancing_value as usize,
+        }),
+        other => {
+            return Err(CodecError::invalid(format!(
+                "unknown load-balancing tag {other}"
+            )))
+        }
+    };
+    Ok(exec)
+}
+
+/// Encodes an [`OP_PROVISION`] payload: the shard id, the executor
+/// configuration, the shard's data slice (each object with its **global**
+/// store index, so gather records resolve without any per-shard coordinate
+/// space) and the broadcast feature set.
+pub(crate) fn encode_provision(
+    shard_id: u32,
+    exec: &SpqExecutor,
+    first_global_index: u32,
+    data: &[DataObject],
+    features: &[FeatureObject],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, shard_id);
+    encode_executor(exec, &mut out);
+    put_u32(&mut out, data.len() as u32);
+    for (i, object) in data.iter().enumerate() {
+        put_u32(&mut out, first_global_index + i as u32);
+        put_u64(&mut out, object.id);
+        put_f64(&mut out, object.location.x);
+        put_f64(&mut out, object.location.y);
+    }
+    put_u32(&mut out, features.len() as u32);
+    for feature in features {
+        put_u64(&mut out, feature.id);
+        put_f64(&mut out, feature.location.x);
+        put_f64(&mut out, feature.location.y);
+        put_u32(&mut out, feature.keywords.len() as u32);
+        for term in feature.keywords.iter() {
+            put_u32(&mut out, term.0);
+        }
+    }
+    out
+}
+
+pub(crate) struct Provision {
+    pub shard_id: u32,
+    pub exec: SpqExecutor,
+    pub id_to_index: HashMap<ObjectId, u32>,
+    pub data: Vec<DataObject>,
+    pub features: Vec<FeatureObject>,
+}
+
+pub(crate) fn decode_provision(payload: &[u8]) -> Result<Provision, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let shard_id = r.u32()?;
+    let exec = decode_executor(&mut r)?;
+    let num_data = r.u32()? as usize;
+    let mut id_to_index = HashMap::with_capacity(num_data);
+    let mut data = Vec::with_capacity(num_data.min(1 << 16));
+    for _ in 0..num_data {
+        let global_index = r.u32()?;
+        let id = r.u64()?;
+        let (x, y) = (r.f64()?, r.f64()?);
+        if id_to_index.insert(id, global_index).is_some() {
+            return Err(CodecError::invalid(format!(
+                "duplicate data object id {id} in provision"
+            )));
+        }
+        data.push(DataObject::new(id, spq_spatial::Point::new(x, y)));
+    }
+    let num_features = r.u32()? as usize;
+    let mut features = Vec::with_capacity(num_features.min(1 << 16));
+    for _ in 0..num_features {
+        let id = r.u64()?;
+        let (x, y) = (r.f64()?, r.f64()?);
+        let num_terms = r.u32()? as usize;
+        let mut terms = Vec::with_capacity(num_terms.min(1 << 12));
+        for _ in 0..num_terms {
+            terms.push(r.u32()?);
+        }
+        features.push(FeatureObject::new(
+            id,
+            spq_spatial::Point::new(x, y),
+            KeywordSet::from_ids(terms),
+        ));
+    }
+    if !r.is_empty() {
+        return Err(CodecError::invalid("trailing bytes after provision"));
+    }
+    Ok(Provision {
+        shard_id,
+        exec,
+        id_to_index,
+        data,
+        features,
+    })
+}
+
+/// Encodes an [`OP_SHARD_QUERY`] payload: the shard id, the query and the
+/// result-relevant per-request options. The worker budget is **not**
+/// shipped — shard jobs always run sequentially, exactly as the
+/// in-process scatter does (the scatter width is the parallelism).
+pub(crate) fn encode_shard_query(
+    shard_id: u32,
+    query: &SpqQuery,
+    options: &QueryOptions,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, shard_id);
+    put_u64(&mut out, query.k as u64);
+    put_f64(&mut out, query.radius);
+    put_u8(&mut out, similarity_to_u8(query.similarity));
+    put_u32(&mut out, query.keywords.len() as u32);
+    for term in query.keywords.iter() {
+        put_u32(&mut out, term.0);
+    }
+    match options.algorithm {
+        None => put_u8(&mut out, u8::MAX),
+        Some(a) => put_u8(&mut out, algorithm_to_u8(a)),
+    }
+    match options.keyword_pruning {
+        None => put_u8(&mut out, 2),
+        Some(enabled) => put_u8(&mut out, enabled as u8),
+    }
+    out
+}
+
+pub(crate) fn decode_shard_query(
+    payload: &[u8],
+) -> Result<(u32, SpqQuery, QueryOptions), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let shard_id = r.u32()?;
+    let k = r.u64()? as usize;
+    let radius = r.f64()?;
+    if k == 0 || !radius.is_finite() || radius < 0.0 {
+        return Err(CodecError::invalid(format!(
+            "degenerate shard query (k={k}, r={radius})"
+        )));
+    }
+    let similarity = similarity_from_u8(r.u8()?)?;
+    let num_terms = r.u32()? as usize;
+    if num_terms == 0 {
+        return Err(CodecError::invalid("shard query with no keywords"));
+    }
+    let mut terms = Vec::with_capacity(num_terms.min(1 << 12));
+    for _ in 0..num_terms {
+        terms.push(r.u32()?);
+    }
+    let algorithm = match r.u8()? {
+        u8::MAX => None,
+        tag => Some(algorithm_from_u8(tag)?),
+    };
+    let keyword_pruning = match r.u8()? {
+        0 => Some(false),
+        1 => Some(true),
+        2 => None,
+        other => {
+            return Err(CodecError::invalid(format!(
+                "unknown keyword-pruning tag {other}"
+            )))
+        }
+    };
+    if !r.is_empty() {
+        return Err(CodecError::invalid("trailing bytes after shard query"));
+    }
+    let query = SpqQuery::with_similarity(k, radius, KeywordSet::from_ids(terms), similarity);
+    let options = QueryOptions {
+        algorithm,
+        workers: None,
+        keyword_pruning,
+        trace: false,
+    };
+    Ok((shard_id, query, options))
+}
+
+/// Encodes an [`OP_SHARD_RESULT`] payload: the plan-cache outcome, the
+/// gather records ([`wire::RECORD_BYTES`]-byte each, global indexes) and
+/// the shard job's [`JobStats`].
+pub(crate) fn encode_shard_result(plan_hit: bool, records: &[u8], stats: &JobStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() + 64);
+    put_u8(&mut out, plan_hit as u8);
+    put_bytes(&mut out, records);
+    encode_job_stats(stats, &mut out);
+    out
+}
+
+pub(crate) fn decode_shard_result(payload: &[u8]) -> Result<(bool, Vec<u8>, JobStats), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let plan_hit = r.u8()? != 0;
+    let records = r.bytes()?.to_vec();
+    if !records.len().is_multiple_of(wire::RECORD_BYTES) {
+        return Err(CodecError::invalid(format!(
+            "gather buffer of {} bytes is not a whole number of records",
+            records.len()
+        )));
+    }
+    let stats = decode_job_stats(&mut r)?;
+    if !r.is_empty() {
+        return Err(CodecError::invalid("trailing bytes after shard result"));
+    }
+    Ok((plan_hit, records, stats))
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+struct HostedShard {
+    engine: QueryEngine,
+    id_to_index: HashMap<ObjectId, u32>,
+}
+
+/// The worker-side shard host: a [`FrameHandler`] answering
+/// [`OP_PROVISION`] (build a shard engine from a shipped dataset slice)
+/// and [`OP_SHARD_QUERY`] (evaluate a query against a hosted shard and
+/// reply with gather records). This is what the `spq-worker` binary and
+/// the in-process workers of [`RemoteEngine::self_hosted`] serve.
+#[derive(Default)]
+pub struct ShardHost {
+    shards: Mutex<HashMap<u32, HostedShard>>,
+}
+
+impl ShardHost {
+    /// Creates an empty host; shards arrive via [`OP_PROVISION`] frames.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn provision(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let p = decode_provision(payload).map_err(|e| format!("bad provision payload: {e}"))?;
+        let dataset = SharedDataset::new(p.data, p.features);
+        let engine = QueryEngine::new(p.exec, dataset);
+        self.shards.lock().insert(
+            p.shard_id,
+            HostedShard {
+                engine,
+                id_to_index: p.id_to_index,
+            },
+        );
+        Ok(Vec::new())
+    }
+
+    fn query(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let (shard_id, query, options) =
+            decode_shard_query(payload).map_err(|e| format!("bad shard query payload: {e}"))?;
+        let shards = self.shards.lock();
+        let shard = shards
+            .get(&shard_id)
+            .ok_or_else(|| format!("shard {shard_id} is not provisioned on this worker"))?;
+        let (result, plan_hit) = shard
+            .engine
+            .run_opts_pruned(&query, &options, true)
+            .map_err(|e| format!("shard {shard_id} query failed: {e}"))?;
+        let records = wire::encode_results(&result.top_k, &shard.id_to_index);
+        Ok(encode_shard_result(plan_hit, &records, &result.stats))
+    }
+
+    /// Number of shards currently hosted (for tests and diagnostics).
+    pub fn hosted_shards(&self) -> usize {
+        self.shards.lock().len()
+    }
+}
+
+impl std::fmt::Debug for ShardHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHost")
+            .field("hosted_shards", &self.hosted_shards())
+            .finish()
+    }
+}
+
+impl FrameHandler for ShardHost {
+    fn handle(&self, opcode: u16, payload: &[u8]) -> Result<Option<(u16, Vec<u8>)>, String> {
+        match opcode {
+            OP_PROVISION => Ok(Some((OP_PROVISION_OK, self.provision(payload)?))),
+            OP_SHARD_QUERY => Ok(Some((OP_SHARD_RESULT, self.query(payload)?))),
+            _ => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manager side
+// ---------------------------------------------------------------------
+
+struct WorkerSlot {
+    client: Mutex<WorkerClient>,
+    excluded: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn new(addr: String, config: ClientConfig) -> Self {
+        Self {
+            client: Mutex::new(WorkerClient::new(addr, config)),
+            excluded: AtomicBool::new(false),
+        }
+    }
+}
+
+/// How one attempt at a worker failed, from the retry loop's viewpoint.
+enum AttemptError {
+    /// The transport failed — the worker may be dead; retrying elsewhere
+    /// can recover.
+    Transport(String),
+    /// The worker reported a typed, deterministic failure — retrying would
+    /// fail identically everywhere.
+    Fatal(SpqError),
+}
+
+/// The engine behind [`crate::service::Backend::Remote`]: the sharded
+/// scatter/gather with every shard behind a TCP worker, plus the
+/// retry/failover state machine described in the [module docs](self).
+///
+/// Build with [`build`](Self::build) (environment-driven),
+/// [`self_hosted`](Self::self_hosted) (in-process workers) or
+/// [`connect`](Self::connect) (external workers), then serve typed
+/// requests exactly like the other engines.
+#[derive(Debug)]
+pub struct RemoteEngine {
+    dataset: SharedDataset,
+    exec: SpqExecutor,
+    workers: Vec<WorkerSlot>,
+    /// Per-shard provision payload, kept for failover re-provisioning.
+    shard_payloads: Vec<Vec<u8>>,
+    /// Which worker currently hosts each shard.
+    placement: Mutex<Vec<usize>>,
+    /// Whether each shard owns any data objects.
+    shard_nonempty: Vec<bool>,
+    /// Terms carried by at least one feature (the manager-side keyword
+    /// probe — same semantics as the engines' build-once keyword index).
+    term_index: HashSet<u32>,
+    retries: AtomicU64,
+    scatter_workers: usize,
+    /// In-process worker servers under [`self_hosted`](Self::self_hosted);
+    /// empty when workers are external. Held so they serve for the
+    /// engine's lifetime and shut down on drop.
+    hosts: Vec<WorkerServer>,
+}
+
+impl std::fmt::Debug for WorkerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let client = self.client.lock();
+        f.debug_struct("WorkerSlot")
+            .field("addr", &client.addr())
+            .field("excluded", &self.excluded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RemoteEngine {
+    /// Builds the engine the way [`crate::service::SpqService::build`]
+    /// does for `remote:N`: external workers when [`SPQ_REMOTE_WORKERS`]
+    /// is set (the list length must equal `workers`), in-process workers
+    /// otherwise.
+    pub fn build(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        workers: usize,
+    ) -> Result<Self, SpqError> {
+        match std::env::var(SPQ_REMOTE_WORKERS) {
+            Ok(list) if !list.trim().is_empty() => {
+                let addrs = parse_worker_addrs(&list)?;
+                if addrs.len() != workers {
+                    return Err(SpqError::invalid_config(format!(
+                        "remote:{workers} needs {workers} workers but {SPQ_REMOTE_WORKERS} \
+                         names {} ({list:?})",
+                        addrs.len()
+                    )));
+                }
+                Self::connect(executor, dataset, &addrs)
+            }
+            _ => Self::self_hosted(executor, dataset, workers),
+        }
+    }
+
+    /// Spawns `workers` in-process [`WorkerServer`]s (real localhost
+    /// sockets, ephemeral ports, non-fatal fault plans) and provisions the
+    /// shards onto them.
+    pub fn self_hosted(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        workers: usize,
+    ) -> Result<Self, SpqError> {
+        if workers == 0 {
+            return Err(SpqError::invalid_config(
+                "remote backend needs at least one worker",
+            ));
+        }
+        let mut hosts = Vec::with_capacity(workers);
+        let mut addrs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let host =
+                WorkerServer::bind("127.0.0.1:0", vec![Box::new(ShardHost::new())], false)
+                    .map_err(|e| SpqError::remote(format!("cannot bind in-process worker: {e}")))?;
+            addrs.push(host.addr().to_string());
+            hosts.push(host);
+        }
+        Self::with_workers(executor, dataset, &addrs, hosts, ClientConfig::fast())
+    }
+
+    /// Connects to external workers (e.g. `spq-worker` processes), one
+    /// shard per address, and provisions the shards onto them.
+    pub fn connect(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        addrs: &[String],
+    ) -> Result<Self, SpqError> {
+        Self::with_workers(
+            executor,
+            dataset,
+            addrs,
+            Vec::new(),
+            ClientConfig::default(),
+        )
+    }
+
+    fn with_workers(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        addrs: &[String],
+        hosts: Vec<WorkerServer>,
+        config: ClientConfig,
+    ) -> Result<Self, SpqError> {
+        if addrs.is_empty() {
+            return Err(SpqError::invalid_config(
+                "remote backend needs at least one worker",
+            ));
+        }
+        let data = dataset.data();
+        let mut seen = HashMap::with_capacity(data.len());
+        for (i, object) in data.iter().enumerate() {
+            if seen.insert(object.id, i).is_some() {
+                return Err(SpqError::invalid_config(format!(
+                    "duplicate data object id {} — the remote wire format resolves by id",
+                    object.id
+                )));
+            }
+        }
+        let num_shards = addrs.len();
+        let features = dataset.features();
+        let mut shard_payloads = Vec::with_capacity(num_shards);
+        let mut shard_nonempty = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let start = s * data.len() / num_shards;
+            let end = (s + 1) * data.len() / num_shards;
+            shard_payloads.push(encode_provision(
+                s as u32,
+                &executor,
+                start as u32,
+                &data[start..end],
+                features,
+            ));
+            shard_nonempty.push(end > start);
+        }
+        let term_index = features
+            .iter()
+            .flat_map(|f| f.keywords.iter().map(|t| t.0))
+            .collect();
+        let workers: Vec<WorkerSlot> = addrs
+            .iter()
+            .map(|a| WorkerSlot::new(a.clone(), config))
+            .collect();
+        let scatter_workers = executor.cluster_config().workers.max(1);
+        let engine = Self {
+            dataset,
+            exec: executor,
+            workers,
+            shard_payloads,
+            placement: Mutex::new((0..num_shards).collect()),
+            shard_nonempty,
+            term_index,
+            retries: AtomicU64::new(0),
+            scatter_workers,
+            hosts,
+        };
+        // Initial placement: shard s on worker s. Build is strict — a
+        // worker that cannot be provisioned fails the build instead of
+        // starting life on the exclusion list.
+        for s in 0..engine.shard_payloads.len() {
+            engine.provision_on(s, s).map_err(|e| match e {
+                AttemptError::Transport(message) => SpqError::WorkerLost { worker: s, message },
+                AttemptError::Fatal(e) => e,
+            })?;
+        }
+        Ok(engine)
+    }
+
+    /// Number of workers (= number of shards).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The global store the gather resolves against.
+    pub fn dataset(&self) -> &SharedDataset {
+        &self.dataset
+    }
+
+    /// The executor configuration the shards were provisioned with.
+    pub fn executor(&self) -> &SpqExecutor {
+        &self.exec
+    }
+
+    /// The worker addresses, in worker order.
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.workers
+            .iter()
+            .map(|w| w.client.lock().addr().to_owned())
+            .collect()
+    }
+
+    /// True when the workers are in-process servers spawned by
+    /// [`self_hosted`](Self::self_hosted) (as opposed to external
+    /// processes named by [`SPQ_REMOTE_WORKERS`]).
+    pub fn is_self_hosted(&self) -> bool {
+        !self.hosts.is_empty()
+    }
+
+    /// Cumulative shard re-dispatches after worker failures, across all
+    /// queries served so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently on the exclusion list.
+    pub fn excluded_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.excluded.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Total frame bytes exchanged with workers (both directions, headers
+    /// included), across provisioning and queries.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| {
+                let c = w.client.lock();
+                c.bytes_sent() + c.bytes_received()
+            })
+            .sum()
+    }
+
+    /// Installs a [`FaultPlan`] on worker `worker` (the fault-injection
+    /// seam `tests/remote_faults.rs` drives). The plan arms on the
+    /// worker's *next* responses; installing resets its response counter.
+    pub fn inject_fault(&self, worker: usize, plan: &FaultPlan) -> Result<(), SpqError> {
+        let mut payload = Vec::new();
+        plan.encode(&mut payload);
+        let mut client = self.workers[worker].client.lock();
+        match client.call(OP_SET_FAULT, &payload) {
+            Ok((OP_FAULT_OK, _)) => Ok(()),
+            Ok((op, _)) => Err(SpqError::remote(format!(
+                "worker {worker} answered opcode {op} to a fault installation"
+            ))),
+            Err(e) => Err(SpqError::remote(format!(
+                "cannot install fault on worker {worker}: {e}"
+            ))),
+        }
+    }
+
+    /// One framed call to worker `w`, mapping the reply to the retry
+    /// loop's vocabulary: `Fatal` for typed worker-reported errors (never
+    /// retried), `Transport` for anything that smells like a dead worker.
+    fn call_worker(
+        &self,
+        w: usize,
+        opcode: u16,
+        payload: &[u8],
+        ok_opcode: u16,
+    ) -> Result<Vec<u8>, AttemptError> {
+        let mut client = self.workers[w].client.lock();
+        match client.call(opcode, payload) {
+            Ok((op, resp)) if op == ok_opcode => Ok(resp),
+            Ok((OP_ERROR, resp)) => Err(AttemptError::Fatal(SpqError::remote(format!(
+                "worker {w}: {}",
+                decode_error_payload(&resp)
+            )))),
+            Ok((op, _)) => Err(AttemptError::Transport(format!(
+                "worker {w} answered unexpected opcode {op}"
+            ))),
+            Err(e) => Err(AttemptError::Transport(format!("worker {w}: {e}"))),
+        }
+    }
+
+    fn provision_on(&self, shard: usize, w: usize) -> Result<(), AttemptError> {
+        self.call_worker(
+            w,
+            OP_PROVISION,
+            &self.shard_payloads[shard],
+            OP_PROVISION_OK,
+        )?;
+        self.placement.lock()[shard] = w;
+        Ok(())
+    }
+
+    fn exclude(&self, w: usize) {
+        self.workers[w].excluded.store(true, Ordering::Relaxed);
+    }
+
+    fn is_excluded(&self, w: usize) -> bool {
+        self.workers[w].excluded.load(Ordering::Relaxed)
+    }
+
+    /// The per-shard retry state machine (see the [module docs](self)).
+    /// Returns the decoded shard result plus how many re-asks it took.
+    fn query_shard(
+        &self,
+        shard: usize,
+        payload: &[u8],
+    ) -> Result<(bool, Vec<u8>, JobStats, u64), SpqError> {
+        let mut retries = 0u64;
+        let mut last_failure: Option<(usize, String)> = None;
+        loop {
+            let w = self.placement.lock()[shard];
+            if !self.is_excluded(w) {
+                let mut attempts_here = 0;
+                loop {
+                    match self.call_worker(w, OP_SHARD_QUERY, payload, OP_SHARD_RESULT) {
+                        Ok(resp) => {
+                            self.retries.fetch_add(retries, Ordering::Relaxed);
+                            let decoded = decode_shard_result(&resp).map_err(|e| {
+                                SpqError::remote(format!("worker {w} sent a bad shard result: {e}"))
+                            })?;
+                            return Ok((decoded.0, decoded.1, decoded.2, retries));
+                        }
+                        Err(AttemptError::Fatal(e)) => return Err(e),
+                        Err(AttemptError::Transport(message)) => {
+                            attempts_here += 1;
+                            retries += 1;
+                            if attempts_here >= 2 {
+                                // Two straight transport failures: the
+                                // worker is dead to us.
+                                self.exclude(w);
+                                last_failure = Some((w, message));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Failover: re-provision the shard on the next survivor.
+            let survivor = (0..self.workers.len())
+                .map(|i| (w + 1 + i) % self.workers.len())
+                .find(|&i| !self.is_excluded(i));
+            let Some(next) = survivor else {
+                let (worker, message) =
+                    last_failure.unwrap_or((w, "every worker is on the exclusion list".to_owned()));
+                self.retries.fetch_add(retries, Ordering::Relaxed);
+                return Err(SpqError::WorkerLost { worker, message });
+            };
+            retries += 1;
+            match self.provision_on(shard, next) {
+                Ok(()) => {}
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Transport(message)) => {
+                    self.exclude(next);
+                    last_failure = Some((next, message));
+                }
+            }
+        }
+    }
+
+    /// Executes one typed request: probe, scatter over TCP, gather, merge.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_inner(request, None)
+    }
+
+    /// [`execute`](Self::execute) with a sequential (width-1) scatter —
+    /// the per-request building block of
+    /// [`serve_requests`](Self::serve_requests).
+    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        self.execute_inner(request, Some(1))
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        scatter_override: Option<usize>,
+    ) -> Result<QueryResponse, SpqError> {
+        request.validate()?;
+        let started = Instant::now();
+        let query = &request.query;
+        let options = &request.options;
+        let algorithm = options.algorithm.unwrap_or(self.exec.algorithm_choice());
+
+        // Probe the manager-side term index (features are broadcast, so
+        // one set speaks for every shard): a query whose keywords no
+        // feature carries cannot score any object on any worker.
+        let probed = query.keywords.len();
+        let matched = query
+            .keywords
+            .iter()
+            .filter(|t| self.term_index.contains(&t.0))
+            .count();
+        let relevant: Vec<usize> = if matched == 0 {
+            Vec::new()
+        } else {
+            (0..self.shard_payloads.len())
+                .filter(|&s| self.shard_nonempty[s])
+                .collect()
+        };
+        if relevant.is_empty() {
+            return Ok(QueryResponse {
+                results: Vec::new(),
+                stats: QueryStats {
+                    algorithm,
+                    plan_cache_hit: false,
+                    shards_touched: 0,
+                    shuffle_records: 0,
+                    shuffle_bytes: 0,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                    keyword_terms_probed: probed,
+                    keyword_terms_matched: matched,
+                    retries: 0,
+                },
+                trace: options.trace.then(Vec::new),
+            });
+        }
+
+        // Scatter: one framed call per relevant shard; the request's
+        // worker budget bounds the scatter width (results are
+        // width-invariant), exactly as in the in-process engine.
+        let scatter = scatter_override
+            .or(options.workers)
+            .unwrap_or(self.scatter_workers)
+            .clamp(1, relevant.len());
+        let outcomes = run_tasks(scatter, relevant.len(), |i| {
+            let shard = relevant[i];
+            let payload = encode_shard_query(shard as u32, query, options);
+            self.query_shard(shard, &payload)
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("shard {}: {}", relevant[p.task_index], p.message),
+        })?;
+
+        // Gather: the wire bytes come straight off the socket; resolve
+        // them against the global store and merge, exactly as in-process.
+        let mut flat = Vec::new();
+        let mut plan_cache_hit = true;
+        let mut shuffle_records = 0u64;
+        let mut shuffle_bytes = 0u64;
+        let mut retries = 0u64;
+        let mut trace = options.trace.then(Vec::new);
+        for outcome in outcomes {
+            let (hit, records, stats, shard_retries) = outcome?;
+            plan_cache_hit &= hit;
+            shuffle_records += (records.len() / wire::RECORD_BYTES) as u64;
+            shuffle_bytes += records.len() as u64;
+            retries += shard_retries;
+            flat.extend(wire::decode_results(&records, self.dataset.data()));
+            if let Some(t) = &mut trace {
+                t.push(stats);
+            }
+        }
+        let results = merge_top_k(flat, query.k);
+
+        Ok(QueryResponse {
+            results,
+            stats: QueryStats {
+                algorithm,
+                plan_cache_hit,
+                shards_touched: relevant.len(),
+                shuffle_records,
+                shuffle_bytes,
+                wall_micros: started.elapsed().as_micros() as u64,
+                keyword_terms_probed: probed,
+                keyword_terms_matched: matched,
+                retries,
+            },
+            trace,
+        })
+    }
+
+    /// Executes a batch of requests, in request order.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Executes independent requests concurrently on `workers` threads,
+    /// each with a sequential scatter. Responses in request order,
+    /// byte-identical to sequential [`execute`](Self::execute) calls.
+    pub fn serve_requests(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryResponse>, SpqError> {
+        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
+            self.execute_sequential(&requests[i])
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("request {}: {}", p.task_index, p.message),
+        })?;
+        outcomes.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DataObject, FeatureObject};
+    use spq_spatial::{Point, Rect};
+
+    fn feature(id: u64, x: f64, y: f64, kw: &[u32]) -> FeatureObject {
+        FeatureObject::new(
+            id,
+            Point::new(x, y),
+            KeywordSet::from_ids(kw.iter().copied()),
+        )
+    }
+
+    fn paper_dataset() -> SharedDataset {
+        SharedDataset::new(
+            vec![
+                DataObject::new(1, Point::new(4.6, 4.8)),
+                DataObject::new(2, Point::new(7.5, 1.7)),
+                DataObject::new(3, Point::new(8.9, 5.2)),
+                DataObject::new(4, Point::new(1.8, 1.8)),
+                DataObject::new(5, Point::new(1.9, 9.0)),
+            ],
+            vec![
+                feature(1, 2.8, 1.2, &[0, 1]),
+                feature(2, 5.0, 3.8, &[2, 3]),
+                feature(3, 8.7, 1.9, &[4, 5]),
+                feature(4, 3.8, 5.5, &[0]),
+                feature(5, 5.2, 5.1, &[6, 7]),
+                feature(6, 7.4, 5.4, &[8, 9]),
+                feature(7, 3.0, 8.1, &[0, 10]),
+                feature(8, 9.5, 7.0, &[11]),
+            ],
+        )
+    }
+
+    fn executor() -> SpqExecutor {
+        SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4)
+    }
+
+    fn request(k: usize, r: f64, kw: &[u32]) -> QueryRequest {
+        QueryRequest::new(SpqQuery::new(
+            k,
+            r,
+            KeywordSet::from_ids(kw.iter().copied()),
+        ))
+    }
+
+    #[test]
+    fn executor_config_round_trips() {
+        for exec in [
+            executor(),
+            executor()
+                .algorithm(Algorithm::PSpq)
+                .keyword_pruning(false)
+                .cluster(ClusterConfig::with_workers(3)),
+            SpqExecutor::new(Rect::from_coords(-1.0, -2.0, 3.0, 4.0))
+                .auto_grid(32)
+                .algorithm(Algorithm::ESpqLen)
+                .load_balancing(LoadBalancing::AdaptiveQuadtree { sample_size: 100 }),
+        ] {
+            let mut bytes = Vec::new();
+            encode_executor(&exec, &mut bytes);
+            let decoded = decode_executor(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(decoded.bounds(), exec.bounds());
+            assert_eq!(decoded.algorithm_choice(), exec.algorithm_choice());
+            assert_eq!(decoded.grid_sizing(), exec.grid_sizing());
+            assert_eq!(
+                decoded.load_balancing_choice(),
+                exec.load_balancing_choice()
+            );
+            assert_eq!(
+                decoded.keyword_pruning_enabled(),
+                exec.keyword_pruning_enabled()
+            );
+            assert_eq!(decoded.cluster_config(), exec.cluster_config());
+        }
+    }
+
+    #[test]
+    fn worker_addr_parsing() {
+        assert_eq!(
+            parse_worker_addrs("127.0.0.1:7001, localhost:7002").unwrap(),
+            vec!["127.0.0.1:7001".to_owned(), "localhost:7002".to_owned()]
+        );
+        for bad in [
+            "",
+            " , ",
+            "127.0.0.1",
+            ":7001",
+            "127.0.0.1:0",
+            "127.0.0.1:x",
+            "127.0.0.1:99999",
+            "127.0.0.1:-1",
+        ] {
+            let err = parse_worker_addrs(bad).unwrap_err();
+            assert!(matches!(err, SpqError::InvalidConfig { .. }), "{bad:?}");
+            assert!(err.to_string().contains(SPQ_REMOTE_WORKERS), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn matches_in_process_engines_for_every_worker_count() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        for workers in [1, 2, 3, 5] {
+            let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), workers).unwrap();
+            for req in [
+                request(1, 1.5, &[0]),
+                request(3, 1.5, &[0]),
+                request(5, 2.5, &[0, 4, 11]),
+            ] {
+                let expect = engine.execute(&req).unwrap();
+                let got = remote.execute(&req).unwrap();
+                assert_eq!(got.results, expect.results, "workers={workers}");
+                assert_eq!(got.stats.retries, 0);
+            }
+            assert_eq!(remote.retries(), 0);
+            assert!(remote.traffic_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn unmatched_keywords_touch_no_worker() {
+        let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), 2).unwrap();
+        let before = remote.traffic_bytes();
+        let response = remote.execute(&request(3, 1.5, &[77])).unwrap();
+        assert!(response.results.is_empty());
+        assert_eq!(response.stats.shards_touched, 0);
+        assert_eq!(response.stats.keyword_terms_matched, 0);
+        // The short-circuit never crossed the wire.
+        assert_eq!(remote.traffic_bytes(), before);
+    }
+
+    #[test]
+    fn killed_worker_recovers_on_survivor() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), 3).unwrap();
+        let req = request(4, 1.5, &[0]);
+        // Kill worker 0 on its next response; the first shard query it
+        // receives takes it down mid-batch.
+        remote
+            .inject_fault(
+                0,
+                &FaultPlan {
+                    kill_after_responses: Some(0),
+                    ..FaultPlan::none()
+                },
+            )
+            .unwrap();
+        let got = remote.execute(&req).unwrap();
+        assert_eq!(got.results, engine.execute(&req).unwrap().results);
+        assert!(got.stats.retries >= 1, "stats: {:?}", got.stats);
+        assert!(remote.retries() >= 1);
+        assert_eq!(remote.excluded_workers(), 1);
+        // Later queries keep working on the survivors, without new
+        // retries for the already-moved shard.
+        let again = remote.execute(&req).unwrap();
+        assert_eq!(again.results, engine.execute(&req).unwrap().results);
+        assert_eq!(again.stats.retries, 0);
+    }
+
+    #[test]
+    fn losing_every_worker_is_worker_lost() {
+        let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), 2).unwrap();
+        for w in 0..2 {
+            remote
+                .inject_fault(
+                    w,
+                    &FaultPlan {
+                        kill_after_responses: Some(0),
+                        ..FaultPlan::none()
+                    },
+                )
+                .unwrap();
+        }
+        let err = remote.execute(&request(3, 1.5, &[0])).unwrap_err();
+        assert!(matches!(err, SpqError::WorkerLost { .. }), "{err:?}");
+        assert_eq!(remote.excluded_workers(), 2);
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        assert!(matches!(
+            RemoteEngine::self_hosted(executor(), paper_dataset(), 0),
+            Err(SpqError::InvalidConfig { .. })
+        ));
+        let dup = SharedDataset::new(
+            vec![
+                DataObject::new(7, Point::new(1.0, 1.0)),
+                DataObject::new(7, Point::new(2.0, 2.0)),
+            ],
+            vec![],
+        );
+        let err = RemoteEngine::self_hosted(executor(), dup, 2).unwrap_err();
+        assert!(err.to_string().contains("duplicate data object id 7"));
+    }
+
+    #[test]
+    fn shard_query_decode_rejects_garbage() {
+        let good = encode_shard_query(0, &request(3, 1.5, &[0, 2]).query, &QueryOptions::default());
+        assert!(decode_shard_query(&good).is_ok());
+        // Truncations of a valid payload never panic, they error.
+        for cut in 0..good.len() {
+            assert!(decode_shard_query(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_shard_query(&long).is_err());
+    }
+}

@@ -16,10 +16,12 @@
 //!   keyword-index probe outcome) and, when tracing, the full per-job
 //!   [`JobStats`].
 //! * [`Backend`] — which engine serves: [`Backend::Local`] (one
-//!   build-once [`QueryEngine`] on the in-process pool) or
+//!   build-once [`QueryEngine`] on the in-process pool),
 //!   [`Backend::Sharded`] (a scatter/gather
 //!   [`ShardedEngine`] over per-shard
-//!   dataset slices). Both return byte-identical results.
+//!   dataset slices) or [`Backend::Remote`] (the same shard layout placed
+//!   on worker *processes* behind TCP, see [`crate::remote`]). All return
+//!   byte-identical results.
 //! * [`SpqService`] — the backend-erased handle examples and benches
 //!   serve through.
 //!
@@ -53,6 +55,7 @@ use crate::engine::QueryEngine;
 use crate::executor::{SpqError, SpqExecutor};
 use crate::model::RankedObject;
 use crate::query::SpqQuery;
+use crate::remote::RemoteEngine;
 use crate::sharded::ShardedEngine;
 use crate::store::SharedDataset;
 use spq_mapreduce::JobStats;
@@ -77,14 +80,25 @@ pub enum Backend {
         /// Number of shards (≥ 1).
         shards: usize,
     },
+    /// A [`RemoteEngine`]: the [`Backend::Sharded`] layout with one shard
+    /// per worker *process*, reached over length-delimited TCP frames.
+    /// Workers are either spawned in-process (the default) or external
+    /// `spq-worker` processes named by the `SPQ_REMOTE_WORKERS`
+    /// environment variable (see [`crate::remote::SPQ_REMOTE_WORKERS`]).
+    Remote {
+        /// Number of workers = number of shards (≥ 1).
+        workers: usize,
+    },
 }
 
 impl Backend {
-    /// The backend's stable identifier (`"local"` / `"sharded"`).
+    /// The backend's stable identifier (`"local"` / `"sharded"` /
+    /// `"remote"`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Local => "local",
             Backend::Sharded { .. } => "sharded",
+            Backend::Remote { .. } => "remote",
         }
     }
 }
@@ -94,6 +108,7 @@ impl fmt::Display for Backend {
         match self {
             Backend::Local => write!(f, "local"),
             Backend::Sharded { shards } => write!(f, "sharded:{shards}"),
+            Backend::Remote { workers } => write!(f, "remote:{workers}"),
         }
     }
 }
@@ -104,23 +119,32 @@ pub const DEFAULT_SHARDS: usize = 4;
 impl FromStr for Backend {
     type Err = String;
 
-    /// Parses `"local"`, `"sharded"` (= [`DEFAULT_SHARDS`] shards) or
-    /// `"sharded:N"`.
+    /// Parses `"local"`, `"sharded"` (= [`DEFAULT_SHARDS`] shards),
+    /// `"sharded:N"` or `"remote:N"`. A bare `"remote"` is rejected: a
+    /// worker count has no safe default when each worker is a process.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "local" => Ok(Backend::Local),
             "sharded" => Ok(Backend::Sharded {
                 shards: DEFAULT_SHARDS,
             }),
-            other => match other.strip_prefix("sharded:") {
-                Some(n) => match n.parse::<usize>() {
-                    Ok(shards) if shards > 0 => Ok(Backend::Sharded { shards }),
-                    _ => Err(format!("bad shard count {n:?} (want sharded:N, N >= 1)")),
-                },
-                None => Err(format!(
-                    "unknown backend {other:?} (want local, sharded or sharded:N)"
-                )),
-            },
+            other => {
+                if let Some(n) = other.strip_prefix("sharded:") {
+                    return match n.parse::<usize>() {
+                        Ok(shards) if shards > 0 => Ok(Backend::Sharded { shards }),
+                        _ => Err(format!("bad shard count {n:?} (want sharded:N, N >= 1)")),
+                    };
+                }
+                if let Some(n) = other.strip_prefix("remote:") {
+                    return match n.parse::<usize>() {
+                        Ok(workers) if workers > 0 => Ok(Backend::Remote { workers }),
+                        _ => Err(format!("bad worker count {n:?} (want remote:N, N >= 1)")),
+                    };
+                }
+                Err(format!(
+                    "unknown backend {other:?} (want local, sharded, sharded:N or remote:N)"
+                ))
+            }
         }
     }
 }
@@ -241,6 +265,12 @@ pub struct QueryStats {
     /// Probed keywords carried by at least one feature. `0` means the
     /// query cannot match anything and short-circuits.
     pub keyword_terms_matched: usize,
+    /// Shard executions that were re-dispatched after a worker failure.
+    /// Always `0` on the in-process backends; on [`Backend::Remote`] a
+    /// non-zero count means a worker died (or missed its deadline) and
+    /// the affected shards were recovered on survivors — the results are
+    /// still byte-identical.
+    pub retries: u64,
 }
 
 /// The outcome of one executed [`QueryRequest`].
@@ -268,6 +298,8 @@ pub enum SpqService {
     Local(QueryEngine),
     /// Serving through a scatter/gather [`ShardedEngine`].
     Sharded(ShardedEngine),
+    /// Serving through a [`RemoteEngine`] over TCP worker processes.
+    Remote(RemoteEngine),
 }
 
 impl SpqService {
@@ -285,6 +317,9 @@ impl SpqService {
             Backend::Sharded { shards } => Ok(SpqService::Sharded(ShardedEngine::new(
                 executor, dataset, shards,
             )?)),
+            Backend::Remote { workers } => Ok(SpqService::Remote(RemoteEngine::build(
+                executor, dataset, workers,
+            )?)),
         }
     }
 
@@ -295,6 +330,9 @@ impl SpqService {
             SpqService::Sharded(engine) => Backend::Sharded {
                 shards: engine.num_shards(),
             },
+            SpqService::Remote(engine) => Backend::Remote {
+                workers: engine.num_workers(),
+            },
         }
     }
 
@@ -303,6 +341,7 @@ impl SpqService {
         match self {
             SpqService::Local(engine) => engine.execute(request),
             SpqService::Sharded(engine) => engine.execute(request),
+            SpqService::Remote(engine) => engine.execute(request),
         }
     }
 
@@ -315,6 +354,7 @@ impl SpqService {
         match self {
             SpqService::Local(engine) => engine.execute_batch(requests),
             SpqService::Sharded(engine) => engine.execute_batch(requests),
+            SpqService::Remote(engine) => engine.execute_batch(requests),
         }
     }
 
@@ -329,6 +369,26 @@ impl SpqService {
         match self {
             SpqService::Local(engine) => engine.serve_requests(requests, workers),
             SpqService::Sharded(engine) => engine.serve_requests(requests, workers),
+            SpqService::Remote(engine) => engine.serve_requests(requests, workers),
+        }
+    }
+
+    /// Cumulative TCP frame traffic (request plus response bytes, all
+    /// workers) on the remote backend; `None` on in-process backends,
+    /// which never cross a socket.
+    pub fn remote_traffic_bytes(&self) -> Option<u64> {
+        match self {
+            SpqService::Remote(engine) => Some(engine.traffic_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Cumulative re-asks the remote retry state machine performed over
+    /// this service's lifetime; `None` on in-process backends.
+    pub fn remote_retries(&self) -> Option<u64> {
+        match self {
+            SpqService::Remote(engine) => Some(engine.retries()),
+            _ => None,
         }
     }
 }
@@ -355,14 +415,54 @@ mod tests {
             "sharded:8".parse::<Backend>().unwrap(),
             Backend::Sharded { shards: 8 }
         );
-        for s in ["", "remote", "sharded:", "sharded:0", "sharded:x"] {
+        assert_eq!(
+            "remote:2".parse::<Backend>().unwrap(),
+            Backend::Remote { workers: 2 }
+        );
+        // Bare "remote" stays an error: no safe default worker count when
+        // each worker is a process. Junk counts and junk ports too.
+        for s in [
+            "",
+            "remote",
+            "remote:",
+            "remote:0",
+            "remote:x",
+            "remote:-1",
+            "sharded:",
+            "sharded:0",
+            "sharded:x",
+        ] {
             assert!(s.parse::<Backend>().is_err(), "{s:?}");
         }
-        for b in [Backend::Local, Backend::Sharded { shards: 3 }] {
+        for b in [
+            Backend::Local,
+            Backend::Sharded { shards: 3 },
+            Backend::Remote { workers: 4 },
+        ] {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
         }
         assert_eq!(Backend::Local.name(), "local");
         assert_eq!(Backend::Sharded { shards: 9 }.name(), "sharded");
+        assert_eq!(Backend::Remote { workers: 1 }.name(), "remote");
+    }
+
+    #[test]
+    fn remote_parse_paths_compose() {
+        // The two halves of the remote configuration parse independently:
+        // `remote:N` fixes the process count (and is what SPQ_WORKERS —
+        // the *thread* pool override — never influences), while the
+        // SPQ_REMOTE_WORKERS address list is validated separately, junk
+        // ports included, with typed config errors either way.
+        let backend: Backend = "remote:2".parse().unwrap();
+        assert_eq!(backend, Backend::Remote { workers: 2 });
+        assert_eq!(
+            crate::remote::parse_worker_addrs("127.0.0.1:7001, 127.0.0.1:7002").unwrap(),
+            vec!["127.0.0.1:7001".to_owned(), "127.0.0.1:7002".to_owned()]
+        );
+        for junk in ["127.0.0.1:0", "127.0.0.1:70000", "host:notaport", "nohost"] {
+            let err = crate::remote::parse_worker_addrs(junk).unwrap_err();
+            assert!(matches!(err, SpqError::InvalidConfig { .. }), "{junk:?}");
+        }
     }
 
     #[test]

@@ -304,6 +304,7 @@ impl ShardedEngine {
                     wall_micros: started.elapsed().as_micros() as u64,
                     keyword_terms_probed: keywords.0,
                     keyword_terms_matched: keywords.1,
+                    retries: 0,
                 },
                 trace: options.trace.then(Vec::new),
             });
@@ -376,6 +377,7 @@ impl ShardedEngine {
                 wall_micros: started.elapsed().as_micros() as u64,
                 keyword_terms_probed: keywords.0,
                 keyword_terms_matched: keywords.1,
+                retries: 0,
             },
             trace,
         })

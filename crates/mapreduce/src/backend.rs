@@ -12,11 +12,11 @@
 //!   every job since PR 1, now factored behind the trait. This is the
 //!   reference backend: deterministic output for a fixed task and input,
 //!   regardless of worker count.
-//! * A future remote backend places the same tasks on network workers
-//!   (shuffle records are 8–16-byte handles, so the wire cost is known);
-//!   shard-per-node serving is built one layer up, in
-//!   `spq-core`'s sharded engine, where the SPQ top-k merge makes the
-//!   cross-shard gather trivial.
+//! * [`RemoteBackend`](crate::remote::RemoteBackend) places whole jobs on
+//!   worker *processes* over a framed TCP protocol (see [`crate::remote`]),
+//!   retrying a dead worker's jobs on survivors; shard-per-node serving is
+//!   built one layer up, in `spq-core`'s sharded and remote engines, where
+//!   the SPQ top-k merge makes the cross-shard gather trivial.
 //!
 //! The trait is deliberately *not* object-safe ([`ExecutionBackend::execute`]
 //! is generic over the task type, mirroring [`crate::JobRunner::run_in`]):

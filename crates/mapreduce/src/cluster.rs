@@ -25,6 +25,17 @@ pub struct ClusterConfig {
 }
 
 /// Environment variable overriding [`ClusterConfig::auto`]'s worker count.
+///
+/// Scope: this sizes **thread** pools inside one process — map/reduce
+/// task slots and serve concurrency. It is orthogonal to the remote
+/// backend's worker **processes**: there the count comes from the backend
+/// spec itself (`remote:N`) and the addresses from the
+/// `SPQ_REMOTE_WORKERS` variable (see `spq-core`'s `remote` module).
+/// Setting `SPQ_WORKERS` neither changes how `remote:N` parses nor how
+/// many worker processes serve it; and because the manager ships its full
+/// executor configuration (cluster sizing included) in the provision
+/// payload, a worker process never consults its *own* `SPQ_WORKERS` when
+/// answering shard queries.
 pub const WORKERS_ENV: &str = "SPQ_WORKERS";
 
 /// Worker count [`ClusterConfig::auto`] falls back to when the host does

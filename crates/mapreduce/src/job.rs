@@ -96,6 +96,20 @@ pub enum JobError {
         /// Captured panic message.
         message: String,
     },
+    /// The task cannot run on a remote backend: it declares no
+    /// `REMOTE_KIND` (see [`MapReduceTask`]) or the worker does not have
+    /// it registered.
+    NotRemotable {
+        /// The task's type or wire-kind name.
+        task: String,
+    },
+    /// The remote transport or worker-side execution failed after every
+    /// retry — including the case where all workers are on the exclusion
+    /// list.
+    Remote {
+        /// What happened, including the per-worker failure trail.
+        message: String,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -106,6 +120,10 @@ impl fmt::Display for JobError {
                 task_index,
                 message,
             } => write!(f, "{phase} task {task_index} panicked: {message}"),
+            JobError::NotRemotable { task } => {
+                write!(f, "task {task} is not registered for remote execution")
+            }
+            JobError::Remote { message } => write!(f, "remote job failed: {message}"),
         }
     }
 }
@@ -646,6 +664,7 @@ mod tests {
                 assert_eq!(task_index, 1);
                 assert!(message.contains("unlucky"));
             }
+            ref other => panic!("expected TaskPanicked, got {other:?}"),
         }
         assert!(err.to_string().contains("map task 1"));
     }
@@ -656,6 +675,7 @@ mod tests {
         let err = runner.run(&PanickyMap, &[vec![1, 99]]).unwrap_err();
         match err {
             JobError::TaskPanicked { phase, .. } => assert_eq!(phase, Phase::Reduce),
+            other => panic!("expected TaskPanicked, got {other:?}"),
         }
     }
 

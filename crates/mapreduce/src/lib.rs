@@ -21,8 +21,10 @@
 //!   splits on a bounded worker pool, with a sort-based shuffle.
 //! * [`ExecutionBackend`] — the placement seam underneath the runner:
 //!   *where* a planned job's map/reduce tasks run. [`LocalPool`] is the
-//!   in-process implementation; remote/cluster backends plug in here
-//!   without touching task code.
+//!   in-process implementation; [`remote::RemoteBackend`] ships whole
+//!   jobs to worker processes over the framed TCP protocol in [`remote`],
+//!   with backoff connect, per-task deadlines, worker exclusion and
+//!   deterministic fault injection.
 //! * [`GroupValues`] — the streaming per-group value iterator handed to
 //!   reducers; **early termination** is simply returning before the
 //!   iterator is exhausted, and the runtime accounts skipped records.
@@ -42,6 +44,7 @@ pub mod cluster;
 pub mod counters;
 pub mod job;
 pub mod pool;
+pub mod remote;
 pub mod stats;
 pub mod task;
 
@@ -49,5 +52,6 @@ pub use backend::{BackendDescriptor, ExecutionBackend, LocalPool};
 pub use cluster::{ClusterConfig, SimulatedCluster, WorkersEnvError};
 pub use counters::Counters;
 pub use job::{JobContext, JobError, JobOutput, JobRunner};
+pub use remote::{FaultPlan, RemoteBackend, WorkerRegistry, WorkerServer};
 pub use stats::{JobStats, Phase, TaskStats};
 pub use task::{GroupValues, MapContext, MapReduceTask, ReduceContext};

@@ -1,0 +1,166 @@
+//! The remote [`ExecutionBackend`]: jobs placed on worker processes.
+
+use super::client::{ClientConfig, WorkerClient};
+use super::frame::{OP_ERROR, OP_JOB, OP_JOB_OK};
+use super::job::{decode_job_error, decode_job_output, encode_job};
+use crate::backend::{BackendDescriptor, ExecutionBackend};
+use crate::job::{JobContext, JobError, JobOutput};
+use crate::task::MapReduceTask;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct WorkerSlot {
+    client: Mutex<WorkerClient>,
+    excluded: AtomicBool,
+}
+
+/// An [`ExecutionBackend`] that ships whole jobs to remote worker
+/// processes over TCP.
+///
+/// Jobs are assigned round-robin across the live workers. When a call to
+/// a worker fails at the transport level — unreachable, hung up, missed
+/// its deadline, corrupted a frame — that worker goes on the exclusion
+/// list and the job is retried verbatim on the next survivor; because job
+/// execution is deterministic, the retried result is byte-identical to
+/// what the dead worker would have produced. A worker-side *task* error
+/// (a panic inside map or reduce) is **not** retried: it is deterministic
+/// and would fail everywhere, so it surfaces immediately as the same
+/// [`JobError`] local execution raises.
+///
+/// Tasks must declare a [`REMOTE_KIND`](MapReduceTask::REMOTE_KIND) and
+/// implement the remote codec hooks; the worker must have the same type
+/// registered (see [`WorkerRegistry`](super::WorkerRegistry)).
+#[derive(Debug)]
+pub struct RemoteBackend {
+    workers: Vec<WorkerSlot>,
+    next: AtomicUsize,
+    retries: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSlot")
+            .field("addr", &self.client.lock().addr())
+            .field("excluded", &self.excluded.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Creates a backend over the given worker addresses. Connections are
+    /// opened lazily on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addrs` is empty — a backend needs at least one
+    /// worker.
+    pub fn connect(addrs: &[String], config: ClientConfig) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "remote backend needs at least one worker"
+        );
+        Self {
+            workers: addrs
+                .iter()
+                .map(|addr| WorkerSlot {
+                    client: Mutex::new(WorkerClient::new(addr.clone(), config)),
+                    excluded: AtomicBool::new(false),
+                })
+                .collect(),
+            next: AtomicUsize::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Total failovers: how many times a job bounced off a failing worker
+    /// onto the next one.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// How many workers are currently on the exclusion list.
+    pub fn excluded_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.excluded.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Total frame bytes exchanged with all workers (headers included).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| {
+                let c = w.client.lock();
+                c.bytes_sent() + c.bytes_received()
+            })
+            .sum()
+    }
+}
+
+impl ExecutionBackend for RemoteBackend {
+    fn execute<T: MapReduceTask>(
+        &self,
+        _ctx: &JobContext,
+        task: &T,
+        splits: &[Vec<T::Input>],
+    ) -> Result<JobOutput<T::Output>, JobError> {
+        let Some(kind) = T::REMOTE_KIND else {
+            return Err(JobError::NotRemotable {
+                task: std::any::type_name::<T>().to_owned(),
+            });
+        };
+        let payload = encode_job(kind, task, splits);
+        let n = self.workers.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let mut trail: Vec<String> = Vec::new();
+        let mut tried_any = false;
+        for offset in 0..n {
+            let index = (start + offset) % n;
+            let slot = &self.workers[index];
+            if slot.excluded.load(Ordering::SeqCst) {
+                continue;
+            }
+            if tried_any {
+                // This attempt exists only because a previous worker
+                // failed mid-job: account it as a retry.
+                self.retries.fetch_add(1, Ordering::SeqCst);
+            }
+            tried_any = true;
+            let reply = slot.client.lock().call(OP_JOB, &payload);
+            match reply {
+                Ok((OP_JOB_OK, response)) => {
+                    return decode_job_output::<T>(&response).map_err(|e| JobError::Remote {
+                        message: format!("worker reply did not decode: {e}"),
+                    })
+                }
+                Ok((OP_ERROR, response)) => return Err(decode_job_error(&response)),
+                Ok((op, _)) => {
+                    slot.excluded.store(true, Ordering::SeqCst);
+                    trail.push(format!("worker {index}: unexpected reply opcode {op}"));
+                }
+                Err(e) => {
+                    slot.excluded.store(true, Ordering::SeqCst);
+                    trail.push(format!("worker {index}: {e}"));
+                }
+            }
+        }
+        Err(JobError::Remote {
+            message: if trail.is_empty() {
+                "every worker is on the exclusion list".to_owned()
+            } else {
+                format!(
+                    "no surviving worker could run the job: {}",
+                    trail.join("; ")
+                )
+            },
+        })
+    }
+
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor {
+            name: "remote",
+            parallelism: self.workers.len(),
+        }
+    }
+}

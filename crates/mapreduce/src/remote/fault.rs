@@ -1,0 +1,205 @@
+//! Deterministic fault injection for the remote transport.
+//!
+//! A [`FaultPlan`] is installed on a worker over the wire
+//! ([`OP_SET_FAULT`](super::OP_SET_FAULT)) and drives the worker's
+//! *response* path: responses are counted from the moment the plan is
+//! installed, and each scheduled fault fires when the count reaches its
+//! threshold. This turns the recovery paths — reconnect, retry, worker
+//! exclusion, shard failover — into deterministic test subjects instead of
+//! things that only happen in production.
+
+use super::codec::{put_u32, put_u64, put_u8, ByteReader, CodecError};
+
+/// A deterministic schedule of transport faults.
+///
+/// Response indices are 0-based and count every fault-eligible response
+/// (everything except the `OP_SET_FAULT`/`OP_SHUTDOWN` acknowledgements)
+/// sent by the worker after the plan was installed, across all
+/// connections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Close the connection instead of sending response `n` (one-shot:
+    /// the trigger clears itself, so the worker recovers on reconnect).
+    pub drop_after_responses: Option<u32>,
+    /// Sleep this long before every response — a slow, not dead, worker.
+    pub delay_response_ms: Option<u64>,
+    /// Corrupt the payload of response `n` after its checksum is computed
+    /// (one-shot), so the client observes a checksum mismatch.
+    pub corrupt_response: Option<u32>,
+    /// Permanently kill the worker before sending response `n`: a real
+    /// worker process exits, an in-process worker stops accepting
+    /// connections and drops every live one.
+    pub kill_after_responses: Option<u32>,
+}
+
+impl FaultPlan {
+    /// A plan with no scheduled faults (installing it clears faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_noop(&self) -> bool {
+        *self == Self::default()
+    }
+
+    fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+        match v {
+            Some(n) => {
+                put_u8(out, 1);
+                put_u32(out, n);
+            }
+            None => put_u8(out, 0),
+        }
+    }
+
+    fn read_opt_u32(r: &mut ByteReader<'_>) -> Result<Option<u32>, CodecError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(r.u32()?)),
+            t => Err(CodecError::invalid(format!("bad option tag {t}"))),
+        }
+    }
+
+    /// Serializes the plan for `OP_SET_FAULT`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        Self::put_opt_u32(out, self.drop_after_responses);
+        match self.delay_response_ms {
+            Some(ms) => {
+                put_u8(out, 1);
+                put_u64(out, ms);
+            }
+            None => put_u8(out, 0),
+        }
+        Self::put_opt_u32(out, self.corrupt_response);
+        Self::put_opt_u32(out, self.kill_after_responses);
+    }
+
+    /// Decodes a plan serialized by [`encode`](Self::encode).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let drop_after_responses = Self::read_opt_u32(r)?;
+        let delay_response_ms = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            t => return Err(CodecError::invalid(format!("bad option tag {t}"))),
+        };
+        Ok(Self {
+            drop_after_responses,
+            delay_response_ms,
+            corrupt_response: Self::read_opt_u32(r)?,
+            kill_after_responses: Self::read_opt_u32(r)?,
+        })
+    }
+}
+
+/// What the worker's response path should do for one response, resolved
+/// against the installed plan. Crate-internal: computed by the server.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Send the response normally (after an optional delay).
+    Deliver {
+        /// Milliseconds to sleep before responding.
+        delay_ms: Option<u64>,
+        /// Whether to corrupt this response's payload.
+        corrupt: bool,
+    },
+    /// Close the connection without responding.
+    Drop,
+    /// Kill the worker (exit the process / stop the in-process server).
+    Kill,
+}
+
+/// Resolves the action for the response with 0-based index `n`, applying
+/// one-shot semantics (drop and corrupt triggers clear themselves).
+pub(crate) fn next_action(plan: &mut FaultPlan, n: u32) -> FaultAction {
+    if let Some(k) = plan.kill_after_responses {
+        if n >= k {
+            return FaultAction::Kill;
+        }
+    }
+    if let Some(d) = plan.drop_after_responses {
+        if n >= d {
+            plan.drop_after_responses = None;
+            return FaultAction::Drop;
+        }
+    }
+    let corrupt = plan.corrupt_response == Some(n);
+    if corrupt {
+        plan.corrupt_response = None;
+    }
+    FaultAction::Deliver {
+        delay_ms: plan.delay_response_ms,
+        corrupt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_fields() {
+        let plan = FaultPlan {
+            drop_after_responses: Some(3),
+            delay_response_ms: Some(250),
+            corrupt_response: Some(0),
+            kill_after_responses: Some(9),
+        };
+        let mut out = Vec::new();
+        plan.encode(&mut out);
+        assert_eq!(FaultPlan::decode(&mut ByteReader::new(&out)).unwrap(), plan);
+
+        let mut out = Vec::new();
+        FaultPlan::none().encode(&mut out);
+        let decoded = FaultPlan::decode(&mut ByteReader::new(&out)).unwrap();
+        assert!(decoded.is_noop());
+    }
+
+    #[test]
+    fn kill_wins_over_drop_and_is_permanent() {
+        let mut plan = FaultPlan {
+            drop_after_responses: Some(0),
+            kill_after_responses: Some(0),
+            ..FaultPlan::default()
+        };
+        assert_eq!(next_action(&mut plan, 0), FaultAction::Kill);
+        assert_eq!(next_action(&mut plan, 5), FaultAction::Kill);
+    }
+
+    #[test]
+    fn drop_and_corrupt_are_one_shot() {
+        let mut plan = FaultPlan {
+            drop_after_responses: Some(1),
+            corrupt_response: Some(0),
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            next_action(&mut plan, 0),
+            FaultAction::Deliver {
+                delay_ms: None,
+                corrupt: true
+            }
+        );
+        assert_eq!(next_action(&mut plan, 1), FaultAction::Drop);
+        // Both triggers cleared: later responses deliver cleanly.
+        assert_eq!(
+            next_action(&mut plan, 2),
+            FaultAction::Deliver {
+                delay_ms: None,
+                corrupt: false
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_plan_is_rejected() {
+        let plan = FaultPlan {
+            delay_response_ms: Some(10),
+            ..FaultPlan::default()
+        };
+        let mut out = Vec::new();
+        plan.encode(&mut out);
+        out.truncate(out.len() - 1);
+        assert!(FaultPlan::decode(&mut ByteReader::new(&out)).is_err());
+    }
+}

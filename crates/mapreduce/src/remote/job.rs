@@ -1,0 +1,500 @@
+//! Shipping whole map/reduce jobs to remote workers.
+//!
+//! The unit of remote placement is the **job**, not the individual map
+//! task: the manager serializes the task spec plus every input split into
+//! one [`OP_JOB`] frame, a worker runs the job end-to-end on its own
+//! [`LocalPool`](crate::LocalPool) and answers with the per-reducer outputs, counters and
+//! statistics. Because the local pipeline is deterministic for a fixed
+//! task and input, a job answered by *any* worker — including a retry on
+//! a different worker after a failure — returns byte-identical results.
+//!
+//! A worker-side [`JobError`] (a task panic, say) travels back as a typed
+//! [`OP_ERROR`](super::frame::OP_ERROR) payload and is rebuilt verbatim on the manager, so remote
+//! execution surfaces the *same* errors local execution would.
+
+use super::codec::{
+    decode_job_stats, encode_job_stats, put_str, put_u32, put_u64, put_u8, ByteReader, CodecError,
+};
+use super::frame::{OP_JOB, OP_JOB_OK};
+use super::worker::FrameHandler;
+use crate::backend::ExecutionBackend;
+use crate::cluster::ClusterConfig;
+use crate::job::{JobContext, JobError, JobOutput};
+use crate::stats::Phase;
+use crate::task::MapReduceTask;
+use std::collections::HashMap;
+
+/// Encodes one job request: wire kind, task spec, then the input splits.
+pub fn encode_job<T: MapReduceTask>(kind: &str, task: &T, splits: &[Vec<T::Input>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, kind);
+    task.encode_spec(&mut out);
+    put_u32(&mut out, splits.len() as u32);
+    for split in splits {
+        put_u32(&mut out, split.len() as u32);
+        for record in split {
+            T::encode_input(record, &mut out);
+        }
+    }
+    out
+}
+
+/// A decoded job request: the task plus its input splits.
+pub type DecodedJob<T> = (T, Vec<Vec<<T as MapReduceTask>::Input>>);
+
+/// Decodes the spec + splits part of a job request (the kind string has
+/// already been consumed to pick `T`).
+pub fn decode_job<T: MapReduceTask>(r: &mut ByteReader<'_>) -> Result<DecodedJob<T>, CodecError> {
+    let task = T::decode_spec(r)?;
+    let num_splits = r.u32()?;
+    let mut splits = Vec::with_capacity(num_splits as usize);
+    for _ in 0..num_splits {
+        let len = r.u32()?;
+        let mut split = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            split.push(T::decode_input(r)?);
+        }
+        splits.push(split);
+    }
+    Ok((task, splits))
+}
+
+/// Encodes a successful job reply: per-reducer outputs + statistics.
+pub fn encode_job_output<T: MapReduceTask>(output: &JobOutput<T::Output>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, output.per_reducer().len() as u32);
+    for reducer in output.per_reducer() {
+        put_u32(&mut out, reducer.len() as u32);
+        for record in reducer {
+            T::encode_output(record, &mut out);
+        }
+    }
+    encode_job_stats(&output.stats, &mut out);
+    out
+}
+
+/// Decodes a job reply produced by [`encode_job_output`].
+pub fn decode_job_output<T: MapReduceTask>(
+    payload: &[u8],
+) -> Result<JobOutput<T::Output>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let num_reducers = r.u32()?;
+    let mut per_reducer = Vec::with_capacity(num_reducers as usize);
+    for _ in 0..num_reducers {
+        let len = r.u32()?;
+        let mut reducer = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            reducer.push(T::decode_output(&mut r)?);
+        }
+        per_reducer.push(reducer);
+    }
+    let stats = decode_job_stats(&mut r)?;
+    Ok(JobOutput::from_parts(per_reducer, stats))
+}
+
+/// Encodes a [`JobError`] for an `OP_ERROR` payload, preserving the typed
+/// variants across the wire.
+pub fn encode_job_error(error: &JobError, out: &mut Vec<u8>) {
+    match error {
+        JobError::TaskPanicked {
+            phase,
+            task_index,
+            message,
+        } => {
+            put_u8(out, 0);
+            put_u8(out, matches!(phase, Phase::Reduce) as u8);
+            put_u64(out, *task_index as u64);
+            put_str(out, message);
+        }
+        JobError::NotRemotable { task } => {
+            put_u8(out, 1);
+            put_str(out, task);
+        }
+        JobError::Remote { message } => {
+            put_u8(out, 2);
+            put_str(out, message);
+        }
+    }
+}
+
+/// Decodes a [`JobError`] encoded by [`encode_job_error`]. A payload that
+/// does not parse becomes `JobError::Remote` carrying the raw text.
+pub fn decode_job_error(payload: &[u8]) -> JobError {
+    fn parse(payload: &[u8]) -> Result<JobError, CodecError> {
+        let mut r = ByteReader::new(payload);
+        match r.u8()? {
+            0 => Ok(JobError::TaskPanicked {
+                phase: if r.u8()? == 1 {
+                    Phase::Reduce
+                } else {
+                    Phase::Map
+                },
+                task_index: r.u64()? as usize,
+                message: r.str()?.to_owned(),
+            }),
+            1 => Ok(JobError::NotRemotable {
+                task: r.str()?.to_owned(),
+            }),
+            2 => Ok(JobError::Remote {
+                message: r.str()?.to_owned(),
+            }),
+            t => Err(CodecError::invalid(format!("bad job error tag {t}"))),
+        }
+    }
+    parse(payload).unwrap_or_else(|_| JobError::Remote {
+        message: String::from_utf8_lossy(payload).into_owned(),
+    })
+}
+
+type JobFn = Box<dyn Fn(&mut ByteReader<'_>) -> Result<Vec<u8>, JobError> + Send + Sync>;
+
+/// Worker-side dispatch table from wire kind to a job executor.
+///
+/// Register every remotable task type once; the registry then answers
+/// [`OP_JOB`] frames by decoding the matching task, running it on the
+/// worker's [`LocalPool`](crate::LocalPool) and encoding the reply.
+pub struct WorkerRegistry {
+    config: ClusterConfig,
+    handlers: HashMap<&'static str, JobFn>,
+}
+
+impl WorkerRegistry {
+    /// Creates a registry whose jobs run on a pool of `config.workers`
+    /// threads.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            config,
+            handlers: HashMap::new(),
+        }
+    }
+
+    /// Registers `T` under its [`REMOTE_KIND`](MapReduceTask::REMOTE_KIND).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` declares no remote kind — that is a build-time
+    /// mistake, not a runtime condition.
+    pub fn register<T: MapReduceTask + 'static>(&mut self) {
+        let kind = T::REMOTE_KIND.unwrap_or_else(|| {
+            panic!(
+                "task {} declares no REMOTE_KIND",
+                std::any::type_name::<T>()
+            )
+        });
+        let pool = crate::backend::LocalPool::new(self.config);
+        self.handlers.insert(
+            kind,
+            Box::new(move |r| {
+                let (task, splits) = decode_job::<T>(r).map_err(|e| JobError::Remote {
+                    message: format!("job request for kind {kind:?} did not decode: {e}"),
+                })?;
+                let output = pool.execute(&JobContext::new(), &task, &splits)?;
+                Ok(encode_job_output::<T>(&output))
+            }),
+        );
+    }
+
+    /// The registered wire kinds, for diagnostics.
+    pub fn kinds(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.handlers.keys().copied()
+    }
+}
+
+impl std::fmt::Debug for WorkerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerRegistry")
+            .field("config", &self.config)
+            .field("kinds", &self.handlers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FrameHandler for WorkerRegistry {
+    fn handle(&self, opcode: u16, payload: &[u8]) -> Result<Option<(u16, Vec<u8>)>, String> {
+        if opcode != OP_JOB {
+            return Ok(None);
+        }
+        let mut r = ByteReader::new(payload);
+        let kind = r
+            .str()
+            .map_err(|e| format!("job frame without kind: {e}"))?;
+        let Some(handler) = self.handlers.get(kind) else {
+            let mut out = Vec::new();
+            encode_job_error(
+                &JobError::NotRemotable {
+                    task: kind.to_owned(),
+                },
+                &mut out,
+            );
+            return Ok(Some((super::frame::OP_ERROR, out)));
+        };
+        match handler(&mut r) {
+            Ok(reply) => Ok(Some((OP_JOB_OK, reply))),
+            Err(job_error) => {
+                let mut out = Vec::new();
+                encode_job_error(&job_error, &mut out);
+                Ok(Some((super::frame::OP_ERROR, out)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::backend_remote::RemoteBackend;
+    use super::super::client::ClientConfig;
+    use super::super::worker::WorkerServer;
+    use super::*;
+    use crate::task::{GroupValues, MapContext, ReduceContext};
+    use crate::JobRunner;
+    use std::cmp::Ordering;
+
+    /// A remotable word count: spec = reducer count, records = strings.
+    pub(crate) struct RemoteWordCount {
+        pub(crate) reducers: usize,
+    }
+
+    impl MapReduceTask for RemoteWordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+
+        const REMOTE_KIND: Option<&'static str> = Some("test.word_count");
+
+        fn encode_spec(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.reducers as u64);
+        }
+
+        fn decode_spec(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+            Ok(Self {
+                reducers: r.u64()? as usize,
+            })
+        }
+
+        fn encode_input(record: &String, out: &mut Vec<u8>) {
+            put_str(out, record);
+        }
+
+        fn decode_input(r: &mut ByteReader<'_>) -> Result<String, CodecError> {
+            Ok(r.str()?.to_owned())
+        }
+
+        fn encode_output(record: &(String, u64), out: &mut Vec<u8>) {
+            put_str(out, &record.0);
+            put_u64(out, record.1);
+        }
+
+        fn decode_output(r: &mut ByteReader<'_>) -> Result<(String, u64), CodecError> {
+            Ok((r.str()?.to_owned(), r.u64()?))
+        }
+
+        fn num_reducers(&self) -> usize {
+            self.reducers
+        }
+
+        fn map(&self, record: &String, ctx: &mut MapContext<'_, Self>) {
+            for word in record.split_whitespace() {
+                if word == "§panic§" {
+                    panic!("poisoned word reached the map");
+                }
+                ctx.emit(self, word.to_owned(), 1);
+            }
+        }
+
+        fn partition(&self, key: &String) -> usize {
+            key.len() % self.reducers
+        }
+
+        fn sort_cmp(&self, a: &String, b: &String) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn reduce(
+            &self,
+            group: &String,
+            values: &mut GroupValues<'_, Self>,
+            ctx: &mut ReduceContext<'_, (String, u64)>,
+        ) {
+            ctx.emit((group.clone(), values.map(|(_, v)| v).sum()));
+        }
+    }
+
+    pub(crate) fn spawn_job_worker() -> WorkerServer {
+        let mut registry = WorkerRegistry::new(ClusterConfig::with_workers(2));
+        registry.register::<RemoteWordCount>();
+        WorkerServer::bind("127.0.0.1:0", vec![Box::new(registry)], false).unwrap()
+    }
+
+    fn splits() -> Vec<Vec<String>> {
+        vec![
+            vec!["to be or".to_owned(), "not".to_owned()],
+            vec![],
+            vec!["to be".to_owned()],
+        ]
+    }
+
+    #[test]
+    fn job_payload_round_trip() {
+        let task = RemoteWordCount { reducers: 3 };
+        let payload = encode_job("test.word_count", &task, &splits());
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(r.str().unwrap(), "test.word_count");
+        let (decoded, decoded_splits) = decode_job::<RemoteWordCount>(&mut r).unwrap();
+        assert_eq!(decoded.reducers, 3);
+        assert_eq!(decoded_splits, splits());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn job_output_round_trip() {
+        let out = JobRunner::new(ClusterConfig::sequential())
+            .run(&RemoteWordCount { reducers: 3 }, &splits())
+            .unwrap();
+        let payload = encode_job_output::<RemoteWordCount>(&out);
+        let decoded = decode_job_output::<RemoteWordCount>(&payload).unwrap();
+        assert_eq!(decoded.per_reducer(), out.per_reducer());
+        assert_eq!(decoded.stats.counters, out.stats.counters);
+        assert_eq!(decoded.stats.shuffle_records, out.stats.shuffle_records);
+    }
+
+    #[test]
+    fn job_error_round_trip() {
+        for error in [
+            JobError::TaskPanicked {
+                phase: Phase::Reduce,
+                task_index: 4,
+                message: "bad group".to_owned(),
+            },
+            JobError::NotRemotable {
+                task: "nope".to_owned(),
+            },
+            JobError::Remote {
+                message: "socket fell over".to_owned(),
+            },
+        ] {
+            let mut out = Vec::new();
+            encode_job_error(&error, &mut out);
+            assert_eq!(decode_job_error(&out), error);
+        }
+        // Garbage degrades to a Remote error, never a panic.
+        assert!(matches!(
+            decode_job_error(&[9, 9, 9]),
+            JobError::Remote { .. }
+        ));
+    }
+
+    #[test]
+    fn remote_backend_matches_local_pool_byte_for_byte() {
+        let worker_a = spawn_job_worker();
+        let worker_b = spawn_job_worker();
+        let backend = RemoteBackend::connect(
+            &[worker_a.addr().to_string(), worker_b.addr().to_string()],
+            ClientConfig::fast(),
+        );
+        let task = RemoteWordCount { reducers: 3 };
+        let local = JobRunner::new(ClusterConfig::with_workers(2))
+            .run(&task, &splits())
+            .unwrap();
+        for _ in 0..4 {
+            let remote = backend
+                .execute(&JobContext::new(), &task, &splits())
+                .unwrap();
+            assert_eq!(remote.per_reducer(), local.per_reducer());
+            assert_eq!(remote.stats.counters, local.stats.counters);
+        }
+        assert_eq!(backend.retries(), 0);
+        assert_eq!(backend.descriptor().to_string(), "remotex2");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_the_same_job_error() {
+        let worker = spawn_job_worker();
+        let backend = RemoteBackend::connect(&[worker.addr().to_string()], ClientConfig::fast());
+        let task = RemoteWordCount { reducers: 2 };
+        let poisoned = vec![vec!["ok".to_owned()], vec!["§panic§".to_owned()]];
+        let local_err = JobRunner::new(ClusterConfig::sequential())
+            .run(&task, &poisoned)
+            .unwrap_err();
+        let remote_err = backend
+            .execute(&JobContext::new(), &task, &poisoned)
+            .unwrap_err();
+        assert_eq!(remote_err, local_err);
+    }
+
+    #[test]
+    fn unregistered_kind_is_not_remotable() {
+        struct NoKind;
+        impl MapReduceTask for NoKind {
+            type Input = ();
+            type Key = u32;
+            type Value = ();
+            type Output = ();
+            fn num_reducers(&self) -> usize {
+                1
+            }
+            fn map(&self, _: &(), _: &mut MapContext<'_, Self>) {}
+            fn partition(&self, _: &u32) -> usize {
+                0
+            }
+            fn sort_cmp(&self, _: &u32, _: &u32) -> Ordering {
+                Ordering::Equal
+            }
+            fn reduce(
+                &self,
+                _: &u32,
+                _: &mut GroupValues<'_, Self>,
+                _: &mut ReduceContext<'_, ()>,
+            ) {
+            }
+        }
+        let worker = spawn_job_worker();
+        let backend = RemoteBackend::connect(&[worker.addr().to_string()], ClientConfig::fast());
+        assert!(matches!(
+            backend.execute(&JobContext::new(), &NoKind, &[]),
+            Err(JobError::NotRemotable { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_worker_jobs_are_retried_on_survivors() {
+        let dead = {
+            // Bind then drop: a refused port standing in for a crashed worker.
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let alive = spawn_job_worker();
+        let backend =
+            RemoteBackend::connect(&[dead, alive.addr().to_string()], ClientConfig::fast());
+        let task = RemoteWordCount { reducers: 2 };
+        let local = JobRunner::new(ClusterConfig::sequential())
+            .run(&task, &splits())
+            .unwrap();
+        // Several jobs: round-robin would hit the dead worker without the
+        // exclusion list.
+        for _ in 0..4 {
+            let remote = backend
+                .execute(&JobContext::new(), &task, &splits())
+                .unwrap();
+            assert_eq!(remote.per_reducer(), local.per_reducer());
+        }
+        assert!(backend.retries() >= 1, "the dead worker was never tried");
+        assert_eq!(backend.excluded_workers(), 1);
+    }
+
+    #[test]
+    fn all_workers_dead_is_a_remote_error() {
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let backend = RemoteBackend::connect(&[dead], ClientConfig::fast());
+        let task = RemoteWordCount { reducers: 2 };
+        match backend.execute(&JobContext::new(), &task, &splits()) {
+            Err(JobError::Remote { message }) => {
+                assert!(message.contains("unreachable"), "message: {message}")
+            }
+            other => panic!("expected Remote error, got {other:?}"),
+        }
+    }
+}

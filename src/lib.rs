@@ -68,8 +68,8 @@ pub mod prelude {
     pub use spq_core::{
         Algorithm, Backend, DataObject, FeatureObject, LoadBalancing, MetricsSnapshot, ObjectRef,
         QueryEngine, QueryOptions, QueryRequest, QueryResponse, QueryStats, RankedObject,
-        ShardStats, ShardedEngine, SharedDataset, SpqError, SpqExecutor, SpqQuery, SpqResult,
-        SpqService,
+        RemoteEngine, ShardHost, ShardStats, ShardedEngine, SharedDataset, SpqError, SpqExecutor,
+        SpqQuery, SpqResult, SpqService,
     };
     pub use spq_data::{
         ingest_files, synthesize_dump, ClusteredGen, DatasetGenerator, DumpConfig, FlickrLike,

@@ -1,5 +1,5 @@
-//! Backend equivalence: the sharded scatter/gather engine must be
-//! byte-identical to the single-store local engine.
+//! Backend equivalence: the sharded scatter/gather engine and the remote
+//! TCP engine must be byte-identical to the single-store local engine.
 //!
 //! The sharded backend slices the data objects into per-shard stores,
 //! evaluates each shard with its own build-once engine, ships serialized
@@ -9,8 +9,11 @@
 //! shard count, algorithm and partitioning, the merged results (objects,
 //! scores *and* order) must equal the single-store engine's, and the
 //! typed facade must return the same bytes as the plain shim API. The
-//! result-invariant request options (worker budgets, pruning override)
-//! must also change nothing.
+//! remote backend (`remote:N`) places the same shard layout on worker
+//! processes behind real localhost sockets — provisioning, queries and
+//! gather records all cross the frame codec — and must answer the same
+//! bytes again. The result-invariant request options (worker budgets,
+//! pruning override) must also change nothing.
 
 use proptest::prelude::*;
 use spq::core::centralized::brute_force;
@@ -67,6 +70,7 @@ fn world() -> impl Strategy<
 
 const RADIUS_CLASSES: [f64; 3] = [0.05, 0.15, 0.4];
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REMOTE_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 const ALGORITHMS: [Algorithm; 3] = [Algorithm::PSpq, Algorithm::ESpqLen, Algorithm::ESpqSco];
 const BALANCERS: [LoadBalancing; 2] = [
     LoadBalancing::UniformGrid,
@@ -156,6 +160,33 @@ proptest! {
                         prop_assert_eq!(&served[i].results, &reference[i].results);
                     }
                 }
+                // The remote backend crosses real sockets (in-process
+                // workers on ephemeral localhost ports) and must still
+                // return the same bytes, through every entry point.
+                for workers in REMOTE_WORKER_COUNTS {
+                    let remote = SpqService::build(
+                        exec.clone(),
+                        dataset.clone(),
+                        Backend::Remote { workers },
+                    )
+                    .unwrap();
+                    for (request, expect) in requests.iter().zip(&reference) {
+                        let got = remote.execute(request).unwrap();
+                        prop_assert_eq!(
+                            &got.results, &expect.results,
+                            "{} balancing={:?} remote workers={}: execute diverged",
+                            algo, balancing, workers
+                        );
+                        prop_assert!(got.stats.shards_touched <= workers);
+                        prop_assert_eq!(got.stats.retries, 0);
+                    }
+                    let batch = remote.execute_batch(&requests).unwrap();
+                    let served = remote.serve(&requests, 4).unwrap();
+                    for i in 0..requests.len() {
+                        prop_assert_eq!(&batch[i].results, &reference[i].results);
+                        prop_assert_eq!(&served[i].results, &reference[i].results);
+                    }
+                }
             }
         }
     }
@@ -169,7 +200,11 @@ proptest! {
         let requests = build_requests(&query_specs);
         let dataset = SharedDataset::new(data, features);
         let exec = SpqExecutor::new(Rect::unit()).grid_size(g as u32);
-        for backend in [Backend::Local, Backend::Sharded { shards: 3 }] {
+        for backend in [
+            Backend::Local,
+            Backend::Sharded { shards: 3 },
+            Backend::Remote { workers: 2 },
+        ] {
             let service = SpqService::build(exec.clone(), dataset.clone(), backend).unwrap();
             for request in &requests {
                 let plain = service.execute(request).unwrap();
@@ -208,7 +243,11 @@ fn facade_surfaces_typed_errors() {
         )],
     );
     let exec = SpqExecutor::new(Rect::unit()).grid_size(4);
-    for backend in [Backend::Local, Backend::Sharded { shards: 2 }] {
+    for backend in [
+        Backend::Local,
+        Backend::Sharded { shards: 2 },
+        Backend::Remote { workers: 2 },
+    ] {
         let service = SpqService::build(exec.clone(), dataset.clone(), backend).unwrap();
         let mut bad = QueryRequest::new(SpqQuery::new(1, 0.2, KeywordSet::from_ids([0])));
         bad.query.radius = f64::NAN;
@@ -220,9 +259,17 @@ fn facade_surfaces_typed_errors() {
             QueryRequest::new(SpqQuery::new(1, 0.2, KeywordSet::from_ids([0]))).with_workers(0);
         assert!(service.execute(&zero_budget).is_err());
     }
-    // Zero shards is a build-time config error.
+    // Zero shards / zero workers are build-time config errors.
     assert!(matches!(
-        SpqService::build(exec, dataset, Backend::Sharded { shards: 0 }),
+        SpqService::build(
+            exec.clone(),
+            dataset.clone(),
+            Backend::Sharded { shards: 0 }
+        ),
+        Err(SpqError::InvalidConfig { .. })
+    ));
+    assert!(matches!(
+        SpqService::build(exec, dataset, Backend::Remote { workers: 0 }),
         Err(SpqError::InvalidConfig { .. })
     ));
 }
@@ -261,7 +308,7 @@ fn stats_reflect_backend_shape() {
 
     let sharded = SpqService::build(
         exec,
-        dataset,
+        dataset.clone(),
         Backend::Sharded {
             shards: DEFAULT_SHARDS,
         },
@@ -278,4 +325,25 @@ fn stats_reflect_backend_shape() {
     // Tracing attaches one JobStats per touched shard.
     let traced = sharded.execute(&request.clone().with_trace()).unwrap();
     assert_eq!(traced.trace.unwrap().len(), DEFAULT_SHARDS);
+
+    // The remote backend reports the same gather shape — 12-byte wire
+    // records, one JobStats per touched worker — plus a zero retry count
+    // on a healthy fleet.
+    let remote = SpqService::build(
+        SpqExecutor::new(Rect::unit()).grid_size(4),
+        dataset,
+        Backend::Remote { workers: 3 },
+    )
+    .unwrap();
+    assert_eq!(remote.backend(), Backend::Remote { workers: 3 });
+    let response = remote.execute(&request).unwrap();
+    assert_eq!(response.stats.shards_touched, 3);
+    assert_eq!(
+        response.stats.shuffle_bytes,
+        response.stats.shuffle_records * 12
+    );
+    assert_eq!(response.stats.retries, 0);
+    assert!(remote.execute(&request).unwrap().stats.plan_cache_hit);
+    let traced = remote.execute(&request.with_trace()).unwrap();
+    assert_eq!(traced.trace.unwrap().len(), 3);
 }

@@ -1,0 +1,211 @@
+//! Cross-process byte-identity: the remote backend against real
+//! `spq-worker` child processes.
+//!
+//! Everything else in the test suite exercises the remote transport
+//! against in-process workers. These tests close the last gap the paper's
+//! distributed setting cares about: the manager and the workers live in
+//! **different processes**, connected only by the framed TCP protocol —
+//! provisioning, shard queries, fault installation and worker death all
+//! cross a real process boundary. The assertions are the same as
+//! everywhere else: results byte-identical to the single-store local
+//! engine, recovery visible as retries.
+
+use spq::mapreduce::remote::{FaultPlan, FAULT_EXIT_CODE};
+use spq::prelude::*;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn feature(id: u64, x: f64, y: f64, kw: &[u32]) -> FeatureObject {
+    FeatureObject::new(
+        id,
+        Point::new(x, y),
+        KeywordSet::from_ids(kw.iter().copied()),
+    )
+}
+
+fn dataset() -> SharedDataset {
+    SharedDataset::new(
+        vec![
+            DataObject::new(1, Point::new(4.6, 4.8)),
+            DataObject::new(2, Point::new(7.5, 1.7)),
+            DataObject::new(3, Point::new(8.9, 5.2)),
+            DataObject::new(4, Point::new(1.8, 1.8)),
+            DataObject::new(5, Point::new(1.9, 9.0)),
+            DataObject::new(6, Point::new(5.5, 5.5)),
+        ],
+        vec![
+            feature(1, 2.8, 1.2, &[0, 1]),
+            feature(2, 5.0, 3.8, &[2, 3]),
+            feature(3, 8.7, 1.9, &[4, 5]),
+            feature(4, 3.8, 5.5, &[0]),
+            feature(5, 5.2, 5.1, &[6, 7]),
+            feature(6, 7.4, 5.4, &[8, 9]),
+            feature(7, 3.0, 8.1, &[0, 10]),
+            feature(8, 9.5, 7.0, &[11]),
+        ],
+    )
+}
+
+fn executor() -> SpqExecutor {
+    SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4)
+}
+
+fn request(k: usize, r: f64, kw: &[u32]) -> QueryRequest {
+    QueryRequest::new(SpqQuery::new(
+        k,
+        r,
+        KeywordSet::from_ids(kw.iter().copied()),
+    ))
+}
+
+/// A spawned `spq-worker` child, killed on drop so a panicking test
+/// never leaks worker processes.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spq-worker"))
+            .args(["--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn spq-worker");
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read worker banner");
+        let addr = line
+            .trim()
+            .strip_prefix("spq-worker listening on ")
+            .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+            .to_owned();
+        Self { child, addr }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_workers(n: usize) -> (Vec<Worker>, Vec<String>) {
+    let workers: Vec<Worker> = (0..n).map(|_| Worker::spawn()).collect();
+    let addrs = workers.iter().map(|w| w.addr.clone()).collect();
+    (workers, addrs)
+}
+
+/// Every query against three real worker processes returns the same
+/// bytes as the single-store local engine, with zero retries when nobody
+/// dies.
+#[test]
+fn cross_process_results_are_byte_identical() {
+    let (_workers, addrs) = spawn_workers(3);
+    let remote = RemoteEngine::connect(executor(), dataset(), &addrs).unwrap();
+    assert!(!remote.is_self_hosted());
+    assert_eq!(remote.worker_addrs(), addrs);
+
+    let local = QueryEngine::new(executor(), dataset());
+    for req in [
+        request(1, 1.0, &[0]),
+        request(3, 1.8, &[0, 4]),
+        request(6, 3.0, &[0, 2, 6, 11]),
+        request(2, 1.0, &[99]), // unmatched keywords: empty on both sides
+    ] {
+        let expect = local.execute(&req).unwrap();
+        let got = remote.execute(&req).unwrap();
+        assert_eq!(got.results, expect.results);
+        assert_eq!(got.stats.retries, 0);
+    }
+    assert_eq!(remote.retries(), 0);
+    assert!(remote.traffic_bytes() > 0);
+}
+
+/// Killing a worker *process* mid-serving moves its shard to a survivor:
+/// results stay byte-identical and the recovery is visible as retries and
+/// an exclusion.
+#[test]
+fn killed_worker_process_fails_over_to_survivors() {
+    let (mut workers, addrs) = spawn_workers(3);
+    let remote = RemoteEngine::connect(executor(), dataset(), &addrs).unwrap();
+    let local = QueryEngine::new(executor(), dataset());
+
+    let req = request(4, 1.8, &[0]);
+    assert_eq!(
+        remote.execute(&req).unwrap().results,
+        local.execute(&req).unwrap().results
+    );
+
+    workers[0].child.kill().expect("kill worker 0");
+    workers[0].child.wait().expect("reap worker 0");
+
+    let got = remote.execute(&req).unwrap();
+    assert_eq!(got.results, local.execute(&req).unwrap().results);
+    assert!(got.stats.retries >= 1, "stats: {:?}", got.stats);
+    assert_eq!(remote.excluded_workers(), 1);
+
+    // Steady state after the failover: no fresh retries.
+    let again = remote.execute(&req).unwrap();
+    assert_eq!(again.results, local.execute(&req).unwrap().results);
+    assert_eq!(again.stats.retries, 0);
+}
+
+/// A fault plan installed over the wire kills the real process (exit code
+/// [`FAULT_EXIT_CODE`]), and the engine recovers exactly as it does for
+/// an externally killed worker.
+#[test]
+fn injected_kill_fault_terminates_the_process() {
+    let (mut workers, addrs) = spawn_workers(2);
+    let remote = RemoteEngine::connect(executor(), dataset(), &addrs).unwrap();
+    let local = QueryEngine::new(executor(), dataset());
+
+    remote
+        .inject_fault(
+            1,
+            &FaultPlan {
+                kill_after_responses: Some(0),
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap();
+
+    let req = request(3, 1.8, &[0, 4]);
+    let got = remote.execute(&req).unwrap();
+    assert_eq!(got.results, local.execute(&req).unwrap().results);
+    assert!(got.stats.retries >= 1);
+
+    let status = workers[1].child.wait().expect("reap faulted worker");
+    assert_eq!(status.code(), Some(FAULT_EXIT_CODE));
+}
+
+/// `SPQ_REMOTE_WORKERS` routes `SpqService::build(remote:N)` to external
+/// worker processes, and the worker-count mismatch is a typed config
+/// error.
+#[test]
+fn service_uses_external_workers_from_the_environment() {
+    let (_workers, addrs) = spawn_workers(2);
+    std::env::set_var("SPQ_REMOTE_WORKERS", addrs.join(","));
+    let service = SpqService::build(executor(), dataset(), Backend::Remote { workers: 2 });
+    let mismatch = SpqService::build(executor(), dataset(), Backend::Remote { workers: 3 });
+    std::env::remove_var("SPQ_REMOTE_WORKERS");
+
+    let service = service.unwrap();
+    assert_eq!(service.backend(), Backend::Remote { workers: 2 });
+    let local = QueryEngine::new(executor(), dataset());
+    let req = request(3, 1.8, &[0, 4]);
+    assert_eq!(
+        service.execute(&req).unwrap().results,
+        local.execute(&req).unwrap().results
+    );
+
+    let err = mismatch.unwrap_err();
+    assert!(
+        matches!(err, SpqError::InvalidConfig { .. }),
+        "want InvalidConfig, got {err:?}"
+    );
+    assert!(err.to_string().contains("SPQ_REMOTE_WORKERS"));
+}
