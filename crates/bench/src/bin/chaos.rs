@@ -1,0 +1,377 @@
+//! `chaos` — kill-and-recover harness for the remote backend.
+//!
+//! Spawns real `spq-worker` processes, connects a [`RemoteEngine`] over
+//! them, then runs an aggressive fault schedule: each round SIGKILLs one
+//! worker mid-stream, asserts every query stays byte-identical to the
+//! local single-store engine, restarts the worker on its old address and
+//! measures how long the tick-driven membership layer takes to re-admit
+//! it. The report (`BENCH_PR7.json` in CI) records per-round recovery
+//! wall-clock, ticks to re-admission, and the warm-vs-cold failover
+//! split — warm failovers must dominate, because every shard is
+//! replicated and a single death should never force a payload re-ship.
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos [--workers N] [--rounds N] [--queries N] [--scale F]
+//!       [--out PATH] [--worker-bin PATH]
+//! ```
+//!
+//! `--worker-bin` defaults to the `spq-worker` binary next to this
+//! executable (both live in `target/release` after a workspace build).
+
+use spq_bench::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
+use spq_core::{MembershipConfig, QueryEngine, QueryRequest, RemoteEngine, SpqExecutor, SpqQuery};
+use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
+use spq_spatial::Rect;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Config {
+    workers: usize,
+    rounds: usize,
+    queries: usize,
+    scale: f64,
+    out: PathBuf,
+    worker_bin: PathBuf,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            workers: 3,
+            rounds: 3,
+            queries: 16,
+            scale: 0.005,
+            out: PathBuf::from("BENCH_PR7.json"),
+            worker_bin: default_worker_bin(),
+        }
+    }
+}
+
+/// The `spq-worker` binary sitting next to this executable.
+fn default_worker_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.join("spq-worker")))
+        .unwrap_or_else(|| PathBuf::from("spq-worker"))
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let mut args = std::env::args().skip(1);
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => cfg.workers = parse(&value(&mut args, "--workers"), "--workers"),
+            "--rounds" => cfg.rounds = parse(&value(&mut args, "--rounds"), "--rounds"),
+            "--queries" => cfg.queries = parse(&value(&mut args, "--queries"), "--queries"),
+            "--scale" => cfg.scale = parse(&value(&mut args, "--scale"), "--scale"),
+            "--out" => cfg.out = PathBuf::from(value(&mut args, "--out")),
+            "--worker-bin" => cfg.worker_bin = PathBuf::from(value(&mut args, "--worker-bin")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos [--workers N] [--rounds N] [--queries N] [--scale F] \
+                     [--out PATH] [--worker-bin PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if cfg.workers < 2 {
+        die("--workers must be at least 2 (a lone worker has nowhere to fail over)");
+    }
+    cfg
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse {flag} value {s:?}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("chaos: {message}");
+    std::process::exit(2)
+}
+
+/// A spawned `spq-worker` child, killed on drop so an aborting run never
+/// leaks worker processes.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    fn spawn(bin: &PathBuf, listen: &str) -> Result<Self, String> {
+        let mut child = Command::new(bin)
+            .args(["--listen", listen])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read worker banner: {e}"))?;
+        match line.trim().strip_prefix("spq-worker listening on ") {
+            Some(addr) => Ok(Self {
+                child,
+                addr: addr.to_owned(),
+            }),
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(format!("unexpected worker banner: {line:?}"))
+            }
+        }
+    }
+
+    /// Restarts a worker on a fixed address, retrying briefly in case the
+    /// OS has not released the killed predecessor's port yet.
+    fn respawn(bin: &PathBuf, listen: &str) -> Self {
+        let mut last = String::new();
+        for _ in 0..50 {
+            match Self::spawn(bin, listen) {
+                Ok(worker) => return worker,
+                Err(e) => last = e,
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        die(&format!("cannot respawn spq-worker on {listen}: {last}"))
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+struct RoundReport {
+    victim: usize,
+    queries: usize,
+    retries: u64,
+    warm_failovers: u64,
+    cold_reprovisions: u64,
+    provisions_during_outage: u64,
+    recovery_ms: f64,
+    ticks_to_readmit: u64,
+}
+
+fn main() {
+    let cfg = parse_args();
+    let size = scaled(DEFAULT_SIZE_UN, cfg.scale);
+    eprintln!(
+        "[chaos] {} workers, {} rounds x {} queries over {size} objects",
+        cfg.workers, cfg.rounds, cfg.queries
+    );
+
+    let dataset = UniformGen.generate(size, 2017);
+    let vocab_size = dataset.vocab_size.max(1);
+    let (shared, _) = dataset.to_shared_splits(8);
+    let bounds = Rect::unit();
+    let cell = bounds.width().max(bounds.height()) / DEFAULT_GRID_SYNTH as f64;
+    let defaults = StreamConfig::default();
+    let queries: Vec<SpqQuery> = QueryStream::new(
+        vocab_size,
+        StreamConfig {
+            radius_classes: [5.0, 10.0, 25.0]
+                .iter()
+                .map(|pct| cell * pct / 100.0)
+                .collect(),
+            seed: 2017 ^ 13,
+            keywords_per_query: defaults.keywords_per_query.min(vocab_size),
+            ..defaults
+        },
+    )
+    .batch(cfg.queries);
+
+    let executor = SpqExecutor::new(bounds).grid_size(DEFAULT_GRID_SYNTH);
+    let local = QueryEngine::new(executor.clone(), shared.clone());
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let req = QueryRequest::new(q.clone());
+            local.execute(&req).expect("local reference").results
+        })
+        .collect();
+
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .map(|_| {
+            Worker::spawn(&cfg.worker_bin, "127.0.0.1:0")
+                .unwrap_or_else(|e| die(&format!("cannot start workers: {e}")))
+        })
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let membership = MembershipConfig::default();
+    let build_start = Instant::now();
+    let remote = RemoteEngine::connect_with(executor, shared, &addrs, membership)
+        .unwrap_or_else(|e| die(&format!("cannot build remote engine: {e}")));
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[chaos] provisioned {} shards x replication {} in {build_ms:.1}ms ({} provisions)",
+        remote.num_shards(),
+        membership.replication_factor,
+        remote.provisions_sent()
+    );
+
+    let mut rounds: Vec<RoundReport> = Vec::with_capacity(cfg.rounds);
+    for round in 0..cfg.rounds {
+        let victim = round % cfg.workers;
+        eprintln!(
+            "[chaos] round {round}: SIGKILL worker {victim} ({})",
+            addrs[victim]
+        );
+        workers[victim].kill();
+
+        let retries0 = remote.retries();
+        let warm0 = remote.warm_failovers();
+        let cold0 = remote.cold_reprovisions();
+        let prov0 = remote.provisions_sent();
+
+        // The full stream against a cluster missing one worker: every
+        // answer must still match the local engine byte for byte.
+        for (q, expect) in queries.iter().zip(&reference) {
+            let got = remote
+                .execute(&QueryRequest::new(q.clone()))
+                .unwrap_or_else(|e| die(&format!("query failed during outage: {e}")));
+            if &got.results != expect {
+                die(&format!(
+                    "round {round}: results diverged from local engine after killing worker {victim}"
+                ));
+            }
+        }
+
+        // Restart the worker on its old address and tick the membership
+        // layer until it is re-admitted and the layout is quiescent.
+        let readmissions0 = remote.readmissions();
+        let recover_start = Instant::now();
+        workers[victim] = Worker::respawn(&cfg.worker_bin, &addrs[victim]);
+        let mut ticks = 0u64;
+        loop {
+            ticks += 1;
+            let report = remote.tick();
+            if report.quiescent() && remote.readmissions() > readmissions0 {
+                break;
+            }
+            if ticks > 600 {
+                die(&format!(
+                    "round {round}: worker {victim} not re-admitted after {ticks} ticks"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let recovery_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+        remote
+            .check_replication()
+            .unwrap_or_else(|e| die(&format!("replication invariant broken: {e}")));
+
+        // The recovered cluster must answer the stream with zero retries.
+        for (q, expect) in queries.iter().zip(&reference) {
+            let got = remote
+                .execute(&QueryRequest::new(q.clone()))
+                .unwrap_or_else(|e| die(&format!("query failed after recovery: {e}")));
+            if &got.results != expect {
+                die(&format!("round {round}: post-recovery divergence"));
+            }
+            if got.stats.retries != 0 {
+                die(&format!(
+                    "round {round}: post-recovery query still retried {}x",
+                    got.stats.retries
+                ));
+            }
+        }
+
+        let report = RoundReport {
+            victim,
+            queries: cfg.queries,
+            retries: remote.retries() - retries0,
+            warm_failovers: remote.warm_failovers() - warm0,
+            cold_reprovisions: remote.cold_reprovisions() - cold0,
+            provisions_during_outage: remote.provisions_sent() - prov0,
+            recovery_ms,
+            ticks_to_readmit: ticks,
+        };
+        eprintln!(
+            "[chaos] round {round}: identical under fault; warm {} / cold {}, \
+             re-admitted in {recovery_ms:.1}ms ({ticks} ticks)",
+            report.warm_failovers, report.cold_reprovisions
+        );
+        rounds.push(report);
+    }
+
+    let warm_total: u64 = rounds.iter().map(|r| r.warm_failovers).sum();
+    let cold_total: u64 = rounds.iter().map(|r| r.cold_reprovisions).sum();
+    if warm_total == 0 {
+        die("no warm failover observed across any round — replication is not warm");
+    }
+
+    let json = to_json(&cfg, size, build_ms, &rounds, &remote);
+    std::fs::write(&cfg.out, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", cfg.out.display())));
+    eprintln!(
+        "[chaos] OK: {} rounds, warm {warm_total} / cold {cold_total}, report in {}",
+        rounds.len(),
+        cfg.out.display()
+    );
+}
+
+fn to_json(
+    cfg: &Config,
+    objects: usize,
+    build_ms: f64,
+    rounds: &[RoundReport],
+    remote: &RemoteEngine,
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"spq-bench chaos\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{ \"workers\": {}, \"rounds\": {}, \"queries\": {}, \"objects\": {}, \"replication_factor\": {} }},\n",
+        cfg.workers,
+        cfg.rounds,
+        cfg.queries,
+        objects,
+        remote.membership_config().replication_factor
+    ));
+    // Reaching the report means every query under fault and after
+    // recovery matched the local single-store engine byte for byte.
+    out.push_str("  \"identical_to_local\": true,\n");
+    out.push_str(&format!("  \"build_ms\": {build_ms:.3},\n"));
+    out.push_str(&format!(
+        "  \"totals\": {{ \"retries\": {}, \"warm_failovers\": {}, \"cold_reprovisions\": {}, \"readmissions\": {}, \"health_probes\": {}, \"rebalance_moves\": {}, \"provisions_sent\": {} }},\n",
+        remote.retries(),
+        remote.warm_failovers(),
+        remote.cold_reprovisions(),
+        remote.readmissions(),
+        remote.health_probes(),
+        remote.rebalance_moves(),
+        remote.provisions_sent()
+    ));
+    out.push_str("  \"rounds\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"victim\": {}, \"queries\": {}, \"retries\": {}, \"warm_failovers\": {}, \"cold_reprovisions\": {}, \"provisions_during_outage\": {}, \"recovery_ms\": {:.3}, \"ticks_to_readmit\": {} }}{}\n",
+            r.victim,
+            r.queries,
+            r.retries,
+            r.warm_failovers,
+            r.cold_reprovisions,
+            r.provisions_during_outage,
+            r.recovery_ms,
+            r.ticks_to_readmit,
+            if i + 1 < rounds.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -216,7 +216,14 @@ struct EngineMetrics {
 
 /// A point-in-time snapshot of an engine's cumulative counters — the
 /// observability surface behind the ROADMAP's "engine observability"
-/// item. Counters only ever grow; diff two snapshots for a rate.
+/// item. Counters only ever grow — except
+/// [`excluded_workers`](MetricsSnapshot::excluded_workers), which is a
+/// gauge that falls back to zero as workers are re-admitted; diff the
+/// others across two snapshots for a rate.
+///
+/// The remote fields are zero for the in-process backends; the remote
+/// backend fills them from its membership layer (see
+/// [`crate::remote::RemoteEngine::metrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Queries executed through any entry point.
@@ -229,6 +236,19 @@ pub struct MetricsSnapshot {
     pub keyword_probes: u64,
     /// Probed keywords that hit a non-empty posting list.
     pub keyword_hits: u64,
+    /// Shard re-dispatches after remote worker failures.
+    pub remote_retries: u64,
+    /// Remote workers currently out of rotation (a gauge, not a
+    /// counter).
+    pub excluded_workers: u64,
+    /// Remote failovers served by flipping the shard's placement pointer
+    /// to a warm replica (no provision round-trip).
+    pub warm_failovers: u64,
+    /// Remote failovers that re-shipped the shard's provision payload to
+    /// a survivor.
+    pub cold_reprovisions: u64,
+    /// Remote workers re-admitted after probe hysteresis.
+    pub readmissions: u64,
 }
 
 impl MetricsSnapshot {
@@ -241,6 +261,11 @@ impl MetricsSnapshot {
             plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
             keyword_probes: self.keyword_probes + other.keyword_probes,
             keyword_hits: self.keyword_hits + other.keyword_hits,
+            remote_retries: self.remote_retries + other.remote_retries,
+            excluded_workers: self.excluded_workers + other.excluded_workers,
+            warm_failovers: self.warm_failovers + other.warm_failovers,
+            cold_reprovisions: self.cold_reprovisions + other.cold_reprovisions,
+            readmissions: self.readmissions + other.readmissions,
         }
     }
 }
@@ -649,6 +674,8 @@ impl QueryEngine {
             keyword_terms_probed: keywords.0,
             keyword_terms_matched: keywords.1,
             retries: 0,
+            warm_failovers: 0,
+            cold_reprovisions: 0,
         };
         QueryResponse {
             results: result.top_k,
@@ -733,6 +760,7 @@ impl QueryEngine {
             plan_cache_misses: self.metrics.plan_cache_misses.load(Ordering::Relaxed),
             keyword_probes: self.metrics.keyword_probes.load(Ordering::Relaxed),
             keyword_hits: self.metrics.keyword_hits.load(Ordering::Relaxed),
+            ..MetricsSnapshot::default()
         }
     }
 }

@@ -68,7 +68,10 @@ pub use executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor, SpqResult};
 pub use model::{DataObject, FeatureObject, ObjectId, RankedObject, SpqObject};
 pub use partitioning::CellRouting;
 pub use query::SpqQuery;
-pub use remote::{RemoteEngine, ShardHost, SPQ_REMOTE_WORKERS};
+pub use remote::{
+    MembershipConfig, MembershipView, RemoteEngine, ShardHost, TickReport, WorkerState,
+    SPQ_REMOTE_WORKERS, SPQ_REPLICATION_FACTOR,
+};
 pub use service::{Backend, QueryOptions, QueryRequest, QueryResponse, QueryStats, SpqService};
 pub use sharded::{ShardStats, ShardedEngine};
 pub use store::{ObjectRef, SharedDataset};

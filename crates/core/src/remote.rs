@@ -1,15 +1,15 @@
 //! Remote serving: the sharded layout placed on worker **processes**
-//! behind TCP, with fault recovery.
+//! behind TCP, with fault recovery and dynamic membership.
 //!
 //! [`crate::sharded`] proves the scatter/gather shape inside one process;
 //! this module moves each shard behind a socket. A [`RemoteEngine`] slices
 //! the data objects exactly like [`crate::sharded::ShardedEngine`] — same
 //! contiguous chunks, features broadcast to every shard — but instead of
-//! building shard engines in-process it **provisions** each shard onto a
-//! worker over the [`spq_mapreduce::remote`] frame protocol. Workers are
-//! either spawned in-process (the default — real sockets, no extra
-//! processes) or external `spq-worker` binaries named by
-//! [`SPQ_REMOTE_WORKERS`].
+//! building shard engines in-process it **provisions** each shard onto
+//! [`MembershipConfig::replication_factor`] workers over the
+//! [`spq_mapreduce::remote`] frame protocol. Workers are either spawned
+//! in-process (the default — real sockets, no extra processes) or
+//! external `spq-worker` binaries named by [`SPQ_REMOTE_WORKERS`].
 //!
 //! A query then scatters [`OP_SHARD_QUERY`] frames to the workers holding
 //! relevant shards and gathers [`OP_SHARD_RESULT`] frames carrying the
@@ -17,31 +17,59 @@
 //! top-k is **byte-identical** to every other backend
 //! (`tests/backend_equivalence.rs` proptests it across worker counts).
 //!
-//! ## Fault handling
+//! ## Membership
 //!
-//! Workers die. The manager's per-shard retry state machine is:
+//! Workers die, restart and join. Each worker moves through a managed
+//! state machine (see `docs/ARCHITECTURE.md`, "Membership and
+//! replication"):
 //!
-//! 1. ask the worker the shard is placed on; on a transport failure
-//!    (connect refused, deadline missed, torn or corrupt frame) retry the
-//!    **same worker once** — the client reconnects under exponential
-//!    backoff, which rides out a worker restart;
-//! 2. if the worker fails again it goes on the engine-wide **exclusion
-//!    list**; the shard's provision payload (kept from build time) is
-//!    re-provisioned onto the next surviving worker and the query is
-//!    re-asked there;
-//! 3. when every worker is excluded, the query fails with
-//!    [`SpqError::WorkerLost`].
+//! ```text
+//!            transport failure        second failure
+//!   Live ──────────────────► Suspect ───────────────► Excluded
+//!    ▲  ◄──────────────────┘                             │
+//!    │        success                  probe success     ▼
+//!    └───────────────── Probing ◄──────────────────── (ticks)
+//!      streak reaches                probe failure resets
+//!      readmit_threshold             the streak to zero
+//! ```
 //!
-//! Every re-ask increments [`QueryStats::retries`]; recovery never changes
-//! result bytes, because any worker computes the same answer for the same
-//! shard (`tests/remote_faults.rs` proptests this under injected
-//! [`FaultPlan`]s). A typed error *reported by* a worker ([`OP_ERROR`],
-//! e.g. a panic inside the algorithm) is **not** retried: it is
-//! deterministic and would fail identically everywhere, so it surfaces
-//! directly as [`SpqError::Remote`], matching the local backends'
-//! error-path behaviour.
+//! * **Queries** drive `Live → Suspect → Excluded`: one transport failure
+//!   (connect refused, deadline missed, torn or corrupt frame) marks a
+//!   worker suspect and retries it once — the client reconnects under
+//!   exponential backoff, which rides out a blip; a second failure
+//!   excludes it and the shard **fails over**. With a warm replica alive
+//!   the failover is a placement-pointer flip (no data crosses the wire);
+//!   otherwise the kept provision payload is re-provisioned onto a
+//!   survivor (a *cold* re-provision). Both are visible per query in
+//!   [`QueryStats::warm_failovers`] / [`QueryStats::cold_reprovisions`].
+//! * **Ticks** drive the way back: [`RemoteEngine::tick`] probes every
+//!   excluded worker with a ping frame and, after
+//!   [`MembershipConfig::readmit_threshold`] *consecutive* successes
+//!   (hysteresis — a flapping worker cannot thrash the placement),
+//!   re-admits it: the worker reports which shards it still hosts
+//!   ([`OP_SHARD_STATUS`]), warm copies re-enter the replica map for
+//!   free, and the **rebalancer** migrates shards to restore the
+//!   canonical layout under a [`MembershipConfig::max_moves_per_tick`]
+//!   budget, so serving never stalls behind a bulk migration. The tick is
+//!   deterministic — nothing probes or migrates unless the owner calls
+//!   [`tick`](RemoteEngine::tick) — which is what makes every recovery
+//!   path a unit-testable subject (`tests/remote_membership.rs`).
+//! * **Joins** go through [`RemoteEngine::admit`]: a new address is
+//!   pinged, enters as `Live` with no shards, and the rebalancer migrates
+//!   load onto it over the following ticks.
+//!
+//! When every worker is excluded, a query fails with
+//! [`SpqError::WorkerLost`]. Every re-ask increments
+//! [`QueryStats::retries`]; recovery never changes result bytes, because
+//! any worker computes the same answer for the same shard
+//! (`tests/remote_faults.rs` and `tests/remote_membership.rs` proptest
+//! this under injected [`FaultPlan`]s). A typed error *reported by* a
+//! worker ([`OP_ERROR`], e.g. a panic inside the algorithm) is **not**
+//! retried: it is deterministic and would fail identically everywhere, so
+//! it surfaces directly as [`SpqError::Remote`], matching the local
+//! backends' error-path behaviour.
 
-use crate::engine::QueryEngine;
+use crate::engine::{MetricsSnapshot, QueryEngine};
 use crate::executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor};
 use crate::merge::merge_top_k;
 use crate::model::{DataObject, FeatureObject, ObjectId};
@@ -58,12 +86,13 @@ use spq_mapreduce::remote::codec::{
 use spq_mapreduce::remote::{
     decode_error_payload, ByteReader, ClientConfig, CodecError, FaultPlan, FrameHandler,
     WorkerClient, WorkerServer, OP_ERROR, OP_FAULT_OK, OP_PROVISION, OP_PROVISION_OK, OP_SET_FAULT,
-    OP_SHARD_QUERY, OP_SHARD_RESULT,
+    OP_SHARD_QUERY, OP_SHARD_RESULT, OP_SHARD_STATUS, OP_SHARD_STATUS_OK,
 };
 use spq_mapreduce::{ClusterConfig, JobStats};
 use spq_text::{KeywordSet, SetSimilarity};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Environment variable naming external worker processes for
@@ -79,6 +108,13 @@ use std::time::Instant;
 /// shards across processes, `SPQ_WORKERS` sizes the scatter width and
 /// per-job parallelism within one.
 pub const SPQ_REMOTE_WORKERS: &str = "SPQ_REMOTE_WORKERS";
+
+/// Environment variable overriding
+/// [`MembershipConfig::replication_factor`] for engines built through
+/// [`crate::service::SpqService::build`] / [`RemoteEngine::build`]:
+/// `SPQ_REPLICATION_FACTOR=3` keeps every shard warm on three workers.
+/// Must parse as a decimal integer ≥ 1.
+pub const SPQ_REPLICATION_FACTOR: &str = "SPQ_REPLICATION_FACTOR";
 
 /// Parses a [`SPQ_REMOTE_WORKERS`]-style list into validated
 /// `host:port` addresses.
@@ -424,6 +460,30 @@ pub(crate) fn decode_shard_result(payload: &[u8]) -> Result<(bool, Vec<u8>, JobS
     Ok((plan_hit, records, stats))
 }
 
+/// Encodes an [`OP_SHARD_STATUS_OK`] payload: the hosted shard ids,
+/// ascending.
+pub(crate) fn encode_shard_status(shards: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + shards.len() * 4);
+    put_u32(&mut out, shards.len() as u32);
+    for &s in shards {
+        put_u32(&mut out, s);
+    }
+    out
+}
+
+pub(crate) fn decode_shard_status(payload: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut shards = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        shards.push(r.u32()?);
+    }
+    if !r.is_empty() {
+        return Err(CodecError::invalid("trailing bytes after shard status"));
+    }
+    Ok(shards)
+}
+
 // ---------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------
@@ -434,10 +494,12 @@ struct HostedShard {
 }
 
 /// The worker-side shard host: a [`FrameHandler`] answering
-/// [`OP_PROVISION`] (build a shard engine from a shipped dataset slice)
-/// and [`OP_SHARD_QUERY`] (evaluate a query against a hosted shard and
-/// reply with gather records). This is what the `spq-worker` binary and
-/// the in-process workers of [`RemoteEngine::self_hosted`] serve.
+/// [`OP_PROVISION`] (build a shard engine from a shipped dataset slice),
+/// [`OP_SHARD_QUERY`] (evaluate a query against a hosted shard and reply
+/// with gather records) and [`OP_SHARD_STATUS`] (report which shards are
+/// hosted, so a re-admitting manager knows which copies are still warm).
+/// This is what the `spq-worker` binary and the in-process workers of
+/// [`RemoteEngine::self_hosted`] serve.
 #[derive(Default)]
 pub struct ShardHost {
     shards: Mutex<HashMap<u32, HostedShard>>,
@@ -478,6 +540,12 @@ impl ShardHost {
         Ok(encode_shard_result(plan_hit, &records, &result.stats))
     }
 
+    fn status(&self) -> Vec<u8> {
+        let mut hosted: Vec<u32> = self.shards.lock().keys().copied().collect();
+        hosted.sort_unstable();
+        encode_shard_status(&hosted)
+    }
+
     /// Number of shards currently hosted (for tests and diagnostics).
     pub fn hosted_shards(&self) -> usize {
         self.shards.lock().len()
@@ -497,26 +565,204 @@ impl FrameHandler for ShardHost {
         match opcode {
             OP_PROVISION => Ok(Some((OP_PROVISION_OK, self.provision(payload)?))),
             OP_SHARD_QUERY => Ok(Some((OP_SHARD_RESULT, self.query(payload)?))),
+            OP_SHARD_STATUS => Ok(Some((OP_SHARD_STATUS_OK, self.status()))),
             _ => Ok(None),
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Manager side
+// Manager side: membership
 // ---------------------------------------------------------------------
 
+/// Where one worker stands in the membership state machine (see the
+/// [module docs](self) for the transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// In rotation: serves the shards placed on it.
+    Live,
+    /// One transport failure seen; retried once before exclusion.
+    Suspect,
+    /// Out of rotation; the probe scheduler pings it every tick.
+    Excluded,
+    /// Excluded, but with a streak of successful probes building toward
+    /// re-admission.
+    Probing,
+}
+
+impl WorkerState {
+    /// True when the worker may be asked to serve (live or suspect).
+    pub fn is_available(self) -> bool {
+        matches!(self, WorkerState::Live | WorkerState::Suspect)
+    }
+}
+
+/// Tuning knobs for the membership layer. All defaults are safe for
+/// production; tests tighten them for speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// How many workers hold a warm copy of each shard (capped by the
+    /// number of available workers). With ≥ 2, a worker death fails over
+    /// by flipping the placement pointer instead of re-shipping the
+    /// shard's dataset.
+    pub replication_factor: usize,
+    /// Probe excluded workers on every `n`-th [`RemoteEngine::tick`].
+    pub probe_interval_ticks: u64,
+    /// Consecutive successful probes an excluded worker needs before
+    /// re-admission — the hysteresis that keeps a flapping worker from
+    /// thrashing the placement.
+    pub readmit_threshold: u32,
+    /// Upper bound on provision round-trips the rebalancer performs per
+    /// tick, so a bulk migration never stalls serving.
+    pub max_moves_per_tick: usize,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        Self {
+            replication_factor: 2,
+            probe_interval_ticks: 1,
+            readmit_threshold: 2,
+            max_moves_per_tick: 2,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Applies the [`SPQ_REPLICATION_FACTOR`] environment override.
+    fn from_env() -> Result<Self, SpqError> {
+        let mut config = Self::default();
+        if let Ok(raw) = std::env::var(SPQ_REPLICATION_FACTOR) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                config.replication_factor = match trimmed.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(SpqError::invalid_config(format!(
+                            "{SPQ_REPLICATION_FACTOR}: bad replication factor {raw:?} (want an \
+                             integer >= 1)"
+                        )))
+                    }
+                };
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// The placement and state book-keeping behind one mutex: worker states,
+/// probe streaks, the per-shard primary pointer and the warm-replica map.
+#[derive(Debug)]
+struct Membership {
+    states: Vec<WorkerState>,
+    probe_streak: Vec<u32>,
+    /// Which worker answers each shard's queries.
+    primary: Vec<usize>,
+    /// Workers believed to hold a warm, current copy of each shard
+    /// (provision payloads are immutable, so any installed copy stays
+    /// valid). Sorted, and pruned of a worker the moment it is excluded.
+    replicas: Vec<Vec<usize>>,
+    /// Ticks elapsed (drives the probe interval).
+    ticks: u64,
+}
+
+impl Membership {
+    fn available(&self, w: usize) -> bool {
+        self.states[w].is_available()
+    }
+
+    fn available_workers(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&w| self.available(w))
+            .collect()
+    }
+
+    /// The canonical layout: shard `s` belongs on the available workers
+    /// `avail[(s + j) % avail.len()]` for `j in 0..r` — the PR 5
+    /// placement generalized to replicas and to a worker set that grows
+    /// and shrinks. `targets[0]` is the desired primary.
+    fn targets(&self, shard: usize, replication_factor: usize) -> Vec<usize> {
+        let avail = self.available_workers();
+        if avail.is_empty() {
+            return Vec::new();
+        }
+        let r = replication_factor.min(avail.len());
+        (0..r).map(|j| avail[(shard + j) % avail.len()]).collect()
+    }
+
+    fn add_replica(&mut self, shard: usize, w: usize) {
+        if let Err(at) = self.replicas[shard].binary_search(&w) {
+            self.replicas[shard].insert(at, w);
+        }
+    }
+
+    fn purge_worker(&mut self, w: usize) {
+        for set in &mut self.replicas {
+            set.retain(|&x| x != w);
+        }
+    }
+}
+
+/// A snapshot of the membership layer, for observability and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Per-worker state, worker order.
+    pub states: Vec<WorkerState>,
+    /// Per-shard primary worker.
+    pub primaries: Vec<usize>,
+    /// Per-shard warm-replica holders (sorted; includes the primary once
+    /// placement has settled).
+    pub replicas: Vec<Vec<usize>>,
+    /// Ticks the engine has seen.
+    pub ticks: u64,
+}
+
+/// What one [`RemoteEngine::tick`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Excluded workers probed this tick.
+    pub probes: usize,
+    /// Probes that came back healthy.
+    pub probe_successes: usize,
+    /// Workers re-admitted this tick (hysteresis satisfied).
+    pub readmitted: Vec<usize>,
+    /// Provision round-trips the rebalancer performed (≤ the budget).
+    pub provisions: usize,
+    /// Primary pointers flipped to restore the canonical layout.
+    pub primary_flips: usize,
+}
+
+impl TickReport {
+    /// True when the tick had nothing to do: no excluded workers to
+    /// probe and a placement already matching the canonical layout.
+    pub fn quiescent(&self) -> bool {
+        self.probes == 0
+            && self.probe_successes == 0
+            && self.readmitted.is_empty()
+            && self.provisions == 0
+            && self.primary_flips == 0
+    }
+}
+
 struct WorkerSlot {
+    addr: String,
     client: Mutex<WorkerClient>,
-    excluded: AtomicBool,
 }
 
 impl WorkerSlot {
     fn new(addr: String, config: ClientConfig) -> Self {
         Self {
-            client: Mutex::new(WorkerClient::new(addr, config)),
-            excluded: AtomicBool::new(false),
+            client: Mutex::new(WorkerClient::new(addr.clone(), config)),
+            addr,
         }
+    }
+}
+
+impl std::fmt::Debug for WorkerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSlot")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -530,9 +776,36 @@ enum AttemptError {
     Fatal(SpqError),
 }
 
+/// Cumulative membership/recovery counters (all monotone).
+#[derive(Debug, Default)]
+struct RemoteCounters {
+    queries: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    keyword_probes: AtomicU64,
+    keyword_hits: AtomicU64,
+    retries: AtomicU64,
+    warm_failovers: AtomicU64,
+    cold_reprovisions: AtomicU64,
+    readmissions: AtomicU64,
+    health_probes: AtomicU64,
+    rebalance_moves: AtomicU64,
+    provisions_sent: AtomicU64,
+}
+
+/// Per-shard recovery outcome of one scatter leg.
+#[derive(Default)]
+struct ShardRecovery {
+    retries: u64,
+    warm: u64,
+    cold: u64,
+}
+
 /// The engine behind [`crate::service::Backend::Remote`]: the sharded
 /// scatter/gather with every shard behind a TCP worker, plus the
-/// retry/failover state machine described in the [module docs](self).
+/// membership layer described in the [module docs](self) — retry and
+/// warm/cold failover on the query path, probe-driven re-admission and
+/// budgeted rebalancing on the [`tick`](Self::tick) path.
 ///
 /// Build with [`build`](Self::build) (environment-driven),
 /// [`self_hosted`](Self::self_hosted) (in-process workers) or
@@ -542,17 +815,18 @@ enum AttemptError {
 pub struct RemoteEngine {
     dataset: SharedDataset,
     exec: SpqExecutor,
-    workers: Vec<WorkerSlot>,
+    config: MembershipConfig,
+    client_config: ClientConfig,
+    workers: Mutex<Vec<Arc<WorkerSlot>>>,
     /// Per-shard provision payload, kept for failover re-provisioning.
     shard_payloads: Vec<Vec<u8>>,
-    /// Which worker currently hosts each shard.
-    placement: Mutex<Vec<usize>>,
+    membership: Mutex<Membership>,
     /// Whether each shard owns any data objects.
     shard_nonempty: Vec<bool>,
     /// Terms carried by at least one feature (the manager-side keyword
     /// probe — same semantics as the engines' build-once keyword index).
     term_index: HashSet<u32>,
-    retries: AtomicU64,
+    counters: RemoteCounters,
     scatter_workers: usize,
     /// In-process worker servers under [`self_hosted`](Self::self_hosted);
     /// empty when workers are external. Held so they serve for the
@@ -560,26 +834,18 @@ pub struct RemoteEngine {
     hosts: Vec<WorkerServer>,
 }
 
-impl std::fmt::Debug for WorkerSlot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let client = self.client.lock();
-        f.debug_struct("WorkerSlot")
-            .field("addr", &client.addr())
-            .field("excluded", &self.excluded.load(Ordering::Relaxed))
-            .finish()
-    }
-}
-
 impl RemoteEngine {
     /// Builds the engine the way [`crate::service::SpqService::build`]
     /// does for `remote:N`: external workers when [`SPQ_REMOTE_WORKERS`]
     /// is set (the list length must equal `workers`), in-process workers
-    /// otherwise.
+    /// otherwise. [`SPQ_REPLICATION_FACTOR`] overrides the default
+    /// replication factor either way.
     pub fn build(
         executor: SpqExecutor,
         dataset: SharedDataset,
         workers: usize,
     ) -> Result<Self, SpqError> {
+        let config = MembershipConfig::from_env()?;
         match std::env::var(SPQ_REMOTE_WORKERS) {
             Ok(list) if !list.trim().is_empty() => {
                 let addrs = parse_worker_addrs(&list)?;
@@ -590,19 +856,29 @@ impl RemoteEngine {
                         addrs.len()
                     )));
                 }
-                Self::connect(executor, dataset, &addrs)
+                Self::connect_with(executor, dataset, &addrs, config)
             }
-            _ => Self::self_hosted(executor, dataset, workers),
+            _ => Self::self_hosted_with(executor, dataset, workers, config),
         }
     }
 
-    /// Spawns `workers` in-process [`WorkerServer`]s (real localhost
-    /// sockets, ephemeral ports, non-fatal fault plans) and provisions the
-    /// shards onto them.
+    /// [`self_hosted`](Self::self_hosted) with default membership tuning.
     pub fn self_hosted(
         executor: SpqExecutor,
         dataset: SharedDataset,
         workers: usize,
+    ) -> Result<Self, SpqError> {
+        Self::self_hosted_with(executor, dataset, workers, MembershipConfig::default())
+    }
+
+    /// Spawns `workers` in-process [`WorkerServer`]s (real localhost
+    /// sockets, ephemeral ports, non-fatal fault plans) and provisions the
+    /// shards onto them under `config`.
+    pub fn self_hosted_with(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        workers: usize,
+        config: MembershipConfig,
     ) -> Result<Self, SpqError> {
         if workers == 0 {
             return Err(SpqError::invalid_config(
@@ -618,15 +894,34 @@ impl RemoteEngine {
             addrs.push(host.addr().to_string());
             hosts.push(host);
         }
-        Self::with_workers(executor, dataset, &addrs, hosts, ClientConfig::fast())
+        Self::with_workers(
+            executor,
+            dataset,
+            &addrs,
+            hosts,
+            ClientConfig::fast(),
+            config,
+        )
     }
 
-    /// Connects to external workers (e.g. `spq-worker` processes), one
-    /// shard per address, and provisions the shards onto them.
+    /// [`connect_with`](Self::connect_with) with default membership
+    /// tuning.
     pub fn connect(
         executor: SpqExecutor,
         dataset: SharedDataset,
         addrs: &[String],
+    ) -> Result<Self, SpqError> {
+        Self::connect_with(executor, dataset, addrs, MembershipConfig::default())
+    }
+
+    /// Connects to external workers (e.g. `spq-worker` processes), one
+    /// shard per address, and provisions the shards (plus replicas) onto
+    /// them under `config`.
+    pub fn connect_with(
+        executor: SpqExecutor,
+        dataset: SharedDataset,
+        addrs: &[String],
+        config: MembershipConfig,
     ) -> Result<Self, SpqError> {
         Self::with_workers(
             executor,
@@ -634,6 +929,7 @@ impl RemoteEngine {
             addrs,
             Vec::new(),
             ClientConfig::default(),
+            config,
         )
     }
 
@@ -642,11 +938,17 @@ impl RemoteEngine {
         dataset: SharedDataset,
         addrs: &[String],
         hosts: Vec<WorkerServer>,
-        config: ClientConfig,
+        client_config: ClientConfig,
+        config: MembershipConfig,
     ) -> Result<Self, SpqError> {
         if addrs.is_empty() {
             return Err(SpqError::invalid_config(
                 "remote backend needs at least one worker",
+            ));
+        }
+        if config.replication_factor == 0 {
+            return Err(SpqError::invalid_config(
+                "replication factor must be at least 1",
             ));
         }
         let data = dataset.data();
@@ -660,6 +962,7 @@ impl RemoteEngine {
             }
         }
         let num_shards = addrs.len();
+        let num_workers = addrs.len();
         let features = dataset.features();
         let mut shard_payloads = Vec::with_capacity(num_shards);
         let mut shard_nonempty = Vec::with_capacity(num_shards);
@@ -679,38 +982,57 @@ impl RemoteEngine {
             .iter()
             .flat_map(|f| f.keywords.iter().map(|t| t.0))
             .collect();
-        let workers: Vec<WorkerSlot> = addrs
+        let workers: Vec<Arc<WorkerSlot>> = addrs
             .iter()
-            .map(|a| WorkerSlot::new(a.clone(), config))
+            .map(|a| Arc::new(WorkerSlot::new(a.clone(), client_config)))
             .collect();
         let scatter_workers = executor.cluster_config().workers.max(1);
         let engine = Self {
             dataset,
             exec: executor,
-            workers,
+            config,
+            client_config,
+            workers: Mutex::new(workers),
             shard_payloads,
-            placement: Mutex::new((0..num_shards).collect()),
+            membership: Mutex::new(Membership {
+                states: vec![WorkerState::Live; num_workers],
+                probe_streak: vec![0; num_workers],
+                primary: (0..num_shards).map(|s| s % num_workers).collect(),
+                replicas: vec![Vec::new(); num_shards],
+                ticks: 0,
+            }),
             shard_nonempty,
             term_index,
-            retries: AtomicU64::new(0),
+            counters: RemoteCounters::default(),
             scatter_workers,
             hosts,
         };
-        // Initial placement: shard s on worker s. Build is strict — a
+        // Initial placement: shard s primary on worker s, warm replicas
+        // on the next replication_factor − 1 workers. Build is strict — a
         // worker that cannot be provisioned fails the build instead of
         // starting life on the exclusion list.
+        let replicas_per_shard = engine.config.replication_factor.min(num_workers);
         for s in 0..engine.shard_payloads.len() {
-            engine.provision_on(s, s).map_err(|e| match e {
-                AttemptError::Transport(message) => SpqError::WorkerLost { worker: s, message },
-                AttemptError::Fatal(e) => e,
-            })?;
+            for j in 0..replicas_per_shard {
+                let w = (s + j) % num_workers;
+                engine.install(s, w).map_err(|e| match e {
+                    AttemptError::Transport(message) => SpqError::WorkerLost { worker: w, message },
+                    AttemptError::Fatal(e) => e,
+                })?;
+            }
         }
         Ok(engine)
     }
 
-    /// Number of workers (= number of shards).
+    /// Number of registered workers (excluded ones included; initially
+    /// = number of shards, grows with [`admit`](Self::admit)).
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().len()
+    }
+
+    /// Number of shards (fixed at build time).
+    pub fn num_shards(&self) -> usize {
+        self.shard_payloads.len()
     }
 
     /// The global store the gather resolves against.
@@ -723,12 +1045,14 @@ impl RemoteEngine {
         &self.exec
     }
 
+    /// The membership tuning this engine runs under.
+    pub fn membership_config(&self) -> MembershipConfig {
+        self.config
+    }
+
     /// The worker addresses, in worker order.
     pub fn worker_addrs(&self) -> Vec<String> {
-        self.workers
-            .iter()
-            .map(|w| w.client.lock().addr().to_owned())
-            .collect()
+        self.workers.lock().iter().map(|w| w.addr.clone()).collect()
     }
 
     /// True when the workers are in-process servers spawned by
@@ -741,21 +1065,54 @@ impl RemoteEngine {
     /// Cumulative shard re-dispatches after worker failures, across all
     /// queries served so far.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.counters.retries.load(Ordering::Relaxed)
     }
 
-    /// Workers currently on the exclusion list.
+    /// Workers currently out of rotation (state `Excluded` or `Probing`).
     pub fn excluded_workers(&self) -> usize {
-        self.workers
-            .iter()
-            .filter(|w| w.excluded.load(Ordering::Relaxed))
-            .count()
+        let m = self.membership.lock();
+        (0..m.states.len()).filter(|&w| !m.available(w)).count()
+    }
+
+    /// Cumulative shard failovers served by flipping the placement
+    /// pointer to a warm replica (no provision round-trip).
+    pub fn warm_failovers(&self) -> u64 {
+        self.counters.warm_failovers.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative shard failovers that had to re-ship the provision
+    /// payload to a survivor.
+    pub fn cold_reprovisions(&self) -> u64 {
+        self.counters.cold_reprovisions.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative workers re-admitted after probe hysteresis.
+    pub fn readmissions(&self) -> u64 {
+        self.counters.readmissions.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative health probes sent by [`tick`](Self::tick).
+    pub fn health_probes(&self) -> u64 {
+        self.counters.health_probes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative provision round-trips the rebalancer performed.
+    pub fn rebalance_moves(&self) -> u64 {
+        self.counters.rebalance_moves.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative [`OP_PROVISION`] round-trips attempted (build,
+    /// query-path cold failover and rebalancing combined) — the counter
+    /// that proves a warm failover shipped no data.
+    pub fn provisions_sent(&self) -> u64 {
+        self.counters.provisions_sent.load(Ordering::Relaxed)
     }
 
     /// Total frame bytes exchanged with workers (both directions, headers
-    /// included), across provisioning and queries.
+    /// included), across provisioning, probes and queries.
     pub fn traffic_bytes(&self) -> u64 {
-        self.workers
+        let slots: Vec<Arc<WorkerSlot>> = self.workers.lock().clone();
+        slots
             .iter()
             .map(|w| {
                 let c = w.client.lock();
@@ -764,13 +1121,75 @@ impl RemoteEngine {
             .sum()
     }
 
+    /// A point-in-time view of the membership layer: worker states,
+    /// per-shard primaries and warm-replica holders.
+    pub fn membership(&self) -> MembershipView {
+        let m = self.membership.lock();
+        MembershipView {
+            states: m.states.clone(),
+            primaries: m.primary.clone(),
+            replicas: m.replicas.clone(),
+            ticks: m.ticks,
+        }
+    }
+
+    /// Engine-level cumulative counters in the facade's
+    /// [`MetricsSnapshot`] shape, remote membership counters included.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            plan_cache_hits: self.counters.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
+            keyword_probes: self.counters.keyword_probes.load(Ordering::Relaxed),
+            keyword_hits: self.counters.keyword_hits.load(Ordering::Relaxed),
+            remote_retries: self.retries(),
+            excluded_workers: self.excluded_workers() as u64,
+            warm_failovers: self.warm_failovers(),
+            cold_reprovisions: self.cold_reprovisions(),
+            readmissions: self.readmissions(),
+        }
+    }
+
+    /// Checks the replica-placement invariant the membership layer
+    /// converges to: every shard tracked on at least
+    /// `min(replication_factor, available_workers)` available workers,
+    /// with an available primary that holds a warm copy. Holds whenever
+    /// the placement has settled (a [`tick`](Self::tick) reported
+    /// [`quiescent`](TickReport::quiescent)); transiently violated
+    /// mid-recovery, which is exactly what the rebalancer repairs.
+    pub fn check_replication(&self) -> Result<(), String> {
+        let m = self.membership.lock();
+        let avail = m.available_workers();
+        if avail.is_empty() {
+            return Err("no available workers".to_owned());
+        }
+        let want = self.config.replication_factor.min(avail.len());
+        for s in 0..m.primary.len() {
+            let holders = m.replicas[s].iter().filter(|&&w| m.available(w)).count();
+            if holders < want {
+                return Err(format!(
+                    "shard {s} warm on {holders} available workers, want >= {want}"
+                ));
+            }
+            let p = m.primary[s];
+            if !m.available(p) {
+                return Err(format!("shard {s} primary {p} is not available"));
+            }
+            if !m.replicas[s].contains(&p) {
+                return Err(format!("shard {s} primary {p} holds no warm copy"));
+            }
+        }
+        Ok(())
+    }
+
     /// Installs a [`FaultPlan`] on worker `worker` (the fault-injection
     /// seam `tests/remote_faults.rs` drives). The plan arms on the
     /// worker's *next* responses; installing resets its response counter.
     pub fn inject_fault(&self, worker: usize, plan: &FaultPlan) -> Result<(), SpqError> {
         let mut payload = Vec::new();
         plan.encode(&mut payload);
-        let mut client = self.workers[worker].client.lock();
+        let slot = self.slot(worker);
+        let mut client = slot.client.lock();
         match client.call(OP_SET_FAULT, &payload) {
             Ok((OP_FAULT_OK, _)) => Ok(()),
             Ok((op, _)) => Err(SpqError::remote(format!(
@@ -780,6 +1199,10 @@ impl RemoteEngine {
                 "cannot install fault on worker {worker}: {e}"
             ))),
         }
+    }
+
+    fn slot(&self, w: usize) -> Arc<WorkerSlot> {
+        Arc::clone(&self.workers.lock()[w])
     }
 
     /// One framed call to worker `w`, mapping the reply to the retry
@@ -792,7 +1215,8 @@ impl RemoteEngine {
         payload: &[u8],
         ok_opcode: u16,
     ) -> Result<Vec<u8>, AttemptError> {
-        let mut client = self.workers[w].client.lock();
+        let slot = self.slot(w);
+        let mut client = slot.client.lock();
         match client.call(opcode, payload) {
             Ok((op, resp)) if op == ok_opcode => Ok(resp),
             Ok((OP_ERROR, resp)) => Err(AttemptError::Fatal(SpqError::remote(format!(
@@ -806,82 +1230,375 @@ impl RemoteEngine {
         }
     }
 
-    fn provision_on(&self, shard: usize, w: usize) -> Result<(), AttemptError> {
+    /// Ships shard `shard`'s provision payload to worker `w` and records
+    /// the warm copy. Does **not** move the primary pointer — callers
+    /// decide that.
+    fn install(&self, shard: usize, w: usize) -> Result<(), AttemptError> {
+        self.counters
+            .provisions_sent
+            .fetch_add(1, Ordering::Relaxed);
         self.call_worker(
             w,
             OP_PROVISION,
             &self.shard_payloads[shard],
             OP_PROVISION_OK,
         )?;
-        self.placement.lock()[shard] = w;
+        let mut m = self.membership.lock();
+        // The worker may have been excluded by a concurrent query while
+        // the provision round-trip was in flight; recording the copy then
+        // would leave a replica entry that survives exclusion (entries
+        // are purged *at* exclusion) and could go stale across a restart.
+        if m.available(w) {
+            m.add_replica(shard, w);
+        }
         Ok(())
     }
 
-    fn exclude(&self, w: usize) {
-        self.workers[w].excluded.store(true, Ordering::Relaxed);
+    fn shard_status(&self, w: usize) -> Result<Vec<u32>, AttemptError> {
+        let resp = self.call_worker(w, OP_SHARD_STATUS, &[], OP_SHARD_STATUS_OK)?;
+        decode_shard_status(&resp)
+            .map_err(|e| AttemptError::Transport(format!("worker {w} sent bad shard status: {e}")))
     }
 
-    fn is_excluded(&self, w: usize) -> bool {
-        self.workers[w].excluded.load(Ordering::Relaxed)
+    /// Records a successful call: a suspect worker is vindicated.
+    fn note_success(&self, w: usize) {
+        let mut m = self.membership.lock();
+        if m.states[w] == WorkerState::Suspect {
+            m.states[w] = WorkerState::Live;
+        }
     }
 
-    /// The per-shard retry state machine (see the [module docs](self)).
-    /// Returns the decoded shard result plus how many re-asks it took.
+    /// Records a transport failure. Returns `true` when the worker is now
+    /// excluded (second strike, or it already was).
+    fn note_failure(&self, w: usize) -> bool {
+        let mut m = self.membership.lock();
+        match m.states[w] {
+            WorkerState::Live => {
+                m.states[w] = WorkerState::Suspect;
+                false
+            }
+            WorkerState::Suspect => {
+                m.states[w] = WorkerState::Excluded;
+                m.probe_streak[w] = 0;
+                m.purge_worker(w);
+                true
+            }
+            WorkerState::Excluded | WorkerState::Probing => true,
+        }
+    }
+
+    /// Excludes a worker outright (a failed failover provision gets no
+    /// suspect leniency: the shard needs a host *now*).
+    fn note_failure_hard(&self, w: usize) {
+        let mut m = self.membership.lock();
+        m.states[w] = WorkerState::Excluded;
+        m.probe_streak[w] = 0;
+        m.purge_worker(w);
+    }
+
+    /// The per-shard retry/failover state machine (see the
+    /// [module docs](self)). Returns the decoded shard result plus the
+    /// recovery work it took.
     fn query_shard(
         &self,
         shard: usize,
         payload: &[u8],
-    ) -> Result<(bool, Vec<u8>, JobStats, u64), SpqError> {
-        let mut retries = 0u64;
+    ) -> Result<(bool, Vec<u8>, JobStats, ShardRecovery), SpqError> {
+        let mut recovery = ShardRecovery::default();
         let mut last_failure: Option<(usize, String)> = None;
         loop {
-            let w = self.placement.lock()[shard];
-            if !self.is_excluded(w) {
-                let mut attempts_here = 0;
+            let primary = {
+                let m = self.membership.lock();
+                let w = m.primary[shard];
+                m.available(w).then_some(w)
+            };
+            if let Some(w) = primary {
                 loop {
                     match self.call_worker(w, OP_SHARD_QUERY, payload, OP_SHARD_RESULT) {
                         Ok(resp) => {
-                            self.retries.fetch_add(retries, Ordering::Relaxed);
+                            self.note_success(w);
+                            self.counters
+                                .retries
+                                .fetch_add(recovery.retries, Ordering::Relaxed);
                             let decoded = decode_shard_result(&resp).map_err(|e| {
                                 SpqError::remote(format!("worker {w} sent a bad shard result: {e}"))
                             })?;
-                            return Ok((decoded.0, decoded.1, decoded.2, retries));
+                            return Ok((decoded.0, decoded.1, decoded.2, recovery));
                         }
-                        Err(AttemptError::Fatal(e)) => return Err(e),
+                        Err(AttemptError::Fatal(e)) => {
+                            let message = e.to_string();
+                            if !message.contains("is not provisioned") {
+                                return Err(e);
+                            }
+                            // Placement healing: a *healthy* worker
+                            // reporting it does not host the shard means
+                            // the replica entry is stale (the process
+                            // restarted empty and was re-admitted before
+                            // the loss was observed). That is a placement
+                            // error, not a query error — drop the stale
+                            // entry and fail over; the cold path may ship
+                            // the payload straight back to this worker.
+                            self.membership.lock().replicas[shard].retain(|&x| x != w);
+                            last_failure = Some((w, message));
+                            break;
+                        }
                         Err(AttemptError::Transport(message)) => {
-                            attempts_here += 1;
-                            retries += 1;
-                            if attempts_here >= 2 {
-                                // Two straight transport failures: the
-                                // worker is dead to us.
-                                self.exclude(w);
-                                last_failure = Some((w, message));
+                            let excluded = self.note_failure(w);
+                            last_failure = Some((w, message));
+                            if excluded {
                                 break;
                             }
+                            // Suspect: one more try on the same worker —
+                            // the client reconnects under backoff, which
+                            // rides out a restart. `retries` counts
+                            // re-asks, so it bumps here (and on each
+                            // failover), not per failure.
+                            recovery.retries += 1;
                         }
                     }
                 }
             }
-            // Failover: re-provision the shard on the next survivor.
-            let survivor = (0..self.workers.len())
-                .map(|i| (w + 1 + i) % self.workers.len())
-                .find(|&i| !self.is_excluded(i));
-            let Some(next) = survivor else {
-                let (worker, message) =
-                    last_failure.unwrap_or((w, "every worker is on the exclusion list".to_owned()));
-                self.retries.fetch_add(retries, Ordering::Relaxed);
-                return Err(SpqError::WorkerLost { worker, message });
+            // Failover. Prefer a live warm replica (pointer flip, no data
+            // shipped); fall back to re-provisioning onto a survivor.
+            enum Failover {
+                Warm,
+                Cold(usize),
+            }
+            let plan = {
+                let mut m = self.membership.lock();
+                let from = m.primary[shard];
+                let warm = m.replicas[shard]
+                    .iter()
+                    .copied()
+                    .find(|&x| x != from && m.available(x));
+                match warm {
+                    Some(r) => {
+                        m.primary[shard] = r;
+                        Some(Failover::Warm)
+                    }
+                    None => {
+                        let n = m.states.len();
+                        (0..n)
+                            .map(|i| (from + 1 + i) % n)
+                            .find(|&x| m.available(x))
+                            .map(Failover::Cold)
+                    }
+                }
             };
-            retries += 1;
-            match self.provision_on(shard, next) {
-                Ok(()) => {}
-                Err(AttemptError::Fatal(e)) => return Err(e),
-                Err(AttemptError::Transport(message)) => {
-                    self.exclude(next);
-                    last_failure = Some((next, message));
+            match plan {
+                None => {
+                    let (worker, message) = last_failure
+                        .unwrap_or((0, "every worker is on the exclusion list".to_owned()));
+                    self.counters
+                        .retries
+                        .fetch_add(recovery.retries, Ordering::Relaxed);
+                    return Err(SpqError::WorkerLost { worker, message });
+                }
+                Some(Failover::Warm) => {
+                    recovery.retries += 1;
+                    recovery.warm += 1;
+                    self.counters.warm_failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(Failover::Cold(next)) => match self.install(shard, next) {
+                    Ok(()) => {
+                        recovery.retries += 1;
+                        recovery.cold += 1;
+                        self.counters
+                            .cold_reprovisions
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.membership.lock().primary[shard] = next;
+                    }
+                    Err(AttemptError::Fatal(e)) => return Err(e),
+                    Err(AttemptError::Transport(message)) => {
+                        self.note_failure_hard(next);
+                        last_failure = Some((next, message));
+                    }
+                },
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The tick path: probe, re-admit, rebalance
+    // -----------------------------------------------------------------
+
+    /// Advances the membership layer by one deterministic step: probe
+    /// excluded workers (every [`MembershipConfig::probe_interval_ticks`]
+    /// ticks), re-admit those whose probe streak satisfies the
+    /// hysteresis, and migrate up to
+    /// [`MembershipConfig::max_moves_per_tick`] shard copies toward the
+    /// canonical layout. Nothing in the engine probes or migrates outside
+    /// this call, so tests drive every recovery path without wall-clock
+    /// scheduling; production callers invoke it from whatever cadence
+    /// they like (e.g. once per serving batch, or a timer thread).
+    pub fn tick(&self) -> TickReport {
+        let mut report = TickReport::default();
+        let probe_now = {
+            let mut m = self.membership.lock();
+            m.ticks += 1;
+            self.config.probe_interval_ticks <= 1
+                || m.ticks.is_multiple_of(self.config.probe_interval_ticks)
+        };
+        if probe_now {
+            self.probe_excluded(&mut report);
+        }
+        self.rebalance(&mut report);
+        report
+    }
+
+    /// Pings every excluded worker once; a streak of
+    /// [`MembershipConfig::readmit_threshold`] successes re-admits it.
+    fn probe_excluded(&self, report: &mut TickReport) {
+        let targets: Vec<usize> = {
+            let m = self.membership.lock();
+            (0..m.states.len()).filter(|&w| !m.available(w)).collect()
+        };
+        for w in targets {
+            report.probes += 1;
+            self.counters.health_probes.fetch_add(1, Ordering::Relaxed);
+            let healthy = {
+                let slot = self.slot(w);
+                let mut client = slot.client.lock();
+                client.ping(b"spq-health-probe").is_ok()
+            };
+            if !healthy {
+                let mut m = self.membership.lock();
+                m.states[w] = WorkerState::Excluded;
+                m.probe_streak[w] = 0;
+                continue;
+            }
+            report.probe_successes += 1;
+            let ready = {
+                let mut m = self.membership.lock();
+                m.states[w] = WorkerState::Probing;
+                m.probe_streak[w] += 1;
+                m.probe_streak[w] >= self.config.readmit_threshold
+            };
+            if !ready {
+                continue;
+            }
+            // Hysteresis satisfied: ask the worker what it still hosts —
+            // a worker that only lost its network keeps every shard warm;
+            // a restarted process reports none and gets re-provisioned by
+            // the rebalancer.
+            match self.shard_status(w) {
+                Ok(hosted) => {
+                    let mut m = self.membership.lock();
+                    m.states[w] = WorkerState::Live;
+                    m.probe_streak[w] = 0;
+                    for s in hosted {
+                        if (s as usize) < m.replicas.len() {
+                            m.add_replica(s as usize, w);
+                        }
+                    }
+                    drop(m);
+                    report.readmitted.push(w);
+                    self.counters.readmissions.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // The status call failed right after a healthy ping:
+                    // still flapping. Reset the streak — that is the
+                    // hysteresis doing its job.
+                    let mut m = self.membership.lock();
+                    m.states[w] = WorkerState::Excluded;
+                    m.probe_streak[w] = 0;
                 }
             }
         }
+    }
+
+    /// Migrates shard copies toward the canonical layout, bounded by the
+    /// per-tick move budget, then restores primary pointers (pointer
+    /// flips are free and unbudgeted).
+    fn rebalance(&self, report: &mut TickReport) {
+        let planned: Vec<(usize, usize)> = {
+            let m = self.membership.lock();
+            let mut moves = Vec::new();
+            'shards: for s in 0..m.primary.len() {
+                for t in m.targets(s, self.config.replication_factor) {
+                    if !m.replicas[s].contains(&t) {
+                        moves.push((s, t));
+                        if moves.len() >= self.config.max_moves_per_tick {
+                            break 'shards;
+                        }
+                    }
+                }
+            }
+            moves
+        };
+        for (s, t) in planned {
+            match self.install(s, t) {
+                Ok(()) => {
+                    report.provisions += 1;
+                    self.counters
+                        .rebalance_moves
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(AttemptError::Transport(_)) => self.note_failure_hard(t),
+                // A typed refusal of a known-good payload is not a health
+                // signal; leave the worker in rotation and move on.
+                Err(AttemptError::Fatal(_)) => {}
+            }
+        }
+        let mut m = self.membership.lock();
+        for s in 0..m.primary.len() {
+            let targets = m.targets(s, self.config.replication_factor);
+            let Some(&want) = targets.first() else {
+                continue;
+            };
+            let current = m.primary[s];
+            let current_ok = m.available(current) && m.replicas[s].contains(&current);
+            if current != want && m.replicas[s].contains(&want) {
+                // Canonical primary is warm: restore the layout.
+                m.primary[s] = want;
+                report.primary_flips += 1;
+            } else if !current_ok {
+                // Canonical primary not warm yet; point at any warm
+                // available holder so queries stay on the fast path.
+                let fallback = m.replicas[s].iter().copied().find(|&x| m.available(x));
+                if let Some(r) = fallback {
+                    if r != current {
+                        m.primary[s] = r;
+                        report.primary_flips += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers a new worker address into the rotation. The worker is
+    /// pinged first (a join must start from a reachable process), enters
+    /// as `Live` with no shards, and the rebalancer migrates load onto it
+    /// over the following [`tick`](Self::tick)s — bounded by the move
+    /// budget, so a join never stalls serving. Returns the worker index.
+    pub fn admit(&self, addr: &str) -> Result<usize, SpqError> {
+        let parsed = parse_worker_addrs(addr)?;
+        let [addr] = parsed.as_slice() else {
+            return Err(SpqError::invalid_config(format!(
+                "admit takes exactly one worker address, got {addr:?}"
+            )));
+        };
+        if self.worker_addrs().iter().any(|a| a == addr) {
+            return Err(SpqError::invalid_config(format!(
+                "worker {addr} is already registered"
+            )));
+        }
+        let slot = Arc::new(WorkerSlot::new(addr.clone(), self.client_config));
+        {
+            let mut client = slot.client.lock();
+            client
+                .ping(b"spq-admit")
+                .map_err(|e| SpqError::remote(format!("cannot admit worker {addr}: {e}")))?;
+        }
+        let index = {
+            let mut workers = self.workers.lock();
+            workers.push(slot);
+            workers.len() - 1
+        };
+        let mut m = self.membership.lock();
+        m.states.push(WorkerState::Live);
+        m.probe_streak.push(0);
+        Ok(index)
     }
 
     /// Executes one typed request: probe, scatter over TCP, gather, merge.
@@ -906,6 +1623,7 @@ impl RemoteEngine {
         let query = &request.query;
         let options = &request.options;
         let algorithm = options.algorithm.unwrap_or(self.exec.algorithm_choice());
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
 
         // Probe the manager-side term index (features are broadcast, so
         // one set speaks for every shard): a query whose keywords no
@@ -916,6 +1634,12 @@ impl RemoteEngine {
             .iter()
             .filter(|t| self.term_index.contains(&t.0))
             .count();
+        self.counters
+            .keyword_probes
+            .fetch_add(probed as u64, Ordering::Relaxed);
+        self.counters
+            .keyword_hits
+            .fetch_add(matched as u64, Ordering::Relaxed);
         let relevant: Vec<usize> = if matched == 0 {
             Vec::new()
         } else {
@@ -936,6 +1660,8 @@ impl RemoteEngine {
                     keyword_terms_probed: probed,
                     keyword_terms_matched: matched,
                     retries: 0,
+                    warm_failovers: 0,
+                    cold_reprovisions: 0,
                 },
                 trace: options.trace.then(Vec::new),
             });
@@ -964,13 +1690,26 @@ impl RemoteEngine {
         let mut shuffle_records = 0u64;
         let mut shuffle_bytes = 0u64;
         let mut retries = 0u64;
+        let mut warm_failovers = 0u64;
+        let mut cold_reprovisions = 0u64;
         let mut trace = options.trace.then(Vec::new);
         for outcome in outcomes {
-            let (hit, records, stats, shard_retries) = outcome?;
+            let (hit, records, stats, recovery) = outcome?;
             plan_cache_hit &= hit;
+            if hit {
+                self.counters
+                    .plan_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters
+                    .plan_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             shuffle_records += (records.len() / wire::RECORD_BYTES) as u64;
             shuffle_bytes += records.len() as u64;
-            retries += shard_retries;
+            retries += recovery.retries;
+            warm_failovers += recovery.warm;
+            cold_reprovisions += recovery.cold;
             flat.extend(wire::decode_results(&records, self.dataset.data()));
             if let Some(t) = &mut trace {
                 t.push(stats);
@@ -990,6 +1729,8 @@ impl RemoteEngine {
                 keyword_terms_probed: probed,
                 keyword_terms_matched: matched,
                 retries,
+                warm_failovers,
+                cold_reprovisions,
             },
             trace,
         })
@@ -1120,6 +1861,21 @@ mod tests {
     }
 
     #[test]
+    fn shard_status_round_trips() {
+        for shards in [vec![], vec![0u32], vec![0, 3, 7, 42]] {
+            let bytes = encode_shard_status(&shards);
+            assert_eq!(decode_shard_status(&bytes).unwrap(), shards);
+        }
+        let good = encode_shard_status(&[1, 2, 3]);
+        for cut in 0..good.len() {
+            assert!(decode_shard_status(&good[..cut]).is_err(), "cut={cut}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_shard_status(&long).is_err());
+    }
+
+    #[test]
     fn matches_in_process_engines_for_every_worker_count() {
         let engine = QueryEngine::new(executor(), paper_dataset());
         for workers in [1, 2, 3, 5] {
@@ -1136,7 +1892,23 @@ mod tests {
             }
             assert_eq!(remote.retries(), 0);
             assert!(remote.traffic_bytes() > 0);
+            // Build leaves the canonical layout in place: every shard on
+            // min(replication_factor, workers) workers, primary = shard
+            // index, nothing for a tick to do.
+            remote.check_replication().unwrap();
+            assert!(remote.tick().quiescent());
         }
+    }
+
+    #[test]
+    fn build_installs_warm_replicas() {
+        let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), 3).unwrap();
+        let view = remote.membership();
+        assert_eq!(view.states, vec![WorkerState::Live; 3]);
+        assert_eq!(view.primaries, vec![0, 1, 2]);
+        assert_eq!(view.replicas, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        // 3 shards × replication factor 2.
+        assert_eq!(remote.provisions_sent(), 6);
     }
 
     #[test]
@@ -1152,9 +1924,10 @@ mod tests {
     }
 
     #[test]
-    fn killed_worker_recovers_on_survivor() {
+    fn killed_worker_fails_over_warm_without_reprovision() {
         let engine = QueryEngine::new(executor(), paper_dataset());
         let remote = RemoteEngine::self_hosted(executor(), paper_dataset(), 3).unwrap();
+        let provisions_after_build = remote.provisions_sent();
         let req = request(4, 1.5, &[0]);
         // Kill worker 0 on its next response; the first shard query it
         // receives takes it down mid-batch.
@@ -1170,13 +1943,53 @@ mod tests {
         let got = remote.execute(&req).unwrap();
         assert_eq!(got.results, engine.execute(&req).unwrap().results);
         assert!(got.stats.retries >= 1, "stats: {:?}", got.stats);
+        // Worker 1 held shard 0 warm: the failover was a pointer flip,
+        // not a provision round-trip.
+        assert!(got.stats.warm_failovers >= 1, "stats: {:?}", got.stats);
+        assert_eq!(got.stats.cold_reprovisions, 0);
+        assert_eq!(remote.provisions_sent(), provisions_after_build);
         assert!(remote.retries() >= 1);
         assert_eq!(remote.excluded_workers(), 1);
+        assert_eq!(remote.membership().primaries[0], 1);
         // Later queries keep working on the survivors, without new
         // retries for the already-moved shard.
         let again = remote.execute(&req).unwrap();
         assert_eq!(again.results, engine.execute(&req).unwrap().results);
         assert_eq!(again.stats.retries, 0);
+    }
+
+    #[test]
+    fn cold_reprovision_when_no_replica_survives() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let remote = RemoteEngine::self_hosted_with(
+            executor(),
+            paper_dataset(),
+            2,
+            MembershipConfig {
+                replication_factor: 1,
+                ..MembershipConfig::default()
+            },
+        )
+        .unwrap();
+        // Replication factor 1: each shard lives on exactly one worker,
+        // so losing it forces the payload back over the wire.
+        let provisions_after_build = remote.provisions_sent();
+        assert_eq!(provisions_after_build, 2);
+        remote
+            .inject_fault(
+                0,
+                &FaultPlan {
+                    kill_after_responses: Some(0),
+                    ..FaultPlan::none()
+                },
+            )
+            .unwrap();
+        let req = request(4, 1.5, &[0]);
+        let got = remote.execute(&req).unwrap();
+        assert_eq!(got.results, engine.execute(&req).unwrap().results);
+        assert!(got.stats.cold_reprovisions >= 1, "stats: {:?}", got.stats);
+        assert_eq!(got.stats.warm_failovers, 0);
+        assert!(remote.provisions_sent() > provisions_after_build);
     }
 
     #[test]
@@ -1202,6 +2015,18 @@ mod tests {
     fn build_rejects_bad_configs() {
         assert!(matches!(
             RemoteEngine::self_hosted(executor(), paper_dataset(), 0),
+            Err(SpqError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RemoteEngine::self_hosted_with(
+                executor(),
+                paper_dataset(),
+                2,
+                MembershipConfig {
+                    replication_factor: 0,
+                    ..MembershipConfig::default()
+                },
+            ),
             Err(SpqError::InvalidConfig { .. })
         ));
         let dup = SharedDataset::new(

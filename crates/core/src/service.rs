@@ -271,6 +271,15 @@ pub struct QueryStats {
     /// the affected shards were recovered on survivors — the results are
     /// still byte-identical.
     pub retries: u64,
+    /// Of the [`retries`](Self::retries), failovers this query served by
+    /// flipping a shard's placement pointer to a warm replica — no
+    /// provision payload crossed the wire. Always `0` on the in-process
+    /// backends.
+    pub warm_failovers: u64,
+    /// Of the [`retries`](Self::retries), failovers this query served by
+    /// re-shipping a shard's provision payload to a survivor (no warm
+    /// replica was alive). Always `0` on the in-process backends.
+    pub cold_reprovisions: u64,
 }
 
 /// The outcome of one executed [`QueryRequest`].
@@ -388,6 +397,39 @@ impl SpqService {
     pub fn remote_retries(&self) -> Option<u64> {
         match self {
             SpqService::Remote(engine) => Some(engine.retries()),
+            _ => None,
+        }
+    }
+
+    /// Remote workers currently out of rotation (excluded or probing);
+    /// `None` on in-process backends.
+    pub fn excluded_workers(&self) -> Option<usize> {
+        match self {
+            SpqService::Remote(engine) => Some(engine.excluded_workers()),
+            _ => None,
+        }
+    }
+
+    /// Cumulative engine counters in one backend-independent snapshot:
+    /// the per-engine counters every backend keeps, plus the remote
+    /// membership counters (retries, exclusions, warm/cold failovers,
+    /// re-admissions), which stay zero on in-process backends.
+    pub fn metrics(&self) -> crate::engine::MetricsSnapshot {
+        match self {
+            SpqService::Local(engine) => engine.metrics(),
+            SpqService::Sharded(engine) => engine.metrics(),
+            SpqService::Remote(engine) => engine.metrics(),
+        }
+    }
+
+    /// Advances the remote membership layer one deterministic step —
+    /// probe excluded workers, re-admit recovered ones, rebalance shard
+    /// placement (see [`RemoteEngine::tick`]). Returns what the tick did,
+    /// or `None` on in-process backends, which have no membership to
+    /// manage.
+    pub fn tick(&self) -> Option<crate::remote::TickReport> {
+        match self {
+            SpqService::Remote(engine) => Some(engine.tick()),
             _ => None,
         }
     }

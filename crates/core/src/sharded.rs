@@ -305,6 +305,8 @@ impl ShardedEngine {
                     keyword_terms_probed: keywords.0,
                     keyword_terms_matched: keywords.1,
                     retries: 0,
+                    warm_failovers: 0,
+                    cold_reprovisions: 0,
                 },
                 trace: options.trace.then(Vec::new),
             });
@@ -378,6 +380,8 @@ impl ShardedEngine {
                 keyword_terms_probed: keywords.0,
                 keyword_terms_matched: keywords.1,
                 retries: 0,
+                warm_failovers: 0,
+                cold_reprovisions: 0,
             },
             trace,
         })

@@ -274,6 +274,23 @@ impl WorkerClient {
     pub fn disconnect(&mut self) {
         self.stream = None;
     }
+
+    /// One liveness probe: sends [`OP_PING`](super::OP_PING) with `token`
+    /// and demands an [`OP_PONG`](super::OP_PONG) echoing it back. Any
+    /// transport failure, wrong opcode or wrong echo is an error — the
+    /// health-probe scheduler treats all three as "not yet recovered".
+    pub fn ping(&mut self, token: &[u8]) -> Result<(), RemoteError> {
+        use super::frame::{OP_PING, OP_PONG};
+        match self.call(OP_PING, token)? {
+            (OP_PONG, echo) if echo == token => Ok(()),
+            (OP_PONG, _) => Err(RemoteError::Protocol {
+                message: "ping echo mismatch".to_owned(),
+            }),
+            (op, _) => Err(RemoteError::Protocol {
+                message: format!("ping answered with opcode {op}"),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

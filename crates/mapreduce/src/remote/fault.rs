@@ -30,6 +30,15 @@ pub struct FaultPlan {
     /// worker process exits, an in-process worker stops accepting
     /// connections and drops every live one.
     pub kill_after_responses: Option<u32>,
+    /// Refuse (close on sight, before reading any frame) the next `n`
+    /// connections **accepted after this plan is installed**. Already
+    /// established streams keep serving; combine with
+    /// [`drop_after_responses`](Self::drop_after_responses) to force the
+    /// installer's own connection through the refusal window. The budget
+    /// decrements per refused connection and clears at zero, so this
+    /// models a worker that is restarting — down for a bounded while,
+    /// then healthy — without spawning or killing any real process.
+    pub refuse_connections: Option<u32>,
 }
 
 impl FaultPlan {
@@ -73,6 +82,7 @@ impl FaultPlan {
         }
         Self::put_opt_u32(out, self.corrupt_response);
         Self::put_opt_u32(out, self.kill_after_responses);
+        Self::put_opt_u32(out, self.refuse_connections);
     }
 
     /// Decodes a plan serialized by [`encode`](Self::encode).
@@ -88,7 +98,23 @@ impl FaultPlan {
             delay_response_ms,
             corrupt_response: Self::read_opt_u32(r)?,
             kill_after_responses: Self::read_opt_u32(r)?,
+            refuse_connections: Self::read_opt_u32(r)?,
         })
+    }
+
+    /// Consumes one unit of the connection-refusal budget. Returns `true`
+    /// when the caller must refuse the connection it just accepted.
+    pub(crate) fn take_refusal(&mut self) -> bool {
+        match self.refuse_connections {
+            Some(0) | None => {
+                self.refuse_connections = None;
+                false
+            }
+            Some(n) => {
+                self.refuse_connections = Some(n - 1);
+                true
+            }
+        }
     }
 }
 
@@ -144,6 +170,7 @@ mod tests {
             delay_response_ms: Some(250),
             corrupt_response: Some(0),
             kill_after_responses: Some(9),
+            refuse_connections: Some(2),
         };
         let mut out = Vec::new();
         plan.encode(&mut out);
@@ -187,6 +214,32 @@ mod tests {
             FaultAction::Deliver {
                 delay_ms: None,
                 corrupt: false
+            }
+        );
+    }
+
+    #[test]
+    fn refusal_budget_decrements_and_clears() {
+        let mut plan = FaultPlan {
+            refuse_connections: Some(2),
+            ..FaultPlan::default()
+        };
+        assert!(plan.take_refusal());
+        assert!(plan.take_refusal());
+        assert!(!plan.take_refusal());
+        assert!(plan.is_noop());
+        // Refusals never touch the response-path schedule.
+        let mut mixed = FaultPlan {
+            refuse_connections: Some(1),
+            corrupt_response: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(mixed.take_refusal());
+        assert_eq!(
+            next_action(&mut mixed, 0),
+            FaultAction::Deliver {
+                delay_ms: None,
+                corrupt: true
             }
         );
     }

@@ -53,6 +53,12 @@ pub const OP_SET_FAULT: u16 = 10;
 pub const OP_FAULT_OK: u16 = 11;
 /// Asks the worker to stop serving and exit its accept loop.
 pub const OP_SHUTDOWN: u16 = 12;
+/// Asks a shard host which shards it currently serves (empty payload).
+/// A manager re-admitting a recovered worker uses the answer to decide
+/// whether the worker's copies are still warm or must be re-provisioned.
+pub const OP_SHARD_STATUS: u16 = 13;
+/// Reply to [`OP_SHARD_STATUS`]: the hosted shard ids.
+pub const OP_SHARD_STATUS_OK: u16 = 14;
 
 /// Transport-level failure while reading or writing a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -180,6 +180,12 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 }
 
 fn serve_connection(mut stream: TcpStream, state: Arc<ServerState>) {
+    // Connection-refusal seam: a plan with budgeted refusals closes the
+    // stream before any frame is read — to the peer this is a worker that
+    // accepted and immediately hung up, i.e. one that is mid-restart.
+    if state.plan.lock().take_refusal() {
+        return;
+    }
     let _ = stream.set_nodelay(true);
     // Short read timeout so the loop can observe shutdown/kill promptly.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
@@ -387,6 +393,28 @@ mod tests {
         }
         // One-shot again.
         assert!(client.call(OP_PING, b"payload").is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn refusal_fault_rejects_new_connections_then_recovers() {
+        let (server, mut client) = spawn_echo();
+        let mut plan_bytes = Vec::new();
+        FaultPlan {
+            refuse_connections: Some(2),
+            drop_after_responses: Some(0),
+            ..FaultPlan::default()
+        }
+        .encode(&mut plan_bytes);
+        client.call(OP_SET_FAULT, &plan_bytes).unwrap();
+        // The drop fault evicts the installer's established stream, so
+        // every following call goes through the refusal window: two
+        // refused reconnects, then the worker is healthy again.
+        assert!(client.call(OP_PING, b"dropped").is_err());
+        assert!(client.call(OP_PING, b"refused 1").is_err());
+        assert!(client.call(OP_PING, b"refused 2").is_err());
+        let (op, _) = client.call(OP_PING, b"healed").unwrap();
+        assert_eq!(op, OP_PONG);
         server.shutdown();
     }
 

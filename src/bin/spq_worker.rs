@@ -10,12 +10,14 @@
 //! Usage:
 //!
 //! ```text
-//! spq-worker [--listen HOST:PORT]
+//! spq-worker [--listen HOST:PORT] [--quiet]
 //! ```
 //!
 //! The default `--listen 127.0.0.1:0` binds an ephemeral port; the chosen
 //! address is printed to stdout as `spq-worker listening on HOST:PORT` so
-//! a spawning manager (or test) can discover it.
+//! a spawning manager (or test) can discover it. `--quiet` suppresses the
+//! banner — the mode for a restarted worker rejoining a manager that
+//! already knows its fixed address and re-admits it via health probes.
 
 use spq::core::remote::ShardHost;
 use spq::mapreduce::remote::WorkerServer;
@@ -23,6 +25,7 @@ use std::io::Write;
 
 fn main() {
     let mut listen = String::from("127.0.0.1:0");
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,8 +33,9 @@ fn main() {
                 Some(addr) => listen = addr,
                 None => die("--listen needs an address (HOST:PORT)"),
             },
+            "--quiet" => quiet = true,
             "--help" | "-h" => {
-                println!("usage: spq-worker [--listen HOST:PORT]");
+                println!("usage: spq-worker [--listen HOST:PORT] [--quiet]");
                 return;
             }
             other => die(&format!("unknown argument {other:?}")),
@@ -41,8 +45,10 @@ fn main() {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {listen}: {e}")),
     };
-    println!("spq-worker listening on {}", server.addr());
-    let _ = std::io::stdout().flush();
+    if !quiet {
+        println!("spq-worker listening on {}", server.addr());
+        let _ = std::io::stdout().flush();
+    }
     server.wait();
 }
 

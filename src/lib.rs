@@ -66,10 +66,11 @@ pub use spq_text as text;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use spq_core::{
-        Algorithm, Backend, DataObject, FeatureObject, LoadBalancing, MetricsSnapshot, ObjectRef,
-        QueryEngine, QueryOptions, QueryRequest, QueryResponse, QueryStats, RankedObject,
-        RemoteEngine, ShardHost, ShardStats, ShardedEngine, SharedDataset, SpqError, SpqExecutor,
-        SpqQuery, SpqResult, SpqService,
+        Algorithm, Backend, DataObject, FeatureObject, LoadBalancing, MembershipConfig,
+        MembershipView, MetricsSnapshot, ObjectRef, QueryEngine, QueryOptions, QueryRequest,
+        QueryResponse, QueryStats, RankedObject, RemoteEngine, ShardHost, ShardStats,
+        ShardedEngine, SharedDataset, SpqError, SpqExecutor, SpqQuery, SpqResult, SpqService,
+        TickReport, WorkerState,
     };
     pub use spq_data::{
         ingest_files, synthesize_dump, ClusteredGen, DatasetGenerator, DumpConfig, FlickrLike,

@@ -67,22 +67,47 @@ struct Worker {
 
 impl Worker {
     fn spawn() -> Self {
+        Self::spawn_at("127.0.0.1:0").expect("spawn spq-worker")
+    }
+
+    fn spawn_at(listen: &str) -> Result<Self, String> {
         let mut child = Command::new(env!("CARGO_BIN_EXE_spq-worker"))
-            .args(["--listen", "127.0.0.1:0"])
+            .args(["--listen", listen])
             .stdout(Stdio::piped())
             .spawn()
-            .expect("spawn spq-worker");
+            .map_err(|e| format!("spawn spq-worker: {e}"))?;
         let stdout = child.stdout.take().expect("worker stdout");
         let mut line = String::new();
         BufReader::new(stdout)
             .read_line(&mut line)
-            .expect("read worker banner");
-        let addr = line
-            .trim()
-            .strip_prefix("spq-worker listening on ")
-            .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
-            .to_owned();
-        Self { child, addr }
+            .map_err(|e| format!("read worker banner: {e}"))?;
+        match line.trim().strip_prefix("spq-worker listening on ") {
+            Some(addr) => Ok(Self {
+                child,
+                addr: addr.to_owned(),
+            }),
+            // EOF or junk: the worker died (e.g. the port was still
+            // held). Reap it and report, so callers can retry.
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(format!("unexpected worker banner: {line:?}"))
+            }
+        }
+    }
+
+    /// Restarts a worker on a fixed address, retrying briefly in case the
+    /// OS has not released the port of the killed predecessor yet.
+    fn respawn_at(listen: &str) -> Self {
+        let mut last = String::new();
+        for _ in 0..50 {
+            match Self::spawn_at(listen) {
+                Ok(worker) => return worker,
+                Err(e) => last = e,
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        panic!("cannot respawn spq-worker on {listen}: {last}");
     }
 }
 
@@ -208,4 +233,135 @@ fn service_uses_external_workers_from_the_environment() {
         "want InvalidConfig, got {err:?}"
     );
     assert!(err.to_string().contains("SPQ_REMOTE_WORKERS"));
+}
+
+/// The tentpole's acceptance path, across real process boundaries: a
+/// killed `spq-worker` is restarted on the same address, the tick-driven
+/// probe scheduler re-admits it after the hysteresis threshold, the
+/// rebalancer re-provisions its shards (the restarted process reports an
+/// empty shard status), and the canonical placement — worker 0 primary
+/// for shard 0 — is restored, with every query byte-identical throughout.
+/// The interim failover is warm: the frame-level provision counter proves
+/// no `OP_PROVISION` round-trip happened until the rebalancer's.
+#[test]
+fn killed_and_restarted_worker_is_readmitted() {
+    let (mut workers, addrs) = spawn_workers(3);
+    let config = MembershipConfig {
+        replication_factor: 2,
+        probe_interval_ticks: 1,
+        readmit_threshold: 2,
+        max_moves_per_tick: 8,
+    };
+    let remote = RemoteEngine::connect_with(executor(), dataset(), &addrs, config).unwrap();
+    let local = QueryEngine::new(executor(), dataset());
+    let provisions_after_build = remote.provisions_sent();
+    assert_eq!(provisions_after_build, 6); // 3 shards × replication 2
+
+    let req = request(4, 1.8, &[0]);
+    assert_eq!(
+        remote.execute(&req).unwrap().results,
+        local.execute(&req).unwrap().results
+    );
+
+    // Kill the real process behind worker 0.
+    workers[0].child.kill().expect("kill worker 0");
+    workers[0].child.wait().expect("reap worker 0");
+
+    // The failover is warm: worker 1 already holds shard 0, so the
+    // pointer flips and no provision payload crosses the wire.
+    let got = remote.execute(&req).unwrap();
+    assert_eq!(got.results, local.execute(&req).unwrap().results);
+    assert!(got.stats.warm_failovers >= 1, "stats: {:?}", got.stats);
+    assert_eq!(got.stats.cold_reprovisions, 0, "stats: {:?}", got.stats);
+    assert_eq!(remote.provisions_sent(), provisions_after_build);
+    assert_eq!(remote.excluded_workers(), 1);
+
+    // Ticks while the process is down probe it and keep it excluded.
+    let report = remote.tick();
+    assert_eq!(report.probes, 1);
+    assert_eq!(report.probe_successes, 0);
+    assert!(report.readmitted.is_empty());
+    assert_eq!(remote.excluded_workers(), 1);
+
+    // Restart the worker on the same address and tick until the
+    // membership layer settles: probe hysteresis (2 consecutive
+    // successes), re-admission, re-provisioning, primary restoration.
+    workers[0] = Worker::respawn_at(&addrs[0]);
+    let mut readmitted = false;
+    let mut settled = false;
+    for _ in 0..16 {
+        let report = remote.tick();
+        readmitted |= report.readmitted.contains(&0);
+        if report.quiescent() {
+            settled = true;
+            break;
+        }
+    }
+    assert!(readmitted, "worker 0 was never re-admitted");
+    assert!(settled, "membership never settled");
+    assert_eq!(remote.readmissions(), 1);
+    assert_eq!(remote.excluded_workers(), 0);
+    remote.check_replication().unwrap();
+
+    // The restarted process reported an empty shard status, so the
+    // rebalancer had to ship its shards again — and the canonical layout
+    // is back: worker 0 is the primary for shard 0 and serves queries.
+    assert!(remote.provisions_sent() > provisions_after_build);
+    let view = remote.membership();
+    assert_eq!(view.states, vec![WorkerState::Live; 3]);
+    assert_eq!(view.primaries[0], 0);
+    let again = remote.execute(&req).unwrap();
+    assert_eq!(again.results, local.execute(&req).unwrap().results);
+    assert_eq!(again.stats.retries, 0);
+}
+
+/// A worker admitted at runtime takes load: the rebalancer migrates
+/// replicas onto it over ticks, and when every original worker dies it
+/// carries the whole dataset — across real process boundaries.
+#[test]
+fn admitted_worker_takes_over_after_total_loss_of_the_original_set() {
+    let (mut workers, addrs) = spawn_workers(2);
+    let config = MembershipConfig {
+        replication_factor: 2,
+        max_moves_per_tick: 8,
+        ..MembershipConfig::default()
+    };
+    let remote = RemoteEngine::connect_with(executor(), dataset(), &addrs, config).unwrap();
+    let local = QueryEngine::new(executor(), dataset());
+
+    let joiner = Worker::spawn();
+    let index = remote.admit(&joiner.addr).unwrap();
+    assert_eq!(index, 2);
+    assert_eq!(remote.num_workers(), 3);
+    // Double admission of the same address is a config error.
+    assert!(matches!(
+        remote.admit(&joiner.addr),
+        Err(SpqError::InvalidConfig { .. })
+    ));
+
+    // The join is empty until the rebalancer migrates shards onto it.
+    for _ in 0..8 {
+        if remote.tick().quiescent() {
+            break;
+        }
+    }
+    remote.check_replication().unwrap();
+    let view = remote.membership();
+    assert!(
+        view.replicas.iter().any(|set| set.contains(&2)),
+        "rebalancer never placed a shard on the admitted worker: {view:?}"
+    );
+
+    // Kill both original processes: the admitted worker must carry every
+    // shard (warm where it holds a copy, cold re-provision otherwise).
+    for worker in workers.iter_mut() {
+        worker.child.kill().expect("kill original worker");
+        worker.child.wait().expect("reap original worker");
+    }
+    let req = request(4, 1.8, &[0]);
+    let got = remote.execute(&req).unwrap();
+    assert_eq!(got.results, local.execute(&req).unwrap().results);
+    assert!(got.stats.retries >= 1, "stats: {:?}", got.stats);
+    assert_eq!(remote.excluded_workers(), 2);
+    assert!(remote.membership().primaries.iter().all(|&p| p == 2));
 }
