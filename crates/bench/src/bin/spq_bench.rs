@@ -16,8 +16,11 @@
 use spq_bench::backend_bench::{
     backend_to_json, run_backend_bench, BackendBenchConfig, BackendSource,
 };
-use spq_bench::cli::{parse_args, BackendCli, CliOptions, Command, IngestCli, USAGE};
+use spq_bench::cli::{
+    parse_args, BackendCli, CliOptions, Command, CompareCli, IngestCli, MatrixCli, USAGE,
+};
 use spq_bench::ingest_bench::{ingest_to_json, run_ingest_bench, IngestReport};
+use spq_bench::matrix::{compare_files, run_matrix};
 use spq_bench::qps::{qps_to_json, run_qps};
 use spq_bench::trajectory::{run_trajectory, to_json};
 use spq_data::ingest::{synthesize_dump, DumpConfig};
@@ -26,6 +29,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
         Ok(Command::Run(options)) => *options,
+        Ok(Command::Matrix(matrix)) => {
+            run_matrix_mode(&matrix);
+            return;
+        }
+        Ok(Command::Compare(compare)) => {
+            run_compare_mode(&compare);
+            return;
+        }
         Ok(Command::Help) => {
             eprintln!("{USAGE}");
             return;
@@ -85,6 +96,55 @@ fn main() {
         options.qps.workers
     );
     print_modes(&qps_report.algorithms);
+}
+
+/// `spq-bench matrix`: runs the declarative benchmark matrix and writes
+/// the versioned `BENCH_MATRIX.json` document.
+fn run_matrix_mode(matrix: &MatrixCli) {
+    let report = run_matrix(&matrix.config);
+    std::fs::write(&matrix.out, report.to_json()).expect("write matrix report");
+    println!("wrote {} ({} records)", matrix.out, report.records.len());
+    println!(
+        "\n{:<52}{:>9}{:>24}{:>24}{:>10}",
+        "benchmark", "qps", "mean ms [95% CI]", "p99 ms [95% CI]", "outliers"
+    );
+    for r in &report.records {
+        println!(
+            "{:<52}{:>9.1}{:>10.3} [{:.3}, {:.3}]{:>10.3} [{:.3}, {:.3}]{:>10}",
+            r.id,
+            r.qps,
+            r.mean_ms.point,
+            r.mean_ms.lo,
+            r.mean_ms.hi,
+            r.p99_ms.point,
+            r.p99_ms.lo,
+            r.p99_ms.hi,
+            r.outliers.total()
+        );
+    }
+    if !report.records.is_empty() {
+        println!("\nall records byte-identical to the single-store engine");
+    }
+}
+
+/// `spq-bench compare`: the regression gate. Exit 0 = clean, 1 = at
+/// least one id regressed, 2 = a document was unreadable.
+fn run_compare_mode(compare: &CompareCli) {
+    let comparison = match compare_files(
+        std::path::Path::new(&compare.baseline),
+        std::path::Path::new(&compare.candidate),
+        compare.threshold,
+    ) {
+        Ok(comparison) => comparison,
+        Err(message) => {
+            eprintln!("compare failed: {message}");
+            std::process::exit(2)
+        }
+    };
+    println!("{}", comparison.to_markdown());
+    if comparison.regressions() > 0 {
+        std::process::exit(1)
+    }
 }
 
 /// The backend-matrix mode: `--backend` (repeatable), writing

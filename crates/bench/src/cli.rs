@@ -11,11 +11,26 @@
 //!   ignoring whatever it was meant to do).
 
 use crate::ingest_bench::IngestBenchConfig;
+use crate::matrix::{MatrixConfig, DEFAULT_THRESHOLD};
 use crate::qps::QpsConfig;
 use crate::trajectory::TrajectoryConfig;
 
 /// The usage string printed on `--help` and on parse errors.
-pub const USAGE: &str = "usage: spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
+pub const USAGE: &str = "usage: spq-bench [matrix|compare] ...\n\
+spq-bench matrix [--filter GLOB] [--backend local|sharded:N|remote:N]... \
+     [--scale F] [--seed N] [--workers N] [--queries N] [--batch N] \
+     [--out FILE]\n\
+    Runs the declarative benchmark matrix (corpus x algorithm x backend x \
+mode; ids like uniform-120k/pSPQ/remote:4/execute-batch, selected by a \
+'*'-glob over full ids) and writes the versioned record document \
+(default BENCH_MATRIX.json): bootstrap 95% CIs, Tukey outlier counts, \
+byte-identity attestation per record.\n\
+spq-bench compare BASELINE.json CANDIDATE.json [--threshold F]\n\
+    Classifies each shared benchmark id as improved/regressed/unchanged \
+by CI-interval overlap plus a relative mean threshold (default 0.05), \
+prints a markdown table, and exits 1 if anything regressed (2 on \
+unreadable documents) — the CI regression gate.\n\
+spq-bench [--scale F] [--seed N] [--workers N] [--repeats N] \
      [--queries N] [--grid N] [--out FILE] \
      [--qps-queries N] [--qps-batch N] [--qps-out FILE] \
      [--data-tsv FILE --features-tsv FILE] [--ingest-out FILE] \
@@ -75,11 +90,35 @@ pub struct IngestCli {
     pub synthesize: Option<usize>,
 }
 
+/// The `matrix` subcommand's options.
+#[derive(Debug, Clone)]
+pub struct MatrixCli {
+    /// Runner configuration (corpora filter, backends, stream shape).
+    pub config: MatrixConfig,
+    /// Output path of the matrix document.
+    pub out: String,
+}
+
+/// The `compare` subcommand's options.
+#[derive(Debug, Clone)]
+pub struct CompareCli {
+    /// Path of the baseline document.
+    pub baseline: String,
+    /// Path of the candidate document.
+    pub candidate: String,
+    /// Relative mean-shift threshold.
+    pub threshold: f64,
+}
+
 /// Parse outcome: run with options, or print usage and exit 0.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Run the bench with these options.
     Run(Box<CliOptions>),
+    /// `spq-bench matrix ...`: the declarative benchmark matrix.
+    Matrix(Box<MatrixCli>),
+    /// `spq-bench compare ...`: the regression gate.
+    Compare(CompareCli),
     /// `--help`/`-h` was given.
     Help,
 }
@@ -87,6 +126,11 @@ pub enum Command {
 /// Parses the argument list (without the program name). Errors carry a
 /// human-readable message; callers print it with [`USAGE`] and exit 2.
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("matrix") => return parse_matrix(&args[1..]),
+        Some("compare") => return parse_compare(&args[1..]),
+        _ => {}
+    }
     let mut cfg = TrajectoryConfig::default();
     let mut qps_cfg = QpsConfig::default();
     let mut out = String::from("BENCH_PR2.json");
@@ -194,6 +238,88 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     })))
 }
 
+/// Parses `spq-bench matrix ...` (arguments after the subcommand name).
+fn parse_matrix(args: &[String]) -> Result<Command, String> {
+    let mut config = MatrixConfig::default();
+    let mut backends: Vec<spq_core::Backend> = Vec::new();
+    let mut out = String::from("BENCH_MATRIX.json");
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, String> {
+            i += 1;
+            match args.get(i) {
+                Some(v) if !v.starts_with("--") => Ok(v.clone()),
+                _ => Err(format!("missing value for {flag}")),
+            }
+        };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value {v:?} for {flag}"))
+        }
+        match flag {
+            "--filter" => config.filter = Some(value()?),
+            "--backend" => backends.push(value()?.parse::<spq_core::Backend>()?),
+            "--scale" => config.scale = parsed(flag, value()?)?,
+            "--seed" => config.seed = parsed(flag, value()?)?,
+            "--workers" => config.workers = parsed(flag, value()?)?,
+            "--queries" => config.queries = parsed(flag, value()?)?,
+            "--batch" => config.batch = parsed(flag, value()?)?,
+            "--out" => out = value()?,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown matrix argument {other:?}")),
+        }
+        i += 1;
+    }
+    if !backends.is_empty() {
+        config.backends = backends;
+    }
+    Ok(Command::Matrix(Box::new(MatrixCli { config, out })))
+}
+
+/// Parses `spq-bench compare BASELINE CANDIDATE [--threshold F]`.
+fn parse_compare(args: &[String]) -> Result<Command, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--threshold" => {
+                i += 1;
+                let v = match args.get(i) {
+                    Some(v) if !v.starts_with("--") => v.clone(),
+                    _ => return Err("missing value for --threshold".to_owned()),
+                };
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad value {v:?} for --threshold"))?;
+                if !(0.0..=10.0).contains(&threshold) {
+                    return Err(format!("--threshold {threshold} out of range [0, 10]"));
+                }
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown compare argument {other:?}"))
+            }
+            path => paths.push(path.to_owned()),
+        }
+        i += 1;
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err(format!(
+            "compare needs exactly two document paths, got {}",
+            paths.len()
+        ));
+    };
+    Ok(Command::Compare(CompareCli {
+        baseline: baseline.clone(),
+        candidate: candidate.clone(),
+        threshold,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +332,7 @@ mod tests {
     fn run(args: &[&str]) -> CliOptions {
         match parse(args).unwrap() {
             Command::Run(o) => *o,
-            Command::Help => panic!("expected Run"),
+            other => panic!("expected Run, got {other:?}"),
         }
     }
 
@@ -347,6 +473,102 @@ mod tests {
     fn help_short_circuits() {
         assert!(matches!(parse(&["--help"]).unwrap(), Command::Help));
         assert!(matches!(parse(&["-h"]).unwrap(), Command::Help));
+        assert!(matches!(
+            parse(&["matrix", "--help"]).unwrap(),
+            Command::Help
+        ));
+        assert!(matches!(parse(&["compare", "-h"]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn matrix_subcommand_defaults_and_flags() {
+        use spq_core::Backend;
+        let Command::Matrix(m) = parse(&["matrix"]).unwrap() else {
+            panic!("expected Matrix")
+        };
+        assert_eq!(m.out, "BENCH_MATRIX.json");
+        assert!(m.config.filter.is_none());
+        assert_eq!(
+            m.config.backends,
+            vec![
+                Backend::Local,
+                Backend::Sharded { shards: 4 },
+                Backend::Remote { workers: 2 }
+            ]
+        );
+
+        let Command::Matrix(m) = parse(&[
+            "matrix",
+            "--filter",
+            "remote:*",
+            "--backend",
+            "local",
+            "--backend",
+            "sharded:2",
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+            "--workers",
+            "2",
+            "--queries",
+            "16",
+            "--batch",
+            "4",
+            "--out",
+            "m.json",
+        ])
+        .unwrap() else {
+            panic!("expected Matrix")
+        };
+        assert_eq!(m.config.filter.as_deref(), Some("remote:*"));
+        assert_eq!(
+            m.config.backends,
+            vec![Backend::Local, Backend::Sharded { shards: 2 }]
+        );
+        assert_eq!(m.config.scale, 0.05);
+        assert_eq!(m.config.seed, 7);
+        assert_eq!(m.config.workers, 2);
+        assert_eq!(m.config.queries, 16);
+        assert_eq!(m.config.batch, 4);
+        assert_eq!(m.out, "m.json");
+    }
+
+    #[test]
+    fn matrix_rejects_bad_flags_and_values() {
+        assert!(parse(&["matrix", "--bogus"]).is_err());
+        assert!(parse(&["matrix", "--filter"]).is_err());
+        assert!(parse(&["matrix", "--filter", "--out"]).is_err());
+        assert!(parse(&["matrix", "--backend", "remote"]).is_err());
+        assert!(parse(&["matrix", "--queries", "x"]).is_err());
+    }
+
+    #[test]
+    fn compare_subcommand_takes_two_paths() {
+        let Command::Compare(c) = parse(&["compare", "a.json", "b.json"]).unwrap() else {
+            panic!("expected Compare")
+        };
+        assert_eq!(c.baseline, "a.json");
+        assert_eq!(c.candidate, "b.json");
+        assert_eq!(c.threshold, crate::matrix::DEFAULT_THRESHOLD);
+
+        let Command::Compare(c) =
+            parse(&["compare", "a.json", "b.json", "--threshold", "1.0"]).unwrap()
+        else {
+            panic!("expected Compare")
+        };
+        assert_eq!(c.threshold, 1.0);
+    }
+
+    #[test]
+    fn compare_rejects_wrong_arity_and_bad_thresholds() {
+        assert!(parse(&["compare"]).is_err());
+        assert!(parse(&["compare", "a.json"]).is_err());
+        assert!(parse(&["compare", "a", "b", "c"]).is_err());
+        assert!(parse(&["compare", "a", "b", "--threshold"]).is_err());
+        assert!(parse(&["compare", "a", "b", "--threshold", "-1"]).is_err());
+        assert!(parse(&["compare", "a", "b", "--threshold", "99"]).is_err());
+        assert!(parse(&["compare", "a", "b", "--nope"]).is_err());
     }
 
     #[test]

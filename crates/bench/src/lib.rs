@@ -25,6 +25,7 @@ pub mod baseline;
 pub mod cli;
 pub mod figures;
 pub mod ingest_bench;
+pub mod matrix;
 pub mod params;
 pub mod qps;
 pub mod report;

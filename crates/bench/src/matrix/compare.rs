@@ -1,0 +1,316 @@
+//! `spq-bench compare`: the CI regression gate over two matrix reports.
+//!
+//! Each benchmark id present in both documents is classified by its
+//! **mean-latency** bootstrap intervals: if the candidate's 95% interval
+//! overlaps the baseline's, the difference is statistical noise and the
+//! id is *unchanged*; if the intervals are disjoint AND the point means
+//! differ by more than the relative threshold, the id is *improved* or
+//! *regressed* by direction. Requiring both conditions keeps the gate
+//! honest on noisy runners: disjoint-but-close intervals (tiny variance)
+//! don't fail the build, and huge-but-overlapping deltas (huge variance)
+//! don't either. Ids present in only one document are reported as
+//! added/removed, never silently ignored.
+
+use super::record::MatrixReport;
+use criterion::stats::Estimate;
+use std::path::Path;
+
+/// Default relative mean-shift threshold: 5% — deltas smaller than this
+/// are never called a change even with disjoint intervals.
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// Classification of one shared benchmark id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Candidate is statistically faster by more than the threshold.
+    Improved,
+    /// Candidate is statistically slower by more than the threshold.
+    Regressed,
+    /// Within noise or under the threshold.
+    Unchanged,
+}
+
+impl Verdict {
+    /// Display label for the markdown table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "**regressed**",
+            Verdict::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// One shared id's delta.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// The benchmark id.
+    pub id: String,
+    /// Baseline mean latency (ms) with interval.
+    pub baseline: Estimate,
+    /// Candidate mean latency (ms) with interval.
+    pub candidate: Estimate,
+    /// `candidate.point / baseline.point` (>1 = slower).
+    pub ratio: f64,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Shared ids in candidate order.
+    pub deltas: Vec<Delta>,
+    /// Ids only in the candidate.
+    pub added: Vec<String>,
+    /// Ids only in the baseline.
+    pub removed: Vec<String>,
+    /// The relative threshold used.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Number of regressed ids — the gate's exit condition.
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .count()
+    }
+
+    /// Renders the comparison as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("## Benchmark comparison\n\n");
+        out.push_str(&format!(
+            "Gate: mean 95% CIs disjoint AND |Δ| > {:.1}% (improved/regressed), else unchanged.\n\n",
+            self.threshold * 100.0
+        ));
+        if !self.deltas.is_empty() {
+            out.push_str(
+                "| benchmark | baseline mean ms [95% CI] | candidate mean ms [95% CI] | Δ | verdict |\n\
+                 |---|---|---|---|---|\n",
+            );
+            for d in &self.deltas {
+                out.push_str(&format!(
+                    "| `{}` | {:.3} [{:.3}, {:.3}] | {:.3} [{:.3}, {:.3}] | {:+.1}% | {} |\n",
+                    d.id,
+                    d.baseline.point,
+                    d.baseline.lo,
+                    d.baseline.hi,
+                    d.candidate.point,
+                    d.candidate.lo,
+                    d.candidate.hi,
+                    (d.ratio - 1.0) * 100.0,
+                    d.verdict.label()
+                ));
+            }
+        }
+        for (title, ids) in [("Added", &self.added), ("Removed", &self.removed)] {
+            if !ids.is_empty() {
+                out.push_str(&format!("\n### {title} benchmarks\n\n"));
+                for id in ids {
+                    out.push_str(&format!("- `{id}`\n"));
+                }
+            }
+        }
+        let (improved, unchanged) = (
+            self.deltas
+                .iter()
+                .filter(|d| d.verdict == Verdict::Improved)
+                .count(),
+            self.deltas
+                .iter()
+                .filter(|d| d.verdict == Verdict::Unchanged)
+                .count(),
+        );
+        out.push_str(&format!(
+            "\n{} compared: {} regressed, {improved} improved, {unchanged} unchanged; {} added, {} removed.\n",
+            self.deltas.len(),
+            self.regressions(),
+            self.added.len(),
+            self.removed.len()
+        ));
+        out
+    }
+}
+
+fn classify(baseline: &Estimate, candidate: &Estimate, threshold: f64) -> (f64, Verdict) {
+    let ratio = candidate.point / baseline.point.max(1e-12);
+    let verdict = if candidate.overlaps(baseline) {
+        Verdict::Unchanged
+    } else if ratio > 1.0 + threshold {
+        Verdict::Regressed
+    } else if ratio < 1.0 - threshold {
+        Verdict::Improved
+    } else {
+        Verdict::Unchanged
+    };
+    (ratio, verdict)
+}
+
+/// Compares two parsed reports.
+pub fn compare_reports(
+    baseline: &MatrixReport,
+    candidate: &MatrixReport,
+    threshold: f64,
+) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut added = Vec::new();
+    for record in &candidate.records {
+        match baseline.records.iter().find(|b| b.id == record.id) {
+            Some(base) => {
+                let (ratio, verdict) = classify(&base.mean_ms, &record.mean_ms, threshold);
+                deltas.push(Delta {
+                    id: record.id.clone(),
+                    baseline: base.mean_ms,
+                    candidate: record.mean_ms,
+                    ratio,
+                    verdict,
+                });
+            }
+            None => added.push(record.id.clone()),
+        }
+    }
+    let removed = baseline
+        .records
+        .iter()
+        .filter(|b| !candidate.records.iter().any(|c| c.id == b.id))
+        .map(|b| b.id.clone())
+        .collect();
+    Comparison {
+        deltas,
+        added,
+        removed,
+        threshold,
+    }
+}
+
+/// Reads, parses and compares two report files.
+pub fn compare_files(
+    baseline: &Path,
+    candidate: &Path,
+    threshold: f64,
+) -> Result<Comparison, String> {
+    let base = MatrixReport::from_file(baseline)?;
+    let cand = MatrixReport::from_file(candidate)?;
+    Ok(compare_reports(&base, &cand, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::record::synthetic_fixture;
+
+    fn shift(report: &MatrixReport, id_contains: &str, factor: f64) -> MatrixReport {
+        let mut out = report.clone();
+        for r in &mut out.records {
+            if r.id.contains(id_contains) {
+                for e in [&mut r.mean_ms, &mut r.p50_ms, &mut r.p99_ms] {
+                    e.point *= factor;
+                    e.lo *= factor;
+                    e.hi *= factor;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_reports_are_all_unchanged() {
+        let report = synthetic_fixture();
+        let cmp = compare_reports(&report, &report, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.deltas.len(), report.records.len());
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.added.is_empty() && cmp.removed.is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.verdict == Verdict::Unchanged));
+    }
+
+    #[test]
+    fn a_30_percent_slowdown_regresses_and_a_speedup_improves() {
+        let base = synthetic_fixture();
+        let slow = shift(&base, "pSPQ/local", 1.3);
+        let cmp = compare_reports(&base, &slow, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.regressions(), 1);
+        let d = cmp
+            .deltas
+            .iter()
+            .find(|d| d.id.contains("pSPQ/local"))
+            .unwrap();
+        assert_eq!(d.verdict, Verdict::Regressed);
+        assert!((d.ratio - 1.3).abs() < 1e-9);
+
+        // The same shift seen from the other side is an improvement.
+        let cmp = compare_reports(&slow, &base, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.deltas.iter().any(|d| d.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn overlapping_intervals_are_noise_even_with_large_point_shift() {
+        let base = synthetic_fixture();
+        let mut cand = base.clone();
+        // +8% point shift but a wide interval still overlapping the
+        // baseline's: statistically indistinguishable.
+        for r in &mut cand.records {
+            r.mean_ms.point *= 1.08;
+            r.mean_ms.lo = r.mean_ms.point * 0.8;
+            r.mean_ms.hi = r.mean_ms.point * 1.2;
+        }
+        let cmp = compare_reports(&base, &cand, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.deltas.iter().all(|d| d.verdict == Verdict::Unchanged));
+    }
+
+    #[test]
+    fn disjoint_but_sub_threshold_shifts_stay_unchanged() {
+        let base = synthetic_fixture();
+        // 3% shift with razor-thin disjoint intervals: below the 5%
+        // threshold, so not a regression.
+        let mut cand = shift(&base, "", 1.03);
+        for r in &mut cand.records {
+            r.mean_ms.lo = r.mean_ms.point * 0.999;
+            r.mean_ms.hi = r.mean_ms.point * 1.001;
+        }
+        let mut tight_base = base.clone();
+        for r in &mut tight_base.records {
+            r.mean_ms.lo = r.mean_ms.point * 0.999;
+            r.mean_ms.hi = r.mean_ms.point * 1.001;
+        }
+        let cmp = compare_reports(&tight_base, &cand, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.regressions(), 0);
+        // A generous threshold keeps even a 30% shift unchanged — the
+        // heterogeneous-runner CI configuration.
+        let slow = shift(&tight_base, "", 1.3);
+        let cmp = compare_reports(&tight_base, &slow, 1.0);
+        assert_eq!(cmp.regressions(), 0);
+    }
+
+    #[test]
+    fn disjoint_id_sets_are_reported_not_ignored() {
+        let base = synthetic_fixture();
+        let mut cand = base.clone();
+        let dropped = cand.records.remove(0);
+        let mut renamed = cand.records[0].clone();
+        renamed.id = "clustered-60k/pSPQ/local/execute".to_owned();
+        cand.records.push(renamed.clone());
+        let cmp = compare_reports(&base, &cand, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.removed, vec![dropped.id.clone()]);
+        assert_eq!(cmp.added, vec![renamed.id.clone()]);
+        assert_eq!(cmp.deltas.len(), base.records.len() - 1);
+        let md = cmp.to_markdown();
+        assert!(md.contains("Added benchmarks"), "{md}");
+        assert!(md.contains("Removed benchmarks"), "{md}");
+        assert!(md.contains(&dropped.id), "{md}");
+    }
+
+    #[test]
+    fn markdown_table_carries_intervals_and_summary() {
+        let base = synthetic_fixture();
+        let slow = shift(&base, "pSPQ/local", 1.3);
+        let md = compare_reports(&base, &slow, DEFAULT_THRESHOLD).to_markdown();
+        assert!(md.contains("| benchmark |"), "{md}");
+        assert!(md.contains("**regressed**"), "{md}");
+        assert!(md.contains("+30.0%"), "{md}");
+        assert!(md.contains("1 regressed"), "{md}");
+    }
+}

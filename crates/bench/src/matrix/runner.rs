@@ -1,0 +1,291 @@
+//! The single matrix runner: executes any glob-selected slice of
+//! `corpus × algorithm × backend × mode` and emits one [`MatrixReport`].
+//!
+//! Per benchmark id the runner collects one latency observation per
+//! query (amortized batch wall for `execute-batch`, the response's own
+//! `wall_micros` for `serve`), asserts every response byte-identical to
+//! the plain single-store [`QueryEngine`], and summarizes the sample
+//! through [`criterion::stats::summarize`] — bootstrap 95% intervals for
+//! mean/p50/p99 plus the Tukey outlier census. Everything data-shaped is
+//! deterministic from the seed; only the latencies themselves are
+//! machine-dependent.
+
+use super::corpus::{Mode, CORPORA};
+use super::record::{MatrixRecord, MatrixReport, ReportConfig};
+use super::{bench_id, glob_match};
+use criterion::stats::{summarize, BootstrapConfig, Sample};
+use spq_core::{
+    Algorithm, Backend, QueryEngine, QueryRequest, RankedObject, SpqExecutor, SpqService,
+};
+use spq_data::{QueryStream, StreamConfig};
+use spq_mapreduce::ClusterConfig;
+use std::time::{Duration, Instant};
+
+/// Configuration of one matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Backends measured per corpus/algorithm, in id order.
+    pub backends: Vec<Backend>,
+    /// Optional id glob; `None` runs the full matrix.
+    pub filter: Option<String>,
+    /// Corpus size multiplier (1k-object floor per corpus).
+    pub scale: f64,
+    /// Dataset / stream seed.
+    pub seed: u64,
+    /// Worker threads: serve concurrency and scatter width.
+    pub workers: usize,
+    /// Measured queries per benchmark id.
+    pub queries: usize,
+    /// `execute-batch` chunk size.
+    pub batch: usize,
+    /// Bootstrap parameters for the per-record statistics.
+    pub bootstrap: BootstrapConfig,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        Self {
+            backends: vec![
+                Backend::Local,
+                Backend::Sharded { shards: 4 },
+                Backend::Remote { workers: 2 },
+            ],
+            filter: None,
+            scale: 1.0,
+            seed: 2017,
+            workers: ClusterConfig::auto().workers,
+            queries: 24,
+            batch: 8,
+            bootstrap: BootstrapConfig::default(),
+        }
+    }
+}
+
+fn selected(filter: &Option<String>, id: &str) -> bool {
+    filter.as_deref().is_none_or(|glob| glob_match(glob, id))
+}
+
+/// Runs the selected slice of the matrix.
+///
+/// # Panics
+///
+/// Panics if any backend/mode response diverges from the single-store
+/// reference — the byte-identity gate every record attests to.
+pub fn run_matrix(cfg: &MatrixConfig) -> MatrixReport {
+    assert!(!cfg.backends.is_empty(), "need at least one backend");
+    let mut records = Vec::new();
+    for spec in &CORPORA {
+        // Only pay for dataset generation when some id under this corpus
+        // survives the filter.
+        let wanted: Vec<(Algorithm, Backend, Mode)> = Algorithm::ALL
+            .iter()
+            .flat_map(|&algorithm| {
+                cfg.backends.iter().flat_map(move |&backend| {
+                    Mode::ALL
+                        .iter()
+                        .map(move |&mode| (algorithm, backend, mode))
+                })
+            })
+            .filter(|(algorithm, backend, mode)| {
+                selected(
+                    &cfg.filter,
+                    &bench_id(
+                        spec.name,
+                        algorithm.name(),
+                        &backend.to_string(),
+                        mode.name(),
+                    ),
+                )
+            })
+            .collect();
+        if wanted.is_empty() {
+            eprintln!("[matrix] {}: skipped (filter)", spec.name);
+            continue;
+        }
+
+        let dataset = spec.generate(cfg.scale, cfg.seed);
+        let objects = dataset.total();
+        eprintln!(
+            "[matrix] {}: {objects} objects, {} benchmark ids",
+            spec.name,
+            wanted.len()
+        );
+        let bounds = dataset.bounds;
+        let cell = bounds.width().max(bounds.height()) / spec.grid as f64;
+        let vocab_size = dataset.vocab_size.max(1);
+        let defaults = StreamConfig::default();
+        let mut stream = QueryStream::new(
+            vocab_size,
+            StreamConfig {
+                radius_classes: [5.0, 10.0, 25.0]
+                    .iter()
+                    .map(|pct| cell * pct / 100.0)
+                    .collect(),
+                seed: cfg.seed ^ 13,
+                keywords_per_query: defaults.keywords_per_query.min(vocab_size),
+                ..defaults
+            },
+        );
+        let queries = stream.batch(cfg.queries);
+        let requests: Vec<QueryRequest> = queries.iter().cloned().map(QueryRequest::new).collect();
+        let (shared, _) = dataset.to_shared_splits(8);
+
+        for &algorithm in Algorithm::ALL.iter() {
+            if !wanted.iter().any(|(a, _, _)| *a == algorithm) {
+                continue;
+            }
+            let exec = SpqExecutor::new(bounds)
+                .algorithm(algorithm)
+                .grid_size(spec.grid)
+                .cluster(ClusterConfig::with_workers(cfg.workers));
+            let reference_engine = QueryEngine::new(exec.clone(), shared.clone());
+            let reference: Vec<Vec<RankedObject>> = queries
+                .iter()
+                .map(|q| reference_engine.query(q).expect("reference job").top_k)
+                .collect();
+
+            for &backend in &cfg.backends {
+                let modes: Vec<Mode> = wanted
+                    .iter()
+                    .filter(|(a, b, _)| *a == algorithm && *b == backend)
+                    .map(|(_, _, m)| *m)
+                    .collect();
+                if modes.is_empty() {
+                    continue;
+                }
+                let service = SpqService::build(exec.clone(), shared.clone(), backend)
+                    .expect("service build");
+                for mode in modes {
+                    let id = bench_id(
+                        spec.name,
+                        algorithm.name(),
+                        &backend.to_string(),
+                        mode.name(),
+                    );
+                    let (latencies, wall) =
+                        measure_mode(&service, &requests, &reference, mode, cfg, &id);
+                    records.push(make_record(
+                        &id, spec.name, algorithm, backend, mode, objects, latencies, wall, cfg,
+                    ));
+                }
+            }
+        }
+    }
+    MatrixReport {
+        schema_version: super::record::SCHEMA_VERSION,
+        config: ReportConfig {
+            seed: cfg.seed,
+            scale: cfg.scale,
+            queries: cfg.queries,
+            batch: cfg.batch,
+            workers: cfg.workers,
+            filter: cfg.filter.clone(),
+        },
+        records,
+    }
+}
+
+fn measure_mode(
+    service: &SpqService,
+    requests: &[QueryRequest],
+    reference: &[Vec<RankedObject>],
+    mode: Mode,
+    cfg: &MatrixConfig,
+    id: &str,
+) -> (Vec<Duration>, Duration) {
+    match mode {
+        Mode::Execute => {
+            let mut latencies = Vec::with_capacity(requests.len());
+            let wall = Instant::now();
+            for (request, expect) in requests.iter().zip(reference) {
+                let t0 = Instant::now();
+                let response = service.execute(request).expect("execute");
+                latencies.push(t0.elapsed());
+                assert_eq!(&response.results, expect, "{id}: execute diverged");
+            }
+            (latencies, wall.elapsed())
+        }
+        Mode::ExecuteBatch => {
+            let mut latencies = Vec::with_capacity(requests.len());
+            let chunk_size = cfg.batch.max(1);
+            let wall = Instant::now();
+            for (chunk, expect) in requests
+                .chunks(chunk_size)
+                .zip(reference.chunks(chunk_size))
+            {
+                let t0 = Instant::now();
+                let responses = service.execute_batch(chunk).expect("batch");
+                let amortized = t0.elapsed() / chunk.len() as u32;
+                for (response, expect) in responses.iter().zip(expect) {
+                    assert_eq!(&response.results, expect, "{id}: batch diverged");
+                    latencies.push(amortized);
+                }
+            }
+            (latencies, wall.elapsed())
+        }
+        Mode::Serve => {
+            let wall = Instant::now();
+            let responses = service.serve(requests, cfg.workers.max(1)).expect("serve");
+            let wall = wall.elapsed();
+            let latencies = responses
+                .iter()
+                .zip(reference)
+                .map(|(response, expect)| {
+                    assert_eq!(&response.results, expect, "{id}: serve diverged");
+                    Duration::from_micros(response.stats.wall_micros)
+                })
+                .collect();
+            (latencies, wall)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_record(
+    id: &str,
+    corpus: &str,
+    algorithm: Algorithm,
+    backend: Backend,
+    mode: Mode,
+    objects: usize,
+    latencies: Vec<Duration>,
+    wall: Duration,
+    cfg: &MatrixConfig,
+) -> MatrixRecord {
+    let ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let summary = summarize(&Sample::new(ms), &cfg.bootstrap);
+    MatrixRecord {
+        id: id.to_owned(),
+        corpus: corpus.to_owned(),
+        algorithm: algorithm.name().to_owned(),
+        backend: backend.to_string(),
+        mode: mode.name().to_owned(),
+        objects,
+        samples: summary.samples,
+        qps: latencies.len() as f64 / wall.as_secs_f64().max(1e-12),
+        // Reaching this point at all means every assert above held.
+        identical_to_reference: true,
+        mean_ms: summary.mean,
+        p50_ms: summary.p50,
+        p99_ms: summary.p99,
+        outliers: summary.outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_skip_whole_corpora() {
+        assert!(selected(&None, "anything"));
+        assert!(selected(
+            &Some("uniform-120k/*".into()),
+            "uniform-120k/pSPQ/local/execute"
+        ));
+        assert!(!selected(
+            &Some("uniform-120k/*".into()),
+            "flickr-40k/pSPQ/local/execute"
+        ));
+    }
+}

@@ -112,34 +112,20 @@ pub struct QpsReport {
     pub algorithms: Vec<QpsAlgoReport>,
 }
 
-/// Linear-interpolation percentile over a sorted sample, so p50 of an
-/// even-length sample is the true midpoint rather than the upper middle.
-fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (sorted.len() - 1) as f64 * p;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    let (a, b) = (
-        sorted[lo].as_secs_f64() * 1e3,
-        sorted[hi].as_secs_f64() * 1e3,
+pub(crate) fn mode_stats(id: &'static str, latencies: Vec<Duration>, wall: Duration) -> ModeStats {
+    // Percentiles come from the shared stats module (linear interpolation
+    // at rank (n−1)·p), the single definition every bench uses.
+    let sample = criterion::stats::Sample::new(
+        latencies
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect::<Vec<_>>(),
     );
-    a + (b - a) * frac
-}
-
-pub(crate) fn mode_stats(
-    id: &'static str,
-    mut latencies: Vec<Duration>,
-    wall: Duration,
-) -> ModeStats {
-    latencies.sort_unstable();
     ModeStats {
         id,
-        qps: latencies.len() as f64 / wall.as_secs_f64().max(1e-12),
-        p50_ms: percentile_ms(&latencies, 0.50),
-        p99_ms: percentile_ms(&latencies, 0.99),
+        qps: sample.len() as f64 / wall.as_secs_f64().max(1e-12),
+        p50_ms: sample.percentile(0.50),
+        p99_ms: sample.percentile(0.99),
         wall_ms: wall.as_secs_f64() * 1e3,
     }
 }

@@ -118,15 +118,17 @@ pub struct WorkloadReport {
     pub comparisons: Vec<AlgoComparison>,
 }
 
-fn median_ms(mut samples: Vec<Duration>) -> f64 {
-    samples.sort_unstable();
-    let n = samples.len();
-    let mid = if n % 2 == 1 {
-        samples[n / 2]
-    } else {
-        (samples[n / 2 - 1] + samples[n / 2]) / 2
-    };
-    mid.as_secs_f64() * 1e3
+fn median_ms(samples: Vec<Duration>) -> f64 {
+    // Through the shared stats module: linear interpolation at rank
+    // (n−1)/2 is the exact middle (odd n) or midpoint average (even n),
+    // matching the hand-rolled median this replaces.
+    criterion::stats::Sample::new(
+        samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect::<Vec<_>>(),
+    )
+    .percentile(0.50)
 }
 
 /// Accumulates one query batch's stats into per-phase duration sums.

@@ -1,0 +1,305 @@
+//! Integration tests of the benchmark matrix: the versioned record
+//! format (golden file + schema fingerprint + round-trip proptest), a
+//! tiny end-to-end matrix run, and the `spq-bench compare` gate driven
+//! through the real binary.
+
+use criterion::stats::{Estimate, Outliers};
+use proptest::prelude::*;
+use spq_bench::matrix::record::{schema_fingerprint, synthetic_fixture, ReportConfig};
+use spq_bench::matrix::{
+    run_matrix, MatrixConfig, MatrixRecord, MatrixReport, Verdict, SCHEMA_VERSION,
+};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("bench_matrix_golden.json")
+}
+
+/// The serialized shape is frozen: a fixed synthetic report must match
+/// the committed fixture byte for byte. Regenerate deliberately with
+/// `SPQ_BLESS=1 cargo test -p spq-bench --test matrix` — and bump
+/// [`SCHEMA_VERSION`] if the shape (not just values) changed.
+#[test]
+fn golden_file_matches_the_committed_fixture() {
+    let rendered = synthetic_fixture().to_json();
+    let path = fixture_path();
+    if std::env::var_os("SPQ_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("bless fixture");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}; run with SPQ_BLESS=1 to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, committed,
+        "BENCH_MATRIX.json shape or formatting changed: bump SCHEMA_VERSION if fields \
+         changed, then regenerate with SPQ_BLESS=1"
+    );
+}
+
+/// The schema fingerprint (sorted key paths of a serialized document) is
+/// pinned to the current [`SCHEMA_VERSION`]. If this assertion fails you
+/// changed the record shape: bump the version, update this constant, and
+/// regenerate the golden fixture.
+#[test]
+fn schema_fingerprint_is_pinned_to_the_version() {
+    assert_eq!(SCHEMA_VERSION, 1, "update the fingerprint below on bump");
+    assert_eq!(
+        schema_fingerprint(),
+        "bench;\
+         config.batch;config.filter;config.queries;config.scale;config.seed;config.workers;\
+         records[].algorithm;records[].backend;records[].corpus;records[].id;\
+         records[].identical_to_reference;\
+         records[].mean_ms.hi;records[].mean_ms.lo;records[].mean_ms.point;\
+         records[].mode;records[].objects;\
+         records[].outliers.mild_high;records[].outliers.mild_low;\
+         records[].outliers.severe_high;records[].outliers.severe_low;\
+         records[].p50_ms.hi;records[].p50_ms.lo;records[].p50_ms.point;\
+         records[].p99_ms.hi;records[].p99_ms.lo;records[].p99_ms.point;\
+         records[].qps;records[].samples;\
+         schema_version"
+            .replace(";\n", ";")
+            .replace(' ', ""),
+        "record shape changed without a SCHEMA_VERSION bump"
+    );
+}
+
+fn arb_estimate() -> impl Strategy<Value = Estimate> {
+    (0.0f64..1e6, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(point, dlo, dhi)| Estimate {
+        point,
+        lo: point * (1.0 - dlo * 0.5),
+        hi: point * (1.0 + dhi * 0.5),
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = MatrixRecord> {
+    (
+        (0usize..4, 0usize..3, 0usize..4, 0usize..3),
+        (1usize..1_000_000, 1usize..2_000, 0.0f64..1e6),
+        arb_estimate(),
+        arb_estimate(),
+        arb_estimate(),
+        (0usize..5, 0usize..5, 0usize..5, 0usize..5),
+    )
+        .prop_map(|(axes, counts, mean_ms, p50_ms, p99_ms, outl)| {
+            let corpora = ["uniform-120k", "clustered-60k", "flickr-40k", "tiny"];
+            let algos = ["pSPQ", "eSPQlen", "eSPQsco"];
+            let backends = ["local", "sharded:4", "remote:2", "sharded:16"];
+            let modes = ["execute", "execute-batch", "serve"];
+            let (c, a, b, m) = axes;
+            let (objects, samples, qps) = counts;
+            MatrixRecord {
+                id: format!("{}/{}/{}/{}", corpora[c], algos[a], backends[b], modes[m]),
+                corpus: corpora[c].to_owned(),
+                algorithm: algos[a].to_owned(),
+                backend: backends[b].to_owned(),
+                mode: modes[m].to_owned(),
+                objects,
+                samples,
+                qps,
+                identical_to_reference: true,
+                mean_ms,
+                p50_ms,
+                p99_ms,
+                outliers: Outliers {
+                    severe_low: outl.0,
+                    mild_low: outl.1,
+                    mild_high: outl.2,
+                    severe_high: outl.3,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serde-style round trip: `from_json(to_json(report))` reproduces
+    /// every field exactly (floats use shortest round-trip formatting).
+    #[test]
+    fn prop_report_round_trips_exactly(
+        records in proptest::collection::vec(arb_record(), 0..6),
+        seed in 0u64..10_000,
+        scale in 0.001f64..10.0,
+    ) {
+        let report = MatrixReport {
+            schema_version: SCHEMA_VERSION,
+            config: ReportConfig {
+                seed,
+                scale,
+                queries: 24,
+                batch: 8,
+                workers: 4,
+                filter: if seed % 2 == 0 { None } else { Some("remote:*".to_owned()) },
+            },
+            records,
+        };
+        let parsed = MatrixReport::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(parsed, report);
+    }
+}
+
+/// A tiny end-to-end run: 1k-object floor, one corpus via filter, two
+/// in-process backends. Exercises the full runner path including the
+/// byte-identity asserts.
+#[test]
+fn tiny_matrix_run_produces_consistent_records() {
+    use spq_core::Backend;
+    let cfg = MatrixConfig {
+        backends: vec![Backend::Local, Backend::Sharded { shards: 2 }],
+        filter: Some("uniform-120k/*".to_owned()),
+        scale: 1e-9, // clamps to the 1k-object floor
+        queries: 6,
+        batch: 3,
+        workers: 2,
+        ..MatrixConfig::default()
+    };
+    let report = run_matrix(&cfg);
+    // 3 algorithms × 2 backends × 3 modes, uniform corpus only.
+    assert_eq!(report.records.len(), 18);
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert_eq!(report.config.filter.as_deref(), Some("uniform-120k/*"));
+    for r in &report.records {
+        assert_eq!(r.corpus, "uniform-120k");
+        assert_eq!(r.objects, 1_000);
+        assert_eq!(r.samples, 6);
+        assert!(r.identical_to_reference);
+        assert!(r.qps > 0.0, "{}", r.id);
+        for e in [&r.mean_ms, &r.p50_ms, &r.p99_ms] {
+            assert!(e.lo <= e.point && e.point <= e.hi, "{}: {:?}", r.id, e);
+        }
+        assert_eq!(
+            r.id,
+            format!("{}/{}/{}/{}", r.corpus, r.algorithm, r.backend, r.mode)
+        );
+    }
+    // The document the runner writes parses back to itself.
+    let parsed = MatrixReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+// ---- the compare gate, driven through the real binary ----------------
+
+fn write_report(dir: &Path, name: &str, report: &MatrixReport) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, report.to_json()).expect("write report");
+    path
+}
+
+fn run_compare(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_spq-bench"))
+        .arg("compare")
+        .args(args)
+        .output()
+        .expect("run spq-bench compare");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spq-matrix-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn compare_flags_an_injected_30_percent_slowdown() {
+    let dir = temp_dir("slowdown");
+    let base = synthetic_fixture();
+    let mut slow = base.clone();
+    for r in &mut slow.records {
+        if r.id.contains("pSPQ/local") {
+            for e in [&mut r.mean_ms, &mut r.p50_ms, &mut r.p99_ms] {
+                e.point *= 1.3;
+                e.lo *= 1.3;
+                e.hi *= 1.3;
+            }
+        }
+    }
+    let b = write_report(&dir, "base.json", &base);
+    let c = write_report(&dir, "slow.json", &slow);
+    let (code, stdout) = run_compare(&[b.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("**regressed**"), "{stdout}");
+    assert!(stdout.contains("1 regressed"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_passes_pure_noise_within_the_interval() {
+    let dir = temp_dir("noise");
+    let base = synthetic_fixture();
+    let mut noisy = base.clone();
+    // Small point wiggle, intervals still overlapping: noise.
+    for r in &mut noisy.records {
+        r.mean_ms.point *= 1.02;
+        r.mean_ms.lo *= 1.02;
+        r.mean_ms.hi *= 1.02;
+    }
+    let b = write_report(&dir, "base.json", &base);
+    let c = write_report(&dir, "noisy.json", &noisy);
+    let (code, stdout) = run_compare(&[b.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_reports_disjoint_id_sets_as_added_and_removed() {
+    let dir = temp_dir("disjoint");
+    let base = synthetic_fixture();
+    let mut cand = base.clone();
+    let dropped = cand.records.remove(0).id;
+    let mut extra = cand.records[0].clone();
+    extra.id = "clustered-60k/eSPQsco/local/serve".to_owned();
+    cand.records.push(extra.clone());
+    let b = write_report(&dir, "base.json", &base);
+    let c = write_report(&dir, "cand.json", &cand);
+    let (code, stdout) = run_compare(&[b.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("Added benchmarks"), "{stdout}");
+    assert!(stdout.contains(&extra.id), "{stdout}");
+    assert!(stdout.contains("Removed benchmarks"), "{stdout}");
+    assert!(stdout.contains(&dropped), "{stdout}");
+    assert!(stdout.contains("1 added, 1 removed"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_exits_2_on_unreadable_documents() {
+    let dir = temp_dir("unreadable");
+    let good = write_report(&dir, "good.json", &synthetic_fixture());
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{ not json").expect("write");
+    let (code, _) = run_compare(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    let (code, _) = run_compare(&[
+        dir.join("missing.json").to_str().unwrap(),
+        good.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_verdicts_are_symmetric() {
+    // Improvements never fail the gate: compare(slow, fast) exits 0.
+    let base = synthetic_fixture();
+    let mut fast = base.clone();
+    for r in &mut fast.records {
+        r.mean_ms.point *= 0.5;
+        r.mean_ms.lo *= 0.5;
+        r.mean_ms.hi *= 0.5;
+    }
+    let cmp = spq_bench::matrix::compare_reports(&base, &fast, 0.05);
+    assert_eq!(cmp.regressions(), 0);
+    assert!(cmp.deltas.iter().all(|d| d.verdict == Verdict::Improved));
+}

@@ -1,12 +1,22 @@
 //! Offline stand-in for `criterion`: enough of the 0.5 API to register and
-//! smoke-run the workspace's bench targets. Each benchmark is warmed up
-//! once, then timed over a short fixed window, and one line of output is
-//! printed per benchmark. This is a runner, not a statistics engine.
+//! run the workspace's bench targets. Each benchmark is warmed up once,
+//! then timed over a short fixed window; per-iteration samples feed the
+//! [`stats`] module, so every printed line carries a bootstrap 95%
+//! confidence interval and a Tukey outlier census — real statistics, not
+//! just a mean.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
+pub mod stats;
+
 pub use std::hint::black_box;
+
+/// Per-iteration samples recorded for the statistics pass are capped so
+/// nanosecond-scale routines (millions of iterations per window) don't
+/// allocate unboundedly; timing continues past the cap and the mean is
+/// computed over **all** iterations.
+const MAX_RECORDED_SAMPLES: usize = 1024;
 
 /// Identifies one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -55,18 +65,26 @@ pub enum BatchSize {
 pub struct Bencher<'a> {
     total: &'a mut Duration,
     iters: &'a mut u64,
+    samples: &'a mut Vec<f64>,
     window: Duration,
 }
 
 impl Bencher<'_> {
+    fn record(&mut self, elapsed: Duration) {
+        *self.total += elapsed;
+        *self.iters += 1;
+        if self.samples.len() < MAX_RECORDED_SAMPLES {
+            self.samples.push(elapsed.as_secs_f64());
+        }
+    }
+
     /// Times `routine` repeatedly over the measurement window.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         loop {
             let t0 = Instant::now();
             black_box(routine());
-            *self.total += t0.elapsed();
-            *self.iters += 1;
+            self.record(t0.elapsed());
             if start.elapsed() >= self.window {
                 break;
             }
@@ -84,8 +102,7 @@ impl Bencher<'_> {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            *self.total += t0.elapsed();
-            *self.iters += 1;
+            self.record(t0.elapsed());
             if start.elapsed() >= self.window {
                 break;
             }
@@ -99,20 +116,33 @@ fn run_one(group: Option<&str>, id: &str, window: Duration, f: &mut dyn FnMut(&m
         None => id.to_string(),
     };
     // One warm-up pass with a tiny window.
-    let (mut warm_total, mut warm_iters) = (Duration::ZERO, 0u64);
+    let (mut warm_total, mut warm_iters, mut warm_samples) = (Duration::ZERO, 0u64, Vec::new());
     f(&mut Bencher {
         total: &mut warm_total,
         iters: &mut warm_iters,
+        samples: &mut warm_samples,
         window: Duration::ZERO,
     });
-    let (mut total, mut iters) = (Duration::ZERO, 0u64);
+    let (mut total, mut iters, mut samples) = (Duration::ZERO, 0u64, Vec::new());
     f(&mut Bencher {
         total: &mut total,
         iters: &mut iters,
+        samples: &mut samples,
         window,
     });
     let mean = total.checked_div(iters.max(1) as u32).unwrap_or_default();
-    println!("bench: {full:<60} {mean:>12.2?}/iter  ({iters} iters)");
+    let summary = stats::summarize(
+        &stats::Sample::new(samples),
+        &stats::BootstrapConfig::default(),
+    );
+    let fmt = |secs: f64| format!("{:.2?}", Duration::from_secs_f64(secs.max(0.0)));
+    println!(
+        "bench: {full:<60} {mean:>12.2?}/iter  [{} {}]  ({iters} iters, {} sampled, {} outliers)",
+        fmt(summary.mean.lo),
+        fmt(summary.mean.hi),
+        summary.samples,
+        summary.outliers.total(),
+    );
 }
 
 /// A named collection of related benchmarks.

@@ -1,0 +1,410 @@
+//! Real statistics for the stand-in: percentile estimation,
+//! percentile-bootstrap confidence intervals, and Tukey-fence outlier
+//! classification.
+//!
+//! Everything here is **deterministic**: bootstrap resampling is driven
+//! by a seeded [`rand::rngs::StdRng`] (no wall clock, no OS randomness),
+//! so identical inputs and seeds produce byte-identical intervals — the
+//! property that lets a CI job compare two benchmark documents without
+//! chasing resampling noise.
+//!
+//! The percentile convention matches the workspace's serving harness:
+//! linear interpolation at rank `(n − 1)·p` over the sorted sample, so
+//! the p50 of an even-length sample is the true midpoint rather than the
+//! upper middle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default bootstrap resample count. 200 percentile-bootstrap resamples
+/// put the 95% interval endpoints within a few percent of their
+/// asymptotic positions — plenty for a regression gate — while keeping
+/// the runner cheap.
+pub const DEFAULT_RESAMPLES: usize = 200;
+
+/// Default confidence level of the reported intervals.
+pub const DEFAULT_CONFIDENCE: f64 = 0.95;
+
+/// Default resampling seed ("SPQSTAT" in ASCII-ish hex). Fixed so every
+/// run of the same sample reports the same interval.
+pub const DEFAULT_SEED: u64 = 0x5350_5153_5441_5400;
+
+/// A set of observations, held sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    sorted: Vec<f64>,
+}
+
+impl Sample {
+    /// Builds a sample from raw observations (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-finite — NaN has no place in a latency
+    /// vector and would poison every statistic below.
+    pub fn new(values: impl Into<Vec<f64>>) -> Self {
+        let mut sorted: Vec<f64> = values.into();
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "sample values must be finite"
+        );
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the sample holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The observations, sorted ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Arithmetic mean (`0.0` for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Sample standard deviation (n − 1 denominator; `0.0` when fewer
+    /// than two observations).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest observation (`0.0` for an empty sample).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest observation (`0.0` for an empty sample).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear-interpolation percentile at `p ∈ [0, 1]` (clamped). The
+    /// estimate sits at rank `(n − 1)·p` between the two bracketing order
+    /// statistics; `0.0` for an empty sample.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (self.sorted.len() - 1) as f64 * p.clamp(0.0, 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+}
+
+/// A point estimate with its bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The statistic evaluated on the full sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl Estimate {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when `v` lies inside the interval (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when the two intervals share at least one point — the
+    /// "statistically indistinguishable" test the compare gate uses.
+    pub fn overlaps(&self, other: &Estimate) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Bootstrap parameters: resample count, confidence level, RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of with-replacement resamples drawn.
+    pub resamples: usize,
+    /// Confidence level of the reported interval (e.g. `0.95`).
+    pub confidence: f64,
+    /// Seed of the deterministic resampling RNG.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            resamples: DEFAULT_RESAMPLES,
+            confidence: DEFAULT_CONFIDENCE,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval of an arbitrary statistic:
+/// draw `resamples` with-replacement resamples of the sample, evaluate
+/// `statistic` on each, and take the `(1 − confidence)/2` and
+/// `1 − (1 − confidence)/2` percentiles of the resulting distribution.
+///
+/// Fully deterministic for a given `(sample, cfg)`. Degenerate inputs
+/// (fewer than two observations, or zero resamples) collapse the
+/// interval onto the point estimate.
+pub fn bootstrap<F: Fn(&Sample) -> f64>(
+    sample: &Sample,
+    cfg: &BootstrapConfig,
+    statistic: F,
+) -> Estimate {
+    let point = statistic(sample);
+    if sample.len() < 2 || cfg.resamples == 0 {
+        return Estimate {
+            point,
+            lo: point,
+            hi: point,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = sample.len();
+    let mut stats = Vec::with_capacity(cfg.resamples);
+    let mut scratch = Vec::with_capacity(n);
+    for _ in 0..cfg.resamples {
+        scratch.clear();
+        for _ in 0..n {
+            scratch.push(sample.sorted[rng.gen_range(0..n)]);
+        }
+        stats.push(statistic(&Sample::new(scratch.clone())));
+    }
+    interval(point, &Sample::new(stats), cfg.confidence)
+}
+
+/// Bootstrap interval of the mean.
+pub fn bootstrap_mean(sample: &Sample, cfg: &BootstrapConfig) -> Estimate {
+    bootstrap(sample, cfg, Sample::mean)
+}
+
+/// Bootstrap interval of the percentile at `p`.
+pub fn bootstrap_percentile(sample: &Sample, p: f64, cfg: &BootstrapConfig) -> Estimate {
+    bootstrap(sample, cfg, |s| s.percentile(p))
+}
+
+fn interval(point: f64, dist: &Sample, confidence: f64) -> Estimate {
+    let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
+    Estimate {
+        point,
+        lo: dist.percentile(alpha),
+        hi: dist.percentile(1.0 - alpha),
+    }
+}
+
+/// Outlier counts by Tukey-fence class.
+///
+/// With `Q1`/`Q3` the sample quartiles and `IQR = Q3 − Q1`: *mild*
+/// outliers fall outside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`, *severe*
+/// outliers outside `[Q1 − 3·IQR, Q3 + 3·IQR]` (severe is not also
+/// counted as mild).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Outliers {
+    /// Below the severe low fence.
+    pub severe_low: usize,
+    /// Between the severe and mild low fences.
+    pub mild_low: usize,
+    /// Between the mild and severe high fences.
+    pub mild_high: usize,
+    /// Above the severe high fence.
+    pub severe_high: usize,
+}
+
+impl Outliers {
+    /// Total outliers of any class.
+    pub fn total(&self) -> usize {
+        self.severe_low + self.mild_low + self.mild_high + self.severe_high
+    }
+}
+
+/// Classifies every observation against the sample's own Tukey fences.
+pub fn tukey(sample: &Sample) -> Outliers {
+    let mut out = Outliers::default();
+    if sample.len() < 2 {
+        return out;
+    }
+    let q1 = sample.percentile(0.25);
+    let q3 = sample.percentile(0.75);
+    let iqr = q3 - q1;
+    let (mild_lo, mild_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let (severe_lo, severe_hi) = (q1 - 3.0 * iqr, q3 + 3.0 * iqr);
+    for &v in sample.values() {
+        if v < severe_lo {
+            out.severe_low += 1;
+        } else if v < mild_lo {
+            out.mild_low += 1;
+        } else if v > severe_hi {
+            out.severe_high += 1;
+        } else if v > mild_hi {
+            out.mild_high += 1;
+        }
+    }
+    out
+}
+
+/// The full statistical digest of one benchmark's sample: bootstrap
+/// intervals for mean/p50/p99 plus the Tukey outlier census.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    /// Number of observations summarized.
+    pub samples: usize,
+    /// Mean with its bootstrap interval.
+    pub mean: Estimate,
+    /// Median with its bootstrap interval.
+    pub p50: Estimate,
+    /// 99th percentile with its bootstrap interval.
+    pub p99: Estimate,
+    /// Tukey-fence outlier counts.
+    pub outliers: Outliers,
+}
+
+/// Summarizes a sample in one resampling pass: each resample is drawn
+/// and sorted once, then yields all three statistics — identical results
+/// to three separate [`bootstrap`] calls would require three RNG streams,
+/// so the single pass is both faster and the canonical definition.
+pub fn summarize(sample: &Sample, cfg: &BootstrapConfig) -> SampleSummary {
+    let point = |f: fn(&Sample) -> f64| f(sample);
+    let (mean_pt, p50_pt, p99_pt) = (
+        point(Sample::mean),
+        sample.percentile(0.50),
+        sample.percentile(0.99),
+    );
+    if sample.len() < 2 || cfg.resamples == 0 {
+        let degenerate = |p: f64| Estimate {
+            point: p,
+            lo: p,
+            hi: p,
+        };
+        return SampleSummary {
+            samples: sample.len(),
+            mean: degenerate(mean_pt),
+            p50: degenerate(p50_pt),
+            p99: degenerate(p99_pt),
+            outliers: tukey(sample),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = sample.len();
+    let (mut means, mut p50s, mut p99s) = (
+        Vec::with_capacity(cfg.resamples),
+        Vec::with_capacity(cfg.resamples),
+        Vec::with_capacity(cfg.resamples),
+    );
+    let mut scratch = Vec::with_capacity(n);
+    for _ in 0..cfg.resamples {
+        scratch.clear();
+        for _ in 0..n {
+            scratch.push(sample.sorted[rng.gen_range(0..n)]);
+        }
+        let resample = Sample::new(scratch.clone());
+        means.push(resample.mean());
+        p50s.push(resample.percentile(0.50));
+        p99s.push(resample.percentile(0.99));
+    }
+    SampleSummary {
+        samples: n,
+        mean: interval(mean_pt, &Sample::new(means), cfg.confidence),
+        p50: interval(p50_pt, &Sample::new(p50s), cfg.confidence),
+        p99: interval(p99_pt, &Sample::new(p99s), cfg.confidence),
+        outliers: tukey(sample),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let s = Sample::new(vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.percentile(0.50), 2.5);
+        assert!((s.percentile(0.99) - 3.97).abs() < 1e-12);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 4.0);
+        let odd = Sample::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(odd.percentile(0.50), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples_are_inert() {
+        let empty = Sample::new(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.percentile(0.5), 0.0);
+        let one = Sample::new(vec![7.0]);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.std_dev(), 0.0);
+        let e = bootstrap_mean(&one, &BootstrapConfig::default());
+        assert_eq!((e.point, e.lo, e.hi), (7.0, 7.0, 7.0));
+        assert_eq!(tukey(&one), Outliers::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_values_are_rejected() {
+        let _ = Sample::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let s = Sample::new((0..40).map(|i| (i * i) as f64).collect::<Vec<_>>());
+        let cfg = BootstrapConfig::default();
+        let a = bootstrap_mean(&s, &cfg);
+        let b = bootstrap_mean(&s, &cfg);
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        let other = bootstrap_mean(
+            &s,
+            &BootstrapConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg
+            },
+        );
+        assert!(
+            a.lo.to_bits() != other.lo.to_bits() || a.hi.to_bits() != other.hi.to_bits(),
+            "different seeds should resample differently"
+        );
+    }
+
+    #[test]
+    fn summary_matches_its_parts() {
+        let s = Sample::new((0..30).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = BootstrapConfig::default();
+        let sum = summarize(&s, &cfg);
+        assert_eq!(sum.samples, 30);
+        assert_eq!(sum.mean.point, s.mean());
+        assert_eq!(sum.p50.point, s.percentile(0.50));
+        assert_eq!(sum.p99.point, s.percentile(0.99));
+        assert!(sum.mean.lo <= sum.mean.point && sum.mean.point <= sum.mean.hi);
+        assert_eq!(sum.outliers, tukey(&s));
+    }
+}

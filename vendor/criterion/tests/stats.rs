@@ -1,0 +1,233 @@
+//! Properties and fixtures for `criterion::stats` — the statistics every
+//! benchmark record in `BENCH_MATRIX.json` is built from.
+//!
+//! The suite pins four contracts: bootstrap intervals are *calibrated*
+//! (they contain the sample statistic and tighten as samples grow),
+//! percentiles match hand-computed fixtures, outlier classification
+//! agrees with manually applied Tukey fences, and everything is
+//! bit-deterministic per seed.
+
+use criterion::stats::{
+    bootstrap, bootstrap_mean, bootstrap_percentile, summarize, tukey, BootstrapConfig, Estimate,
+    Outliers, Sample,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn bootstrap_ci_contains_the_sample_mean_on_fixtures() {
+    let cfg = BootstrapConfig::default();
+    for (label, values) in [
+        ("uniformish", (0..50).map(|i| i as f64).collect::<Vec<_>>()),
+        ("skewed", vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 50.0]),
+        ("constant", vec![5.0; 20]),
+        ("two-point", vec![0.0, 1000.0]),
+    ] {
+        let s = Sample::new(values);
+        let e = bootstrap_mean(&s, &cfg);
+        assert!(
+            e.contains(s.mean()),
+            "{label}: mean {} outside [{}, {}]",
+            s.mean(),
+            e.lo,
+            e.hi
+        );
+        assert!(e.lo <= e.hi, "{label}: inverted interval");
+    }
+}
+
+#[test]
+fn ci_width_shrinks_monotonically_with_sample_count() {
+    // Same synthetic distribution (exponential-ish via -ln U), three
+    // nested sizes; the mean interval must tighten roughly as 1/sqrt(n).
+    let mut rng = StdRng::seed_from_u64(42);
+    let draws: Vec<f64> = (0..2048)
+        .map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0)
+        .collect();
+    let cfg = BootstrapConfig::default();
+    let width = |n: usize| bootstrap_mean(&Sample::new(draws[..n].to_vec()), &cfg).width();
+    let (w32, w256, w2048) = (width(32), width(256), width(2048));
+    assert!(
+        w32 > w256 && w256 > w2048,
+        "widths must shrink: {w32} > {w256} > {w2048}"
+    );
+    // And not by a hair: an 8x sample should tighten by well over 1.5x.
+    assert!(w32 / w256 > 1.5, "w32/w256 = {}", w32 / w256);
+    assert!(w256 / w2048 > 1.5, "w256/w2048 = {}", w256 / w2048);
+}
+
+#[test]
+fn percentiles_match_hand_computed_fixtures() {
+    // Even length: p50 interpolates the true midpoint, p99 sits at rank
+    // 2.97 between the 3rd and 4th order statistics.
+    let s = Sample::new(vec![4.0, 1.0, 2.0, 3.0]);
+    assert_eq!(s.percentile(0.50), 2.5);
+    assert!((s.percentile(0.99) - 3.97).abs() < 1e-12);
+    assert!((s.percentile(0.25) - 1.75).abs() < 1e-12);
+    assert!((s.percentile(0.75) - 3.25).abs() < 1e-12);
+    // Odd length: exact middle element.
+    assert_eq!(Sample::new(vec![3.0, 1.0, 2.0]).percentile(0.50), 2.0);
+    // Bounds clamp.
+    assert_eq!(s.percentile(-1.0), 1.0);
+    assert_eq!(s.percentile(2.0), 4.0);
+    // A longer fixture: 0..=100 has percentile(p) = 100p exactly.
+    let long = Sample::new((0..=100).map(|i| i as f64).collect::<Vec<_>>());
+    for p in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert!((long.percentile(p) - 100.0 * p).abs() < 1e-9, "p={p}");
+    }
+}
+
+#[test]
+fn tukey_classification_on_crafted_distributions() {
+    // Core 1..=20 with two extremes. Sorted sample: [-35, -8, 1..=20, 28, 60],
+    // n = 24: Q1 = 4.75, Q3 = 16.25, IQR = 11.5; mild fences
+    // [-12.5, 33.5], severe fences [-29.75, 50.75]. -35 and 60 breach the
+    // severe fences; -8 and 28 sit inside the mild fences.
+    let mut values: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+    values.extend([-35.0, -8.0, 28.0, 60.0]);
+    assert_eq!(
+        tukey(&Sample::new(values)),
+        Outliers {
+            severe_low: 1,
+            mild_low: 0,
+            mild_high: 0,
+            severe_high: 1,
+        }
+    );
+
+    // Same core with milder extremes: -15 ∈ [-29.75, -12.5) and
+    // 40 ∈ (33.5, 50.75] are mild, not severe.
+    let mut values: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+    values.extend([-15.0, -8.0, 28.0, 40.0]);
+    assert_eq!(
+        tukey(&Sample::new(values)),
+        Outliers {
+            severe_low: 0,
+            mild_low: 1,
+            mild_high: 1,
+            severe_high: 0,
+        }
+    );
+
+    // A tight cluster has no outliers at all.
+    assert_eq!(
+        tukey(&Sample::new(vec![10.0, 10.5, 11.0, 10.2, 10.8])),
+        Outliers::default()
+    );
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_intervals() {
+    let s = Sample::new((0..64).map(|i| ((i * 37) % 101) as f64).collect::<Vec<_>>());
+    let cfg = BootstrapConfig::default();
+    let (a, b) = (summarize(&s, &cfg), summarize(&s, &cfg));
+    for (x, y) in [(a.mean, b.mean), (a.p50, b.p50), (a.p99, b.p99)] {
+        assert_eq!(x.point.to_bits(), y.point.to_bits());
+        assert_eq!(x.lo.to_bits(), y.lo.to_bits());
+        assert_eq!(x.hi.to_bits(), y.hi.to_bits());
+    }
+    // A different seed moves at least one interval endpoint.
+    let other = summarize(
+        &s,
+        &BootstrapConfig {
+            seed: cfg.seed.wrapping_add(1),
+            ..cfg
+        },
+    );
+    assert!(
+        a.mean.lo.to_bits() != other.mean.lo.to_bits()
+            || a.mean.hi.to_bits() != other.mean.hi.to_bits(),
+        "reseeding should change the resampling stream"
+    );
+}
+
+#[test]
+fn estimate_overlap_and_containment() {
+    let a = Estimate {
+        point: 5.0,
+        lo: 4.0,
+        hi: 6.0,
+    };
+    let b = Estimate {
+        point: 6.5,
+        lo: 5.5,
+        hi: 7.5,
+    };
+    let c = Estimate {
+        point: 9.0,
+        lo: 8.0,
+        hi: 10.0,
+    };
+    assert!(a.overlaps(&b) && b.overlaps(&a));
+    assert!(!a.overlaps(&c) && !c.overlaps(&a));
+    assert!(a.contains(4.0) && a.contains(6.0) && !a.contains(6.01));
+    assert_eq!(a.width(), 2.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The mean's percentile-bootstrap interval contains the sample mean
+    /// for arbitrary (finite, non-degenerate) samples.
+    #[test]
+    fn prop_bootstrap_mean_ci_contains_sample_mean(
+        values in proptest::collection::vec(0.0f64..1000.0, 3..40),
+    ) {
+        let s = Sample::new(values);
+        let e = bootstrap_mean(&s, &BootstrapConfig::default());
+        prop_assert!(e.contains(s.mean()), "mean {} outside [{}, {}]", s.mean(), e.lo, e.hi);
+    }
+
+    /// Percentile bootstrap endpoints always stay within the sample's
+    /// observed range, and the interval is ordered.
+    #[test]
+    fn prop_bootstrap_percentile_is_ordered_and_bounded(
+        values in proptest::collection::vec(-500.0f64..500.0, 2..30),
+        p in 0.0f64..1.0,
+    ) {
+        let s = Sample::new(values);
+        let e = bootstrap_percentile(&s, p, &BootstrapConfig::default());
+        prop_assert!(e.lo <= e.hi);
+        prop_assert!(e.lo >= s.min() - 1e-9 && e.hi <= s.max() + 1e-9);
+    }
+
+    /// Outlier classification agrees with Tukey fences re-applied by
+    /// hand from the sample's own quartiles.
+    #[test]
+    fn prop_tukey_agrees_with_manual_fences(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..50),
+    ) {
+        let s = Sample::new(values.clone());
+        let out = tukey(&s);
+        let (q1, q3) = (s.percentile(0.25), s.percentile(0.75));
+        let iqr = q3 - q1;
+        let mut manual = Outliers::default();
+        for &v in &values {
+            if v < q1 - 3.0 * iqr {
+                manual.severe_low += 1;
+            } else if v < q1 - 1.5 * iqr {
+                manual.mild_low += 1;
+            } else if v > q3 + 3.0 * iqr {
+                manual.severe_high += 1;
+            } else if v > q3 + 1.5 * iqr {
+                manual.mild_high += 1;
+            }
+        }
+        prop_assert_eq!(out, manual);
+    }
+
+    /// An arbitrary statistic's bootstrap is reproducible bit-for-bit.
+    #[test]
+    fn prop_bootstrap_deterministic(
+        values in proptest::collection::vec(0.0f64..10.0, 2..20),
+        seed in 0u64..1000,
+    ) {
+        let s = Sample::new(values);
+        let cfg = BootstrapConfig { seed, ..BootstrapConfig::default() };
+        let a = bootstrap(&s, &cfg, |x| x.max() - x.min());
+        let b = bootstrap(&s, &cfg, |x| x.max() - x.min());
+        prop_assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        prop_assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+    }
+}
