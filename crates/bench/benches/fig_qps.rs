@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spq_bench::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
-use spq_core::{Algorithm, QueryEngine, SpqExecutor};
+use spq_core::{Algorithm, QueryEngine, QueryExecutor, QueryRequest, SpqExecutor};
 use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
 use spq_mapreduce::ClusterConfig;
 use spq_spatial::Rect;
@@ -30,6 +30,7 @@ fn fig_qps(c: &mut Criterion) {
         },
     );
     let queries = stream.batch(16);
+    let requests: Vec<QueryRequest> = queries.iter().cloned().map(QueryRequest::new).collect();
     let owned_splits = dataset.to_splits(8);
     let (shared, _) = dataset.to_shared_splits(8);
     let workers = ClusterConfig::auto().workers;
@@ -56,24 +57,24 @@ fn fig_qps(c: &mut Criterion) {
         );
         group.bench_with_input(
             BenchmarkId::new(algo.name(), "engine"),
-            &queries,
-            |b, qs| {
+            &requests,
+            |b, rs| {
                 b.iter(|| {
-                    qs.iter()
-                        .map(|q| engine.query(q).unwrap().top_k.len())
+                    rs.iter()
+                        .map(|r| engine.execute(r).unwrap().results.len())
                         .sum::<usize>()
                 })
             },
         );
         group.bench_with_input(
             BenchmarkId::new(algo.name(), "engine-batch"),
-            &queries,
-            |b, qs| b.iter(|| engine.query_batch(qs).unwrap().len()),
+            &requests,
+            |b, rs| b.iter(|| engine.execute_batch(rs).unwrap().len()),
         );
         group.bench_with_input(
             BenchmarkId::new(algo.name(), "engine-serve"),
-            &queries,
-            |b, qs| b.iter(|| engine.serve(qs, workers).unwrap().len()),
+            &requests,
+            |b, rs| b.iter(|| engine.serve_requests(rs, workers).unwrap().len()),
         );
     }
     group.finish();

@@ -17,9 +17,9 @@
 //!
 //! | mode | facade call | local backend equivalent |
 //! |---|---|---|
-//! | `execute` | [`SpqService::execute`] loop | `engine` (sequential) |
-//! | `execute-batch` | [`SpqService::execute_batch`] | `engine-batch` (keyword-index candidate pruning) |
-//! | `serve` | [`SpqService::serve`] | `engine-serve` (inter-query concurrency) |
+//! | `execute` | [`QueryExecutor::execute`] loop | `engine` (sequential) |
+//! | `execute-batch` | [`QueryExecutor::execute_batch`] | `engine-batch` (keyword-index candidate pruning) |
+//! | `serve` | [`QueryExecutor::serve_requests`] | `engine-serve` (inter-query concurrency) |
 //!
 //! On top of the per-mode QPS, the report aggregates the new per-query
 //! [`spq_core::QueryStats`]: shards touched, gather wire bytes,
@@ -28,7 +28,9 @@
 
 use crate::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
 use crate::qps::{mode_stats, ModeStats};
-use spq_core::{Backend, QueryEngine, QueryRequest, RankedObject, SpqExecutor, SpqService};
+use spq_core::{
+    Backend, QueryEngine, QueryExecutor, QueryRequest, RankedObject, SpqExecutor, SpqService,
+};
 use spq_data::{
     Dataset, DatasetGenerator, IngestError, IngestOptions, QueryStream, StreamConfig, UniformGen,
 };
@@ -214,8 +216,8 @@ pub fn run_backend_bench(cfg: &BackendBenchConfig) -> Result<BackendReport, Inge
     let (shared, _) = dataset.to_shared_splits(8);
 
     // The byte-identity reference — the plain single-store engine through
-    // the shim API — depends only on the algorithm, so it is computed once
-    // per algorithm and shared by every backend section.
+    // the typed API — depends only on the algorithm, so it is computed
+    // once per algorithm and shared by every backend section.
     let prepared: Vec<(spq_core::Algorithm, SpqExecutor, Vec<Vec<RankedObject>>)> =
         spq_core::Algorithm::ALL
             .iter()
@@ -225,9 +227,9 @@ pub fn run_backend_bench(cfg: &BackendBenchConfig) -> Result<BackendReport, Inge
                     .grid_size(cfg.grid)
                     .cluster(ClusterConfig::with_workers(cfg.workers));
                 let reference_engine = QueryEngine::new(exec.clone(), shared.clone());
-                let reference: Vec<Vec<RankedObject>> = queries
+                let reference: Vec<Vec<RankedObject>> = requests
                     .iter()
-                    .map(|q| reference_engine.query(q).expect("reference job").top_k)
+                    .map(|r| reference_engine.execute(r).expect("reference job").results)
                     .collect();
                 (algorithm, exec, reference)
             })
@@ -309,7 +311,9 @@ pub fn run_backend_bench(cfg: &BackendBenchConfig) -> Result<BackendReport, Inge
 
                     // -- serve: inter-query concurrency -------------------
                     let wall = Instant::now();
-                    let responses = service.serve(&requests, cfg.workers.max(1)).expect("serve");
+                    let responses = service
+                        .serve_requests(&requests, cfg.workers.max(1))
+                        .expect("serve");
                     let serve_wall = wall.elapsed();
                     let latencies = responses
                         .iter()

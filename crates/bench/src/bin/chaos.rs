@@ -21,7 +21,9 @@
 //! executable (both live in `target/release` after a workspace build).
 
 use spq_bench::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
-use spq_core::{MembershipConfig, QueryEngine, QueryRequest, RemoteEngine, SpqExecutor, SpqQuery};
+use spq_core::{
+    MembershipConfig, QueryEngine, QueryExecutor, QueryRequest, RemoteEngine, SpqExecutor, SpqQuery,
+};
 use spq_data::{DatasetGenerator, QueryStream, StreamConfig, UniformGen};
 use spq_spatial::Rect;
 use std::io::{BufRead, BufReader};

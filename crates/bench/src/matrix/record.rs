@@ -20,7 +20,7 @@ use criterion::stats::{Estimate, Outliers};
 /// Version of the record shape. **Bump this whenever any field of
 /// [`MatrixReport`]/[`MatrixRecord`] changes**, and regenerate the golden
 /// fixture; the schema-fingerprint test enforces the coupling.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The run configuration echoed into the document, so a stored report is
 /// self-describing and comparable runs are recognizable.
@@ -51,7 +51,8 @@ pub struct MatrixRecord {
     pub algorithm: String,
     /// Third id segment (`local`, `sharded:N`, `remote:N`).
     pub backend: String,
-    /// Fourth id segment (`execute`, `execute-batch`, `serve`).
+    /// Fourth id segment (`execute`, `execute-batch`, `serve`,
+    /// `serve-admission`).
     pub mode: String,
     /// Objects actually served (after scaling).
     pub objects: usize,
@@ -59,6 +60,11 @@ pub struct MatrixRecord {
     pub samples: usize,
     /// Queries per second over the mode's wall clock.
     pub qps: f64,
+    /// Fraction of offered requests not answered — overload rejections
+    /// plus deadline sheds over total offered. `0.0` for every mode but
+    /// `serve-admission`, where the 2×-overload harness makes it
+    /// deterministic and nonzero by construction.
+    pub shed_rate: f64,
     /// `true` iff every response matched the single-store reference
     /// byte for byte (the runner asserts it, so a written record always
     /// says `true` — the field exists so a reader need not know that).
@@ -116,8 +122,8 @@ impl MatrixReport {
                 r.id, r.corpus, r.algorithm, r.backend, r.mode
             ));
             out.push_str(&format!(
-                "      \"objects\": {}, \"samples\": {}, \"qps\": {:?}, \"identical_to_reference\": {},\n",
-                r.objects, r.samples, r.qps, r.identical_to_reference
+                "      \"objects\": {}, \"samples\": {}, \"qps\": {:?}, \"shed_rate\": {:?}, \"identical_to_reference\": {},\n",
+                r.objects, r.samples, r.qps, r.shed_rate, r.identical_to_reference
             ));
             out.push_str(&format!(
                 "      \"mean_ms\": {},\n      \"p50_ms\": {},\n      \"p99_ms\": {},\n",
@@ -227,6 +233,7 @@ fn parse_record(v: &Json) -> Result<MatrixRecord, String> {
         objects: field_u64(v, "objects")? as usize,
         samples: field_u64(v, "samples")? as usize,
         qps: field_f64(v, "qps")?,
+        shed_rate: field_f64(v, "shed_rate")?,
         identical_to_reference: v
             .get("identical_to_reference")
             .and_then(Json::as_bool)
@@ -247,7 +254,7 @@ fn parse_record(v: &Json) -> Result<MatrixRecord, String> {
 /// fingerprint — hand-set values, no benchmarking involved.
 pub fn synthetic_fixture() -> MatrixReport {
     let est = |point: f64, lo: f64, hi: f64| Estimate { point, lo, hi };
-    let record = |id: &str, backend: &str, mode: &str, base: f64| {
+    let record = |id: &str, backend: &str, mode: &str, base: f64, shed_rate: f64| {
         let (corpus, rest) = id.split_once('/').expect("id has axes");
         let algorithm = rest.split('/').next().expect("algorithm axis");
         MatrixRecord {
@@ -259,6 +266,7 @@ pub fn synthetic_fixture() -> MatrixReport {
             objects: 1_000,
             samples: 24,
             qps: 4000.0 / base,
+            shed_rate,
             identical_to_reference: true,
             mean_ms: est(base, base * 0.9, base * 1.1),
             p50_ms: est(base * 0.95, base * 0.85, base * 1.05),
@@ -282,18 +290,33 @@ pub fn synthetic_fixture() -> MatrixReport {
             filter: Some("uniform-120k/*".to_owned()),
         },
         records: vec![
-            record("uniform-120k/pSPQ/local/execute", "local", "execute", 1.25),
+            record(
+                "uniform-120k/pSPQ/local/execute",
+                "local",
+                "execute",
+                1.25,
+                0.0,
+            ),
             record(
                 "uniform-120k/pSPQ/sharded:4/execute-batch",
                 "sharded:4",
                 "execute-batch",
                 0.75,
+                0.0,
             ),
             record(
                 "uniform-120k/eSPQlen/remote:2/serve",
                 "remote:2",
                 "serve",
                 2.5,
+                0.0,
+            ),
+            record(
+                "uniform-120k/eSPQsco/local/serve-admission",
+                "local",
+                "serve-admission",
+                0.6,
+                0.5,
             ),
         ],
     }
@@ -348,7 +371,7 @@ mod tests {
     fn wrong_schema_version_is_rejected_with_advice() {
         let text = synthetic_fixture()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = MatrixReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema version 999"), "{err}");
         assert!(err.contains("regenerate"), "{err}");

@@ -15,7 +15,8 @@ use super::record::{MatrixRecord, MatrixReport, ReportConfig};
 use super::{bench_id, glob_match};
 use criterion::stats::{summarize, BootstrapConfig, Sample};
 use spq_core::{
-    Algorithm, Backend, QueryEngine, QueryRequest, RankedObject, SpqExecutor, SpqService,
+    AdmissionConfig, AdmissionQueue, Algorithm, Backend, OverflowPolicy, QueryEngine,
+    QueryExecutor, QueryRequest, RankedObject, SpqError, SpqExecutor, SpqService, Ticket,
 };
 use spq_data::{QueryStream, StreamConfig};
 use spq_mapreduce::ClusterConfig;
@@ -139,9 +140,9 @@ pub fn run_matrix(cfg: &MatrixConfig) -> MatrixReport {
                 .grid_size(spec.grid)
                 .cluster(ClusterConfig::with_workers(cfg.workers));
             let reference_engine = QueryEngine::new(exec.clone(), shared.clone());
-            let reference: Vec<Vec<RankedObject>> = queries
+            let reference: Vec<Vec<RankedObject>> = requests
                 .iter()
-                .map(|q| reference_engine.query(q).expect("reference job").top_k)
+                .map(|r| reference_engine.execute(r).expect("reference job").results)
                 .collect();
 
             for &backend in &cfg.backends {
@@ -162,10 +163,9 @@ pub fn run_matrix(cfg: &MatrixConfig) -> MatrixReport {
                         &backend.to_string(),
                         mode.name(),
                     );
-                    let (latencies, wall) =
-                        measure_mode(&service, &requests, &reference, mode, cfg, &id);
+                    let measured = measure_mode(&service, &requests, &reference, mode, cfg, &id);
                     records.push(make_record(
-                        &id, spec.name, algorithm, backend, mode, objects, latencies, wall, cfg,
+                        &id, spec.name, algorithm, backend, mode, objects, measured, cfg,
                     ));
                 }
             }
@@ -185,6 +185,15 @@ pub fn run_matrix(cfg: &MatrixConfig) -> MatrixReport {
     }
 }
 
+/// What one mode measurement produced: the per-query latency sample, the
+/// mode's wall clock, and the fraction of offered requests not answered
+/// (nonzero only for `serve-admission`).
+struct Measured {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    shed_rate: f64,
+}
+
 fn measure_mode(
     service: &SpqService,
     requests: &[QueryRequest],
@@ -192,7 +201,7 @@ fn measure_mode(
     mode: Mode,
     cfg: &MatrixConfig,
     id: &str,
-) -> (Vec<Duration>, Duration) {
+) -> Measured {
     match mode {
         Mode::Execute => {
             let mut latencies = Vec::with_capacity(requests.len());
@@ -203,7 +212,11 @@ fn measure_mode(
                 latencies.push(t0.elapsed());
                 assert_eq!(&response.results, expect, "{id}: execute diverged");
             }
-            (latencies, wall.elapsed())
+            Measured {
+                latencies,
+                wall: wall.elapsed(),
+                shed_rate: 0.0,
+            }
         }
         Mode::ExecuteBatch => {
             let mut latencies = Vec::with_capacity(requests.len());
@@ -221,11 +234,17 @@ fn measure_mode(
                     latencies.push(amortized);
                 }
             }
-            (latencies, wall.elapsed())
+            Measured {
+                latencies,
+                wall: wall.elapsed(),
+                shed_rate: 0.0,
+            }
         }
         Mode::Serve => {
             let wall = Instant::now();
-            let responses = service.serve(requests, cfg.workers.max(1)).expect("serve");
+            let responses = service
+                .serve_requests(requests, cfg.workers.max(1))
+                .expect("serve");
             let wall = wall.elapsed();
             let latencies = responses
                 .iter()
@@ -235,8 +254,96 @@ fn measure_mode(
                     Duration::from_micros(response.stats.wall_micros)
                 })
                 .collect();
-            (latencies, wall)
+            Measured {
+                latencies,
+                wall,
+                shed_rate: 0.0,
+            }
         }
+        Mode::ServeAdmission => measure_serve_admission(service, requests, reference, cfg, id),
+    }
+}
+
+/// Drives the admission front-end at exactly 2× overload, the ISSUE's
+/// acceptance scenario, with a fully deterministic schedule:
+///
+/// * the cap is sized for 1.5× the stream, so of the second (overload)
+///   copy exactly half is admitted and half rejected with `Overloaded`;
+/// * the admitted overload copies carry an already-expired deadline, so
+///   the first pump sheds every one of them with `DeadlineExceeded`;
+/// * the originals carry no deadline and a higher priority, execute in
+///   coalesced windows, and are asserted byte-identical to the
+///   single-store reference.
+///
+/// The latency sample is the executed originals' own `wall_micros`; the
+/// shed rate is `(rejected + shed) / offered = 0.5` by construction.
+fn measure_serve_admission(
+    service: &SpqService,
+    requests: &[QueryRequest],
+    reference: &[Vec<RankedObject>],
+    cfg: &MatrixConfig,
+    id: &str,
+) -> Measured {
+    let n = requests.len();
+    let queue = AdmissionQueue::new(
+        service,
+        AdmissionConfig::default()
+            .with_max_in_flight((n + n / 2).max(1))
+            .with_batch_max(cfg.batch.max(1))
+            .with_batch_ticks(1)
+            .with_overflow(OverflowPolicy::Reject),
+    )
+    .expect("admission config");
+
+    let wall = Instant::now();
+    let originals: Vec<Ticket> = requests
+        .iter()
+        .map(|r| {
+            queue
+                .submit(r.clone().with_priority(1))
+                .expect("under-cap submit")
+        })
+        .collect();
+    // The overload copy: same stream again, lower priority, deadline
+    // already behind the clock at the first window close.
+    let mut rejected = 0usize;
+    let doomed: Vec<Ticket> = requests
+        .iter()
+        .filter_map(|r| match queue.submit(r.clone().with_deadline(0)) {
+            Ok(ticket) => Some(ticket),
+            Err(SpqError::Overloaded { .. }) => {
+                rejected += 1;
+                None
+            }
+            Err(other) => panic!("{id}: unexpected submit error: {other}"),
+        })
+        .collect();
+    let report = queue.drain();
+    let wall = wall.elapsed();
+
+    assert_eq!(report.executed, n, "{id}: every original executes");
+    assert_eq!(rejected, n - n / 2, "{id}: overload rejections at the cap");
+    for ticket in doomed {
+        match ticket.wait() {
+            Err(SpqError::DeadlineExceeded { .. }) => {}
+            other => panic!("{id}: overload copy should be shed, got {other:?}"),
+        }
+    }
+    let latencies: Vec<Duration> = originals
+        .into_iter()
+        .zip(reference)
+        .map(|(ticket, expect)| {
+            let response = ticket.wait().expect("admitted original");
+            assert_eq!(&response.results, expect, "{id}: serve-admission diverged");
+            Duration::from_micros(response.stats.wall_micros)
+        })
+        .collect();
+    let stats = queue.stats();
+    let offered = stats.submitted.max(1);
+    Measured {
+        latencies,
+        wall,
+        shed_rate: (stats.rejected_overload + stats.shed_deadline) as f64 / offered as f64,
     }
 }
 
@@ -248,11 +355,14 @@ fn make_record(
     backend: Backend,
     mode: Mode,
     objects: usize,
-    latencies: Vec<Duration>,
-    wall: Duration,
+    measured: Measured,
     cfg: &MatrixConfig,
 ) -> MatrixRecord {
-    let ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let ms: Vec<f64> = measured
+        .latencies
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e3)
+        .collect();
     let summary = summarize(&Sample::new(ms), &cfg.bootstrap);
     MatrixRecord {
         id: id.to_owned(),
@@ -262,7 +372,8 @@ fn make_record(
         mode: mode.name().to_owned(),
         objects,
         samples: summary.samples,
-        qps: latencies.len() as f64 / wall.as_secs_f64().max(1e-12),
+        qps: measured.latencies.len() as f64 / measured.wall.as_secs_f64().max(1e-12),
+        shed_rate: measured.shed_rate,
         // Reaching this point at all means every assert above held.
         identical_to_reference: true,
         mean_ms: summary.mean,

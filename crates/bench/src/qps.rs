@@ -18,7 +18,9 @@
 //! per mode: queries/second, p50/p99 per-query latency, total wall.
 
 use crate::params::{scaled, DEFAULT_GRID_SYNTH, DEFAULT_SIZE_UN};
-use spq_core::{Algorithm, QueryEngine, RankedObject, SpqExecutor, SpqQuery};
+use spq_core::{
+    Algorithm, QueryEngine, QueryExecutor, QueryRequest, RankedObject, SpqExecutor, SpqQuery,
+};
 use spq_data::{Dataset, DatasetGenerator, QueryStream, StreamConfig, UniformGen};
 use spq_mapreduce::pool::run_tasks;
 use spq_mapreduce::ClusterConfig;
@@ -195,28 +197,30 @@ pub fn measure_algorithms(inputs: &ModeInputs<'_>) -> Vec<QpsAlgoReport> {
             let rebuild = mode_stats("rebuild", latencies, wall.elapsed());
 
             // -- engine: build-once state, sequential queries -------------
-            let mut latencies = Vec::with_capacity(queries.len());
+            let requests: Vec<QueryRequest> =
+                queries.iter().cloned().map(QueryRequest::new).collect();
+            let mut latencies = Vec::with_capacity(requests.len());
             let wall = Instant::now();
-            for (q, expect) in queries.iter().zip(&reference) {
+            for (request, expect) in requests.iter().zip(&reference) {
                 let t0 = Instant::now();
-                let result = engine.query(q).expect("engine job");
+                let response = engine.execute(request).expect("engine job");
                 latencies.push(t0.elapsed());
-                assert_eq!(&result.top_k, expect, "{algorithm}: engine diverged");
+                assert_eq!(&response.results, expect, "{algorithm}: engine diverged");
             }
             let engine_seq = mode_stats("engine", latencies, wall.elapsed());
 
             // -- engine-batch: keyword-index candidate pruning ------------
-            let mut latencies = Vec::with_capacity(queries.len());
+            let mut latencies = Vec::with_capacity(requests.len());
             let wall = Instant::now();
-            for (chunk, expect) in queries
+            for (chunk, expect) in requests
                 .chunks(batch.max(1))
                 .zip(reference.chunks(batch.max(1)))
             {
                 let t0 = Instant::now();
-                let results = engine.query_batch(chunk).expect("batch job");
+                let responses = engine.execute_batch(chunk).expect("batch job");
                 let amortized = t0.elapsed() / chunk.len() as u32;
-                for (result, expect) in results.iter().zip(expect) {
-                    assert_eq!(&result.top_k, expect, "{algorithm}: batch diverged");
+                for (response, expect) in responses.iter().zip(expect) {
+                    assert_eq!(&response.results, expect, "{algorithm}: batch diverged");
                     latencies.push(amortized);
                 }
             }

@@ -49,7 +49,7 @@ fn golden_file_matches_the_committed_fixture() {
 /// regenerate the golden fixture.
 #[test]
 fn schema_fingerprint_is_pinned_to_the_version() {
-    assert_eq!(SCHEMA_VERSION, 1, "update the fingerprint below on bump");
+    assert_eq!(SCHEMA_VERSION, 2, "update the fingerprint below on bump");
     assert_eq!(
         schema_fingerprint(),
         "bench;\
@@ -62,7 +62,7 @@ fn schema_fingerprint_is_pinned_to_the_version() {
          records[].outliers.severe_high;records[].outliers.severe_low;\
          records[].p50_ms.hi;records[].p50_ms.lo;records[].p50_ms.point;\
          records[].p99_ms.hi;records[].p99_ms.lo;records[].p99_ms.point;\
-         records[].qps;records[].samples;\
+         records[].qps;records[].samples;records[].shed_rate;\
          schema_version"
             .replace(";\n", ";")
             .replace(' ', ""),
@@ -80,7 +80,7 @@ fn arb_estimate() -> impl Strategy<Value = Estimate> {
 
 fn arb_record() -> impl Strategy<Value = MatrixRecord> {
     (
-        (0usize..4, 0usize..3, 0usize..4, 0usize..3),
+        (0usize..4, 0usize..3, 0usize..4, 0usize..4),
         (1usize..1_000_000, 1usize..2_000, 0.0f64..1e6),
         arb_estimate(),
         arb_estimate(),
@@ -91,7 +91,7 @@ fn arb_record() -> impl Strategy<Value = MatrixRecord> {
             let corpora = ["uniform-120k", "clustered-60k", "flickr-40k", "tiny"];
             let algos = ["pSPQ", "eSPQlen", "eSPQsco"];
             let backends = ["local", "sharded:4", "remote:2", "sharded:16"];
-            let modes = ["execute", "execute-batch", "serve"];
+            let modes = ["execute", "execute-batch", "serve", "serve-admission"];
             let (c, a, b, m) = axes;
             let (objects, samples, qps) = counts;
             MatrixRecord {
@@ -103,6 +103,11 @@ fn arb_record() -> impl Strategy<Value = MatrixRecord> {
                 objects,
                 samples,
                 qps,
+                shed_rate: if modes[m] == "serve-admission" {
+                    0.5
+                } else {
+                    0.0
+                },
                 identical_to_reference: true,
                 mean_ms,
                 p50_ms,
@@ -161,8 +166,8 @@ fn tiny_matrix_run_produces_consistent_records() {
         ..MatrixConfig::default()
     };
     let report = run_matrix(&cfg);
-    // 3 algorithms × 2 backends × 3 modes, uniform corpus only.
-    assert_eq!(report.records.len(), 18);
+    // 3 algorithms × 2 backends × 4 modes, uniform corpus only.
+    assert_eq!(report.records.len(), 24);
     assert_eq!(report.schema_version, SCHEMA_VERSION);
     assert_eq!(report.config.filter.as_deref(), Some("uniform-120k/*"));
     for r in &report.records {
@@ -171,6 +176,13 @@ fn tiny_matrix_run_produces_consistent_records() {
         assert_eq!(r.samples, 6);
         assert!(r.identical_to_reference);
         assert!(r.qps > 0.0, "{}", r.id);
+        if r.mode == "serve-admission" {
+            // 2× overload against a 1.5× cap: half the offered stream is
+            // rejected or shed, deterministically.
+            assert_eq!(r.shed_rate, 0.5, "{}", r.id);
+        } else {
+            assert_eq!(r.shed_rate, 0.0, "{}", r.id);
+        }
         for e in [&r.mean_ms, &r.p50_ms, &r.p99_ms] {
             assert!(e.lo <= e.point && e.point <= e.hi, "{}: {:?}", r.id, e);
         }

@@ -12,25 +12,31 @@
 //!   [`CellRouting`] lookup tables (cached per radius, shared by every
 //!   later query); a [`KeywordIndex`] inverted index over the feature
 //!   keywords is built eagerly at construction.
-//! * **Serve many** — [`query`](QueryEngine::query) evaluates one query
-//!   against the prebuilt state, byte-identical to a fresh
-//!   [`SpqExecutor::run_dataset`] job; [`query_batch`](QueryEngine::query_batch)
-//!   additionally resolves each query's matching features through the
+//! * **Serve many** — the engine speaks the typed
+//!   [`QueryExecutor`] surface:
+//!   [`execute`](crate::service::QueryExecutor::execute) evaluates one
+//!   request against the prebuilt state, byte-identical to a fresh
+//!   [`SpqExecutor::run_dataset`] job;
+//!   [`execute_batch`](crate::service::QueryExecutor::execute_batch)
+//!   additionally resolves each request's matching features through the
 //!   keyword index, so the map phase scans only candidate features
-//!   instead of the whole feature set; [`serve`](QueryEngine::serve)
-//!   pushes independent queries through the `spq-mapreduce` worker pool —
-//!   parallelism comes from **inter-query concurrency** (each query runs
-//!   as a single-threaded job), the right shape for high-QPS traffic of
-//!   many small queries.
+//!   instead of the whole feature set;
+//!   [`serve_requests`](crate::service::QueryExecutor::serve_requests)
+//!   pushes independent requests through the `spq-mapreduce` worker pool
+//!   — parallelism comes from **inter-query concurrency** (each query
+//!   runs as a single-threaded job), the right shape for high-QPS
+//!   traffic of many small queries. The plain-`SpqQuery` methods
+//!   ([`query`](QueryEngine::query) and friends) are deprecated shims
+//!   over the same machinery.
 //!
 //! Determinism carries over from the job runner: for a fixed engine and
 //! query, every entry point returns the same bytes regardless of worker
-//! counts, and `query` matches a fresh per-query executor job exactly
+//! counts, and `execute` matches a fresh per-query executor job exactly
 //! (`tests/engine_reuse.rs` proves both properties with proptests).
 //!
 //! ```
 //! use spq_core::{Algorithm, DataObject, FeatureObject, QueryEngine, SpqExecutor, SpqQuery};
-//! use spq_core::SharedDataset;
+//! use spq_core::{QueryExecutor, QueryRequest, SharedDataset};
 //! use spq_spatial::{Point, Rect};
 //! use spq_text::KeywordSet;
 //!
@@ -45,16 +51,16 @@
 //! // Build once…
 //! let engine = QueryEngine::new(executor, dataset);
 //!
-//! // …then serve an arbitrary stream of queries against the same state.
-//! let q1 = SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]));
-//! let q2 = SpqQuery::new(1, 2.5, KeywordSet::from_ids([0, 7]));
-//! assert_eq!(engine.query(&q1).unwrap().top_k[0].object, 1);
+//! // …then serve an arbitrary stream of requests against the same state.
+//! let r1 = QueryRequest::new(SpqQuery::new(1, 1.5, KeywordSet::from_ids([0])));
+//! let r2 = QueryRequest::new(SpqQuery::new(1, 2.5, KeywordSet::from_ids([0, 7])));
+//! assert_eq!(engine.execute(&r1).unwrap().results[0].object, 1);
 //!
-//! let batch = engine.query_batch(&[q1.clone(), q2.clone()]).unwrap();
+//! let batch = engine.execute_batch(&[r1.clone(), r2.clone()]).unwrap();
 //! assert_eq!(batch.len(), 2);
 //!
-//! let served = engine.serve(&[q1, q2], 2).unwrap();
-//! assert_eq!(served[0].top_k, batch[0].top_k);
+//! let served = engine.serve_requests(&[r1, r2], 2).unwrap();
+//! assert_eq!(served[0].results, batch[0].results);
 //! assert_eq!(engine.cached_plans(), 2); // one routing plan per radius
 //! ```
 
@@ -62,7 +68,9 @@ use crate::executor::{SpqError, SpqExecutor, SpqResult};
 use crate::model::FeatureObject;
 use crate::partitioning::CellRouting;
 use crate::query::SpqQuery;
-use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
+use crate::service::{
+    ExecutionMode, QueryExecutor, QueryOptions, QueryRequest, QueryResponse, QueryStats,
+};
 use crate::store::{ObjectRef, SharedDataset};
 use parking_lot::Mutex;
 use spq_mapreduce::pool::run_tasks;
@@ -483,6 +491,10 @@ impl QueryEngine {
     /// Byte-identical — results, counters, record counts — to a fresh
     /// [`SpqExecutor::run_dataset`] job over the same dataset; only the
     /// plan/routing work is served from cache instead of being redone.
+    #[deprecated(
+        note = "use the typed path: `QueryExecutor::execute` with a `QueryRequest` \
+                (validates first and reports per-query stats)"
+    )]
     pub fn query(&self, query: &SpqQuery) -> Result<SpqResult, SpqError> {
         self.run_with(&self.exec, &self.splits, query)
     }
@@ -511,6 +523,10 @@ impl QueryEngine {
     /// splits.
     ///
     /// Results are returned in query order.
+    #[deprecated(
+        note = "use the typed path: `QueryExecutor::execute_batch` with `QueryRequest`s \
+                (same coalesced pruning, plus validation and per-query stats)"
+    )]
     pub fn query_batch(&self, queries: &[SpqQuery]) -> Result<Vec<SpqResult>, SpqError> {
         queries
             .iter()
@@ -547,6 +563,10 @@ impl QueryEngine {
     ///
     /// Results come back in query order and are byte-identical to calling
     /// [`query`](Self::query) sequentially, for any worker count.
+    #[deprecated(
+        note = "use the typed path: `QueryExecutor::serve_requests` with `QueryRequest`s, \
+                or the `crate::serve::AdmissionQueue` front-end for live traffic"
+    )]
     pub fn serve(&self, queries: &[SpqQuery], workers: usize) -> Result<Vec<SpqResult>, SpqError> {
         let outcomes = run_tasks(workers.max(1), queries.len(), |i| {
             self.query_sequential(&queries[i])
@@ -562,7 +582,10 @@ impl QueryEngine {
     /// environment override and falls back to 4 workers on hosts that do
     /// not report their parallelism (see
     /// [`ClusterConfig::auto`] for the full resolution order).
+    #[deprecated(note = "use the typed path: `QueryExecutor::serve_requests` with \
+                `ClusterConfig::auto().workers`")]
     pub fn serve_auto(&self, queries: &[SpqQuery]) -> Result<Vec<SpqResult>, SpqError> {
+        #[allow(deprecated)] // a shim forwarding to its sibling shim
         self.serve(queries, ClusterConfig::auto().workers)
     }
 
@@ -684,73 +707,6 @@ impl QueryEngine {
         }
     }
 
-    /// Executes one typed [`QueryRequest`] — the request-path counterpart
-    /// of [`query`](Self::query). Validates first, honours the request's
-    /// options, and reports per-query [`QueryStats`].
-    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_as(request, false, false)
-    }
-
-    /// [`execute`](Self::execute) forced onto a single-threaded job — the
-    /// building block [`serve_requests`](Self::serve_requests) runs on its
-    /// workers (a per-request worker budget is ignored here; see the
-    /// private `exec_for` helper). Same bytes (jobs are
-    /// worker-count-invariant).
-    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_as(request, true, false)
-    }
-
-    /// The one request lifecycle every typed entry point goes through:
-    /// validate → probe the keyword index → run (candidate-pruned when
-    /// `pruned`) → wrap stats.
-    fn execute_as(
-        &self,
-        request: &QueryRequest,
-        sequential: bool,
-        pruned: bool,
-    ) -> Result<QueryResponse, SpqError> {
-        request.validate()?;
-        let started = Instant::now();
-        let keywords = self.keyword_stats(&request.query.keywords);
-        let (result, plan_hit) = if pruned {
-            self.run_opts_pruned(&request.query, &request.options, sequential)?
-        } else {
-            self.run_opts(&request.query, &request.options, sequential)?
-        };
-        Ok(self.respond(request, result, plan_hit, keywords, started))
-    }
-
-    /// Executes a batch of typed requests — the request-path counterpart
-    /// of [`query_batch`](Self::query_batch): each request's map pass is
-    /// pruned down to its candidate features through the keyword index
-    /// (unless pruning is disabled by the engine or the request), and the
-    /// responses come back in request order, byte-identical to
-    /// [`execute`](Self::execute) one by one.
-    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
-        requests
-            .iter()
-            .map(|request| self.execute_as(request, false, true))
-            .collect()
-    }
-
-    /// Executes independent typed requests concurrently on `workers`
-    /// threads — the request-path counterpart of [`serve`](Self::serve).
-    /// Responses in request order, byte-identical to sequential
-    /// [`execute`](Self::execute) calls for any worker count.
-    pub fn serve_requests(
-        &self,
-        requests: &[QueryRequest],
-        workers: usize,
-    ) -> Result<Vec<QueryResponse>, SpqError> {
-        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
-            self.execute_sequential(&requests[i])
-        })
-        .map_err(|p| SpqError::Worker {
-            message: format!("request {}: {}", p.task_index, p.message),
-        })?;
-        outcomes.into_iter().collect()
-    }
-
     /// A snapshot of the engine's cumulative counters: queries served,
     /// plan-cache hits/misses, keyword-index probe outcomes.
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -765,7 +721,41 @@ impl QueryEngine {
     }
 }
 
+impl QueryExecutor for QueryEngine {
+    /// The single-store request lifecycle: probe the keyword index → run
+    /// (sequential for [`ExecutionMode::Sequential`], candidate-pruned
+    /// for [`ExecutionMode::Coalesced`]) → wrap stats. Validation already
+    /// happened on the trait's entry points.
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError> {
+        let (sequential, pruned) = match mode {
+            ExecutionMode::Parallel => (false, false),
+            ExecutionMode::Sequential => (true, false),
+            ExecutionMode::Coalesced => (false, true),
+        };
+        let started = Instant::now();
+        let keywords = self.keyword_stats(&request.query.keywords);
+        let (result, plan_hit) = if pruned {
+            self.run_opts_pruned(&request.query, &request.options, sequential)?
+        } else {
+            self.run_opts(&request.query, &request.options, sequential)?
+        };
+        Ok(self.respond(request, result, plan_hit, keywords, started))
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        QueryEngine::metrics(self)
+    }
+}
+
 #[cfg(test)]
+// The tests below deliberately exercise the deprecated plain-`SpqQuery`
+// shims: they are the parity coverage that keeps `query`/`query_batch`/
+// `serve` byte-identical to the typed path for as long as the shims live.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::DataObject;
@@ -952,6 +942,19 @@ mod tests {
             assert!(engine.cached_plans() <= MAX_CACHED_PLANS);
         }
         assert_eq!(engine.query(&q_at(1.5)).unwrap().top_k, expect);
+    }
+
+    #[test]
+    fn deprecated_shims_match_typed_path() {
+        let engine = QueryEngine::new(executor(), paper_dataset());
+        let q = SpqQuery::new(3, 1.5, KeywordSet::from_ids([0]));
+        let typed = engine.execute(&QueryRequest::new(q.clone())).unwrap();
+        assert_eq!(engine.query(&q).unwrap().top_k, typed.results);
+        assert_eq!(
+            engine.query_batch(std::slice::from_ref(&q)).unwrap()[0].top_k,
+            typed.results
+        );
+        assert_eq!(engine.serve(&[q], 2).unwrap()[0].top_k, typed.results);
     }
 
     #[test]

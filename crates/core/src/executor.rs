@@ -57,12 +57,23 @@ pub enum LoadBalancing {
 /// The error taxonomy of the serving API.
 ///
 /// Every fallible entry point — the per-query [`SpqExecutor`], the
-/// persistent engines, and the typed [`crate::service`] facade — reports
-/// through this enum, so callers can route on *what kind* of failure
-/// occurred: a rejected request ([`InvalidQuery`](Self::InvalidQuery)),
-/// a misconfigured engine ([`InvalidConfig`](Self::InvalidConfig)), or a
-/// runtime execution failure ([`Job`](Self::Job) /
-/// [`Worker`](Self::Worker)).
+/// persistent engines, the typed [`crate::service`] facade and the
+/// [`crate::serve`] admission front-end — reports through this enum, so
+/// callers can route on *what kind* of failure occurred: a rejected
+/// request ([`InvalidQuery`](Self::InvalidQuery)), a misconfigured engine
+/// ([`InvalidConfig`](Self::InvalidConfig)), a runtime execution failure
+/// ([`Job`](Self::Job) / [`Worker`](Self::Worker)), or an admission
+/// outcome ([`Overloaded`](Self::Overloaded) /
+/// [`DeadlineExceeded`](Self::DeadlineExceeded)).
+///
+/// ## Retryability contract
+///
+/// [`is_retryable`](Self::is_retryable) partitions the taxonomy into
+/// errors a client may transparently retry (transient load or
+/// infrastructure conditions: the request itself was well-formed and an
+/// identical resubmission can succeed) and errors it must not (the
+/// request or the deployment is wrong, and retrying would loop forever).
+/// Tests route on the variants — never on error-message substrings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpqError {
     /// The underlying MapReduce job failed.
@@ -103,6 +114,23 @@ pub enum SpqError {
         /// The transport error observed on the final attempt.
         message: String,
     },
+    /// The admission queue was at its bounded in-flight cap and its
+    /// overflow policy rejects instead of blocking (see
+    /// [`crate::serve::OverflowPolicy`]). The request was **not**
+    /// enqueued; resubmitting once load drains is expected to succeed.
+    Overloaded {
+        /// The in-flight cap that was hit.
+        capacity: usize,
+    },
+    /// The request's admission deadline passed before it was dequeued for
+    /// execution — the queue shed it instead of running it late. The
+    /// request never executed.
+    DeadlineExceeded {
+        /// The request's deadline, in admission-clock ticks.
+        deadline: u64,
+        /// The admission clock when the request was shed.
+        now: u64,
+    },
 }
 
 impl SpqError {
@@ -126,6 +154,33 @@ impl SpqError {
             message: message.into(),
         }
     }
+
+    /// Whether a client may transparently resubmit the identical request.
+    ///
+    /// `true` for transient load and infrastructure conditions —
+    /// [`Overloaded`](Self::Overloaded) (the queue was full *now*),
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded) (shed before running;
+    /// nothing executed, so a resubmission with a fresh deadline is
+    /// safe), [`WorkerLost`](Self::WorkerLost) and
+    /// [`Worker`](Self::Worker) (a process or thread died mid-flight).
+    ///
+    /// `false` for deterministic failures that would recur on every
+    /// retry: [`InvalidQuery`](Self::InvalidQuery) and
+    /// [`InvalidConfig`](Self::InvalidConfig) (the input is wrong),
+    /// [`Job`](Self::Job) and [`Remote`](Self::Remote) (the execution
+    /// layer itself reported a typed, non-transport failure).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SpqError::Overloaded { .. }
+            | SpqError::DeadlineExceeded { .. }
+            | SpqError::WorkerLost { .. }
+            | SpqError::Worker { .. } => true,
+            SpqError::Job(_)
+            | SpqError::InvalidQuery { .. }
+            | SpqError::InvalidConfig { .. }
+            | SpqError::Remote { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for SpqError {
@@ -138,6 +193,15 @@ impl fmt::Display for SpqError {
             SpqError::Remote { message } => write!(f, "remote execution failed: {message}"),
             SpqError::WorkerLost { worker, message } => {
                 write!(f, "remote worker {worker} lost: {message}")
+            }
+            SpqError::Overloaded { capacity } => {
+                write!(f, "admission queue overloaded (in-flight cap {capacity})")
+            }
+            SpqError::DeadlineExceeded { deadline, now } => {
+                write!(
+                    f,
+                    "deadline exceeded: due at tick {deadline}, shed at tick {now}"
+                )
             }
         }
     }

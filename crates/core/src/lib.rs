@@ -55,6 +55,7 @@ pub mod model;
 pub mod partitioning;
 pub mod query;
 pub mod remote;
+pub mod serve;
 pub mod service;
 pub mod sharded;
 pub mod store;
@@ -72,7 +73,14 @@ pub use remote::{
     MembershipConfig, MembershipView, RemoteEngine, ShardHost, TickReport, WorkerState,
     SPQ_REMOTE_WORKERS, SPQ_REPLICATION_FACTOR,
 };
-pub use service::{Backend, QueryOptions, QueryRequest, QueryResponse, QueryStats, SpqService};
+pub use serve::{
+    export_metrics, AdmissionConfig, AdmissionQueue, AdmissionSnapshot, HistogramSnapshot,
+    LatencyHistogram, OverflowPolicy, PumpReport, Ticket,
+};
+pub use service::{
+    Backend, ExecutionMode, QueryExecutor, QueryOptions, QueryRequest, QueryResponse, QueryStats,
+    SpqService, TickOutcome,
+};
 pub use sharded::{ShardStats, ShardedEngine};
 pub use store::{ObjectRef, SharedDataset};
 pub use topk::TopKList;

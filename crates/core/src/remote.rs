@@ -74,7 +74,9 @@ use crate::executor::{GridSizing, LoadBalancing, SpqError, SpqExecutor};
 use crate::merge::merge_top_k;
 use crate::model::{DataObject, FeatureObject, ObjectId};
 use crate::query::SpqQuery;
-use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
+use crate::service::{
+    ExecutionMode, QueryExecutor, QueryOptions, QueryRequest, QueryResponse, QueryStats,
+};
 use crate::sharded::wire;
 use crate::store::SharedDataset;
 use crate::Algorithm;
@@ -1601,24 +1603,11 @@ impl RemoteEngine {
         Ok(index)
     }
 
-    /// Executes one typed request: probe, scatter over TCP, gather, merge.
-    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_inner(request, None)
-    }
-
-    /// [`execute`](Self::execute) with a sequential (width-1) scatter —
-    /// the per-request building block of
-    /// [`serve_requests`](Self::serve_requests).
-    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_inner(request, Some(1))
-    }
-
     fn execute_inner(
         &self,
         request: &QueryRequest,
         scatter_override: Option<usize>,
     ) -> Result<QueryResponse, SpqError> {
-        request.validate()?;
         let started = Instant::now();
         let query = &request.query;
         let options = &request.options;
@@ -1735,27 +1724,29 @@ impl RemoteEngine {
             trace,
         })
     }
+}
 
-    /// Executes a batch of requests, in request order.
-    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
-        requests.iter().map(|r| self.execute(r)).collect()
+impl QueryExecutor for RemoteEngine {
+    /// The remote lifecycle: probe the manager-side term index, scatter
+    /// framed shard queries over TCP (width 1 for
+    /// [`ExecutionMode::Sequential`]), gather wire records with
+    /// failover/retry, merge. Workers prune per shard, so
+    /// [`ExecutionMode::Coalesced`] drives like
+    /// [`ExecutionMode::Parallel`].
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError> {
+        let scatter_override = match mode {
+            ExecutionMode::Sequential => Some(1),
+            ExecutionMode::Parallel | ExecutionMode::Coalesced => None,
+        };
+        self.execute_inner(request, scatter_override)
     }
 
-    /// Executes independent requests concurrently on `workers` threads,
-    /// each with a sequential scatter. Responses in request order,
-    /// byte-identical to sequential [`execute`](Self::execute) calls.
-    pub fn serve_requests(
-        &self,
-        requests: &[QueryRequest],
-        workers: usize,
-    ) -> Result<Vec<QueryResponse>, SpqError> {
-        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
-            self.execute_sequential(&requests[i])
-        })
-        .map_err(|p| SpqError::Worker {
-            message: format!("request {}: {}", p.task_index, p.message),
-        })?;
-        outcomes.into_iter().collect()
+    fn metrics(&self) -> MetricsSnapshot {
+        RemoteEngine::metrics(self)
     }
 }
 
@@ -2037,6 +2028,9 @@ mod tests {
             vec![],
         );
         let err = RemoteEngine::self_hosted(executor(), dup, 2).unwrap_err();
+        assert!(matches!(err, SpqError::InvalidConfig { .. }), "{err}");
+        assert!(!err.is_retryable(), "bad datasets must not be retried");
+        // The offending id is part of the message contract.
         assert!(err.to_string().contains("duplicate data object id 7"));
     }
 

@@ -1,0 +1,1219 @@
+//! The admission-controlled serving front-end: bounded in-flight queue,
+//! batch coalescing, deadline shedding.
+//!
+//! The engines execute whatever they are handed; under real traffic the
+//! interesting decisions happen *before* execution — how many requests
+//! may be in the building at once, how arrivals are grouped into batches
+//! (the fastest execution mode), and what to do when the system cannot
+//! keep up. [`AdmissionQueue`] is that front door, generic over any
+//! [`QueryExecutor`] (a borrowed [`crate::service::SpqService`] works:
+//! references execute wherever their referent does):
+//!
+//! * **Bounded in-flight cap** — [`AdmissionQueue::submit`] admits at
+//!   most [`AdmissionConfig::max_in_flight`] requests (queued plus
+//!   executing). At the cap, [`OverflowPolicy::Reject`] fails fast with
+//!   [`SpqError::Overloaded`] (retryable — the client's signal to back
+//!   off), while [`OverflowPolicy::Block`] parks the producer thread
+//!   until capacity frees, converting overload into backpressure.
+//! * **Batch coalescing** — admitted requests wait in an arrival window
+//!   that closes when it holds [`AdmissionConfig::batch_max`] requests
+//!   *or* [`AdmissionConfig::batch_ticks`] ticks after it opened,
+//!   whichever comes first. A closed window executes as one coalesced
+//!   batch ([`ExecutionMode::Coalesced`] per member — exactly what
+//!   [`QueryExecutor::execute_batch`] runs), so concurrency converts
+//!   into the engines' fastest mode. Responses are byte-identical to
+//!   executing each request alone; coalescing and priorities only move
+//!   *when* a request runs.
+//! * **Deadline shedding** — time is a **manual clock**
+//!   ([`AdmissionQueue::tick`], like [`crate::remote::RemoteEngine::tick`]),
+//!   so every schedule is deterministic and testable. When a window
+//!   closes at tick `t`, every queued request whose
+//!   [`QueryRequest::deadline`] is `< t` is shed with
+//!   [`SpqError::DeadlineExceeded`] instead of executed late — under
+//!   overload the queue degrades by answering fewer requests on time,
+//!   never by crashing or answering all of them late.
+//! * **Observability** — admitted/shed/coalesced counters and a queue
+//!   depth watermark ([`AdmissionQueue::stats`]), a log-bucketed
+//!   [`LatencyHistogram`] aggregated inside the serve loop, and a
+//!   scrape-friendly text export ([`export_metrics`] /
+//!   [`AdmissionQueue::metrics_text`]) that folds in the engine's
+//!   [`MetricsSnapshot`] — percentiles exist outside the bench harness.
+//!
+//! The dequeue order is priority-then-arrival
+//! ([`QueryRequest::priority`] descending, submission order within a
+//! priority), so latency-sensitive traffic overtakes bulk traffic
+//! without starving it into deadline misses — and without ever changing
+//! anyone's result bytes.
+//!
+//! ```
+//! use spq_core::serve::{AdmissionConfig, AdmissionQueue};
+//! use spq_core::{DataObject, FeatureObject, QueryEngine, QueryRequest};
+//! use spq_core::{SharedDataset, SpqExecutor, SpqQuery};
+//! use spq_spatial::{Point, Rect};
+//! use spq_text::KeywordSet;
+//!
+//! let dataset = SharedDataset::new(
+//!     vec![DataObject::new(1, Point::new(4.6, 4.8))],
+//!     vec![FeatureObject::new(4, Point::new(3.8, 5.5), KeywordSet::from_ids([0]))],
+//! );
+//! let engine = QueryEngine::new(
+//!     SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4),
+//!     dataset,
+//! );
+//! let queue = AdmissionQueue::new(&engine, AdmissionConfig::default()).unwrap();
+//!
+//! let ticket = queue
+//!     .submit(QueryRequest::new(SpqQuery::new(1, 1.5, KeywordSet::from_ids([0]))))
+//!     .unwrap();
+//! queue.drain(); // or a serve loop calling `tick()` on a cadence
+//! assert_eq!(ticket.wait().unwrap().results[0].object, 1);
+//! ```
+
+use crate::engine::MetricsSnapshot;
+use crate::executor::SpqError;
+use crate::service::{ExecutionMode, QueryExecutor, QueryRequest, QueryResponse};
+use crate::sharded::ShardStats;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+
+/// What [`AdmissionQueue::submit`] does when the in-flight cap is hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Fail fast with [`SpqError::Overloaded`] — the request is not
+    /// enqueued, and the error is retryable
+    /// ([`SpqError::is_retryable`]): the client's signal to back off and
+    /// resubmit. The default: overload surfaces at the edge instead of
+    /// growing an unbounded queue.
+    #[default]
+    Reject,
+    /// Park the producer thread until capacity frees — backpressure for
+    /// in-process producers that would rather wait than handle a
+    /// rejection.
+    Block,
+}
+
+/// Configuration of an [`AdmissionQueue`]. Builder-style, validated at
+/// [`AdmissionQueue::new`] exactly as [`QueryRequest::validate`] guards
+/// the request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Upper bound on requests admitted at once (queued plus executing).
+    /// Must be ≥ 1.
+    pub max_in_flight: usize,
+    /// What [`AdmissionQueue::submit`] does at the cap.
+    pub overflow: OverflowPolicy,
+    /// A coalescing window closes as soon as it holds this many
+    /// requests. Must be ≥ 1.
+    pub batch_max: usize,
+    /// A non-full window closes this many ticks after it opened (`0`
+    /// closes every window on the next [`AdmissionQueue::tick`]).
+    pub batch_ticks: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 64,
+            overflow: OverflowPolicy::default(),
+            batch_max: 8,
+            batch_ticks: 1,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Sets the in-flight cap.
+    pub fn with_max_in_flight(mut self, cap: usize) -> Self {
+        self.max_in_flight = cap;
+        self
+    }
+
+    /// Sets the overflow policy.
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Sets the size at which a coalescing window closes.
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Sets the tick age at which a non-full window closes.
+    pub fn with_batch_ticks(mut self, ticks: u64) -> Self {
+        self.batch_ticks = ticks;
+        self
+    }
+
+    /// Checks the configuration before the queue is built.
+    pub fn validate(&self) -> Result<(), SpqError> {
+        if self.max_in_flight == 0 {
+            return Err(SpqError::invalid_config(
+                "admission cap must admit at least one request",
+            ));
+        }
+        if self.batch_max == 0 {
+            return Err(SpqError::invalid_config(
+                "coalescing windows must hold at least one request",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The slot a pending request's outcome is delivered into.
+#[derive(Debug, Default)]
+struct TicketInner {
+    slot: Mutex<Option<Result<QueryResponse, SpqError>>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    fn deliver(&self, outcome: Result<QueryResponse, SpqError>) {
+        *self.slot.lock() = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one admitted request's eventual outcome — the
+/// bounded-channel job handle of the admission queue.
+///
+/// The producer that submitted keeps the ticket; the serve loop delivers
+/// into it when the request executes (or is shed). [`wait`](Self::wait)
+/// parks until then, so a ticket must not be waited on from the same
+/// thread that drives [`AdmissionQueue::tick`] before the request was
+/// pumped.
+#[derive(Debug)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Whether the outcome has been delivered (never blocks).
+    pub fn is_ready(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+
+    /// Takes the outcome if it has been delivered (never blocks).
+    pub fn try_wait(self) -> Result<Result<QueryResponse, SpqError>, Ticket> {
+        let taken = self.inner.slot.lock().take();
+        match taken {
+            Some(outcome) => Ok(outcome),
+            None => Err(self),
+        }
+    }
+
+    /// Parks until the outcome is delivered, then returns it.
+    pub fn wait(self) -> Result<QueryResponse, SpqError> {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// One admitted, not-yet-executed request.
+#[derive(Debug)]
+struct Pending {
+    /// Arrival order — the tiebreaker within a priority.
+    seq: u64,
+    request: QueryRequest,
+    ticket: Arc<TicketInner>,
+}
+
+/// Queue state behind one mutex.
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<Pending>,
+    /// Admitted requests not yet resolved (queued + executing + shedding)
+    /// — what the cap bounds.
+    in_flight: usize,
+    next_seq: u64,
+    /// The tick the current coalescing window opened, `None` while the
+    /// queue is empty.
+    window_open: Option<u64>,
+    /// Highest queue depth ever observed at admission.
+    depth_watermark: usize,
+}
+
+/// Cumulative admission counters.
+#[derive(Debug, Default)]
+struct AdmissionCounters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    executed: AtomicU64,
+    failed: AtomicU64,
+    coalesced_batches: AtomicU64,
+}
+
+/// A point-in-time snapshot of an [`AdmissionQueue`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Requests offered to [`AdmissionQueue::submit`] (valid or not).
+    pub submitted: u64,
+    /// Requests admitted past the cap check.
+    pub admitted: u64,
+    /// Requests rejected at the cap under [`OverflowPolicy::Reject`].
+    pub rejected_overload: u64,
+    /// Admitted requests shed past their deadline at dequeue time.
+    pub shed_deadline: u64,
+    /// Admitted requests that executed and delivered a response.
+    pub executed: u64,
+    /// Admitted requests whose execution returned an error.
+    pub failed: u64,
+    /// Coalesced batches the serve loop has executed.
+    pub coalesced_batches: u64,
+    /// Highest queue depth ever observed at admission.
+    pub queue_depth_watermark: usize,
+    /// Requests currently queued (excludes the executing window).
+    pub queue_depth: usize,
+    /// The manual clock's current tick.
+    pub clock: u64,
+}
+
+/// Number of latency buckets: bucket `i ≥ 1` counts observations in
+/// `[2^(i-1), 2^i)` microseconds, bucket `0` counts zeros, and the last
+/// bucket absorbs everything ≥ 2^30 µs (~18 minutes).
+pub const LATENCY_BUCKETS: usize = 31;
+
+/// A log-bucketed (powers-of-two microseconds) latency histogram.
+///
+/// Lock-free to record (one atomic add), tiny to keep per queue, and
+/// mergeable — the shape every serving stack uses for percentiles that
+/// must be cheap at scrape time. Exact percentiles stay in the bench
+/// harness; this is the production approximation (one power of two of
+/// resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        ((u64::BITS - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`LATENCY_BUCKETS`] for the bounds).
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of all recorded observations, microseconds.
+    pub sum_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; LATENCY_BUCKETS],
+            sum_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The inclusive upper bound of bucket `i`, microseconds (`None` for
+    /// the unbounded last bucket).
+    pub fn upper_bound(i: usize) -> Option<u64> {
+        (i + 1 < LATENCY_BUCKETS).then(|| (1u64 << i) - 1)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket that contains it (0 when empty). One power of two of
+    /// resolution — the scrape-side approximation, not the bench-side
+    /// bootstrap.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        Self::upper_bound(LATENCY_BUCKETS - 2).unwrap_or(0)
+    }
+
+    /// Mean observation, microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / count as f64
+        }
+    }
+
+    /// Adds another snapshot's counts into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_micros += other.sum_micros;
+    }
+}
+
+/// What one [`AdmissionQueue::pump`] (or [`tick`](AdmissionQueue::tick))
+/// did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Requests executed in this pump's coalesced window.
+    pub executed: usize,
+    /// Requests shed past their deadline at this dequeue.
+    pub shed: usize,
+    /// Requests whose execution returned an error.
+    pub failed: usize,
+    /// Requests still queued after the pump.
+    pub remaining: usize,
+}
+
+impl PumpReport {
+    /// Whether the pump found nothing to do and nothing left behind.
+    pub fn idle(&self) -> bool {
+        *self == PumpReport::default()
+    }
+
+    /// Folds another report into this one (`remaining` takes the later
+    /// value).
+    pub fn absorb(&mut self, other: PumpReport) {
+        self.executed += other.executed;
+        self.shed += other.shed;
+        self.failed += other.failed;
+        self.remaining = other.remaining;
+    }
+}
+
+/// The admission-controlled serving front-end. See the
+/// [module docs](self) for the full lifecycle.
+///
+/// `E` is any [`QueryExecutor`] — an owned engine, or a borrowed one
+/// (`&SpqService`), since references execute wherever their referent
+/// does. Producers call [`submit`](Self::submit) from any number of
+/// threads; a serve loop (usually one thread, but any driver works)
+/// advances the manual clock with [`tick`](Self::tick) or drains
+/// synchronously with [`drain`](Self::drain).
+#[derive(Debug)]
+pub struct AdmissionQueue<E: QueryExecutor> {
+    executor: E,
+    config: AdmissionConfig,
+    clock: AtomicU64,
+    state: Mutex<QueueState>,
+    /// Signals blocked producers when capacity frees.
+    space: Condvar,
+    counters: AdmissionCounters,
+    latency: LatencyHistogram,
+}
+
+impl<E: QueryExecutor> AdmissionQueue<E> {
+    /// Builds a queue over `executor`, validating `config`.
+    pub fn new(executor: E, config: AdmissionConfig) -> Result<Self, SpqError> {
+        config.validate()?;
+        Ok(Self {
+            executor,
+            config,
+            clock: AtomicU64::new(0),
+            state: Mutex::new(QueueState::default()),
+            space: Condvar::new(),
+            counters: AdmissionCounters::default(),
+            latency: LatencyHistogram::new(),
+        })
+    }
+
+    /// The executor requests are served on.
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
+    /// The configuration the queue was built with.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// The manual clock's current tick.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Offers one request for admission.
+    ///
+    /// Validates first ([`SpqError::InvalidQuery`] is never admitted),
+    /// then applies the cap: at [`AdmissionConfig::max_in_flight`]
+    /// admitted requests, [`OverflowPolicy::Reject`] returns
+    /// [`SpqError::Overloaded`] and [`OverflowPolicy::Block`] parks until
+    /// capacity frees. Admission returns a [`Ticket`] for the eventual
+    /// outcome — which may still be [`SpqError::DeadlineExceeded`] if the
+    /// request's deadline passes before a serve-loop pump dequeues it.
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, SpqError> {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        request.validate()?;
+        let ticket = Arc::new(TicketInner::default());
+        let mut state = self.state.lock();
+        while state.in_flight >= self.config.max_in_flight {
+            match self.config.overflow {
+                OverflowPolicy::Reject => {
+                    self.counters
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SpqError::Overloaded {
+                        capacity: self.config.max_in_flight,
+                    });
+                }
+                OverflowPolicy::Block => {
+                    state = self
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            }
+        }
+        state.in_flight += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.window_open.is_none() {
+            state.window_open = Some(self.now());
+        }
+        state.pending.push_back(Pending {
+            seq,
+            request,
+            ticket: Arc::clone(&ticket),
+        });
+        state.depth_watermark = state.depth_watermark.max(state.pending.len());
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// Advances the manual clock one tick, then [`pump`](Self::pump)s.
+    /// The deterministic heartbeat of a serve loop.
+    pub fn tick(&self) -> PumpReport {
+        self.clock.fetch_add(1, Ordering::Relaxed);
+        self.pump()
+    }
+
+    /// Closes the coalescing window if it is due — full
+    /// ([`AdmissionConfig::batch_max`]) or aged out
+    /// ([`AdmissionConfig::batch_ticks`]) — and executes it: first shed
+    /// every queued request whose deadline has passed *at this dequeue*,
+    /// then run the highest-priority `batch_max` survivors as one
+    /// coalesced batch and deliver into their tickets. Does nothing when
+    /// the window is still filling.
+    pub fn pump(&self) -> PumpReport {
+        let now = self.now();
+        let (window, shed) = {
+            let mut state = self.state.lock();
+            let Some(opened) = state.window_open else {
+                return PumpReport::default();
+            };
+            let size_due = state.pending.len() >= self.config.batch_max;
+            let time_due = now >= opened.saturating_add(self.config.batch_ticks);
+            if !size_due && !time_due {
+                return PumpReport {
+                    remaining: state.pending.len(),
+                    ..PumpReport::default()
+                };
+            }
+
+            // Shed at dequeue time: exactly the queued requests whose
+            // deadline tick is behind the clock, wherever they sit in
+            // the queue (they could only ever be dequeued later, so
+            // shedding now frees capacity earliest).
+            let mut survivors: Vec<Pending> = Vec::with_capacity(state.pending.len());
+            let mut shed = Vec::new();
+            for p in state.pending.drain(..) {
+                if p.request.deadline.is_some_and(|d| now > d) {
+                    shed.push(p);
+                } else {
+                    survivors.push(p);
+                }
+            }
+
+            // Dequeue order: priority descending, arrival order within a
+            // priority — result bytes are unaffected, only scheduling.
+            survivors.sort_by_key(|p| (std::cmp::Reverse(p.request.priority), p.seq));
+            let take = survivors.len().min(self.config.batch_max);
+            let window: Vec<Pending> = survivors.drain(..take).collect();
+            survivors.sort_by_key(|p| p.seq);
+            state.pending = survivors.into();
+            state.window_open = (!state.pending.is_empty()).then_some(now);
+            (window, shed)
+        };
+
+        for p in &shed {
+            let deadline = p.request.deadline.expect("shed requests carry a deadline");
+            p.ticket
+                .deliver(Err(SpqError::DeadlineExceeded { deadline, now }));
+        }
+        self.counters
+            .shed_deadline
+            .fetch_add(shed.len() as u64, Ordering::Relaxed);
+
+        let mut executed = 0usize;
+        let mut failed = 0usize;
+        if !window.is_empty() {
+            self.counters
+                .coalesced_batches
+                .fetch_add(1, Ordering::Relaxed);
+            // One coalesced window: per-member ExecutionMode::Coalesced,
+            // exactly what `QueryExecutor::execute_batch` runs — but
+            // delivered per ticket, so one failing request cannot poison
+            // its window-mates.
+            for p in &window {
+                match self
+                    .executor
+                    .run_validated(&p.request, ExecutionMode::Coalesced)
+                {
+                    Ok(response) => {
+                        self.latency.record(response.stats.wall_micros);
+                        executed += 1;
+                        p.ticket.deliver(Ok(response));
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        p.ticket.deliver(Err(e));
+                    }
+                }
+            }
+            self.counters
+                .executed
+                .fetch_add(executed as u64, Ordering::Relaxed);
+            self.counters
+                .failed
+                .fetch_add(failed as u64, Ordering::Relaxed);
+        }
+
+        let remaining = {
+            let mut state = self.state.lock();
+            state.in_flight -= window.len() + shed.len();
+            state.pending.len()
+        };
+        if self.config.overflow == OverflowPolicy::Block {
+            self.space.notify_all();
+        }
+        PumpReport {
+            executed,
+            shed: shed.len(),
+            failed,
+            remaining,
+        }
+    }
+
+    /// Ticks until the queue is empty, folding every pump into one
+    /// report. This only drains what has been submitted when it runs —
+    /// with live producers, run a serve loop around
+    /// [`tick`](Self::tick) instead.
+    pub fn drain(&self) -> PumpReport {
+        let mut total = PumpReport::default();
+        loop {
+            let report = self.tick();
+            total.absorb(report);
+            if report.remaining == 0 {
+                return total;
+            }
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// A snapshot of the admission counters.
+    pub fn stats(&self) -> AdmissionSnapshot {
+        let (queue_depth, queue_depth_watermark) = {
+            let state = self.state.lock();
+            (state.pending.len(), state.depth_watermark)
+        };
+        AdmissionSnapshot {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            rejected_overload: self.counters.rejected_overload.load(Ordering::Relaxed),
+            shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
+            executed: self.counters.executed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            coalesced_batches: self.counters.coalesced_batches.load(Ordering::Relaxed),
+            queue_depth_watermark,
+            queue_depth,
+            clock: self.now(),
+        }
+    }
+
+    /// A snapshot of the latency histogram the serve loop aggregates.
+    pub fn latency(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    /// The full scrape payload for this queue: the executor's
+    /// [`MetricsSnapshot`], the admission counters and the latency
+    /// histogram, in the [`export_metrics`] text format. Per-shard lines
+    /// require the caller to pass
+    /// [`crate::sharded::ShardedEngine::shard_stats`] to
+    /// [`export_metrics`] directly — the trait surface is
+    /// backend-erased.
+    pub fn metrics_text(&self) -> String {
+        export_metrics(
+            &self.executor.metrics(),
+            &[],
+            Some(&self.stats()),
+            Some(&self.latency()),
+        )
+    }
+}
+
+fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders a scrape-friendly (Prometheus text format) export of the
+/// serving metrics: the engine's cumulative [`MetricsSnapshot`],
+/// optional per-shard traffic lines, and — when a front-end runs — the
+/// admission counters and the log-bucketed latency histogram
+/// (cumulative `_bucket{le="…"}` lines).
+pub fn export_metrics(
+    engine: &MetricsSnapshot,
+    shards: &[ShardStats],
+    admission: Option<&AdmissionSnapshot>,
+    latency: Option<&HistogramSnapshot>,
+) -> String {
+    let mut out = String::new();
+    push_counter(
+        &mut out,
+        "spq_engine_queries_total",
+        "Queries executed through any entry point.",
+        engine.queries,
+    );
+    push_counter(
+        &mut out,
+        "spq_engine_plan_cache_hits_total",
+        "Queries whose partition plan was served from cache.",
+        engine.plan_cache_hits,
+    );
+    push_counter(
+        &mut out,
+        "spq_engine_plan_cache_misses_total",
+        "Queries that built (and cached) their partition plan.",
+        engine.plan_cache_misses,
+    );
+    push_counter(
+        &mut out,
+        "spq_engine_keyword_probes_total",
+        "Query keywords probed against the keyword index.",
+        engine.keyword_probes,
+    );
+    push_counter(
+        &mut out,
+        "spq_engine_keyword_hits_total",
+        "Probed keywords that hit a non-empty posting list.",
+        engine.keyword_hits,
+    );
+    push_counter(
+        &mut out,
+        "spq_remote_retries_total",
+        "Shard re-dispatches after remote worker failures.",
+        engine.remote_retries,
+    );
+    push_gauge(
+        &mut out,
+        "spq_remote_excluded_workers",
+        "Remote workers currently out of rotation.",
+        engine.excluded_workers,
+    );
+    push_counter(
+        &mut out,
+        "spq_remote_warm_failovers_total",
+        "Failovers served by flipping to a warm replica.",
+        engine.warm_failovers,
+    );
+    push_counter(
+        &mut out,
+        "spq_remote_cold_reprovisions_total",
+        "Failovers that re-shipped a provision payload.",
+        engine.cold_reprovisions,
+    );
+    push_counter(
+        &mut out,
+        "spq_remote_readmissions_total",
+        "Remote workers re-admitted after probe hysteresis.",
+        engine.readmissions,
+    );
+
+    if !shards.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP spq_shard_queries_total Queries served per shard."
+        );
+        let _ = writeln!(out, "# TYPE spq_shard_queries_total counter");
+        for s in shards {
+            let _ = writeln!(
+                out,
+                "spq_shard_queries_total{{shard=\"{}\"}} {}",
+                s.shard, s.queries
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP spq_shard_gather_bytes_total Wire bytes shipped per shard."
+        );
+        let _ = writeln!(out, "# TYPE spq_shard_gather_bytes_total counter");
+        for s in shards {
+            let _ = writeln!(
+                out,
+                "spq_shard_gather_bytes_total{{shard=\"{}\"}} {}",
+                s.shard, s.bytes_shipped
+            );
+        }
+    }
+
+    if let Some(a) = admission {
+        push_counter(
+            &mut out,
+            "spq_admission_submitted_total",
+            "Requests offered to the admission queue.",
+            a.submitted,
+        );
+        push_counter(
+            &mut out,
+            "spq_admission_admitted_total",
+            "Requests admitted past the in-flight cap.",
+            a.admitted,
+        );
+        push_counter(
+            &mut out,
+            "spq_admission_rejected_overload_total",
+            "Requests rejected at the cap (Overloaded).",
+            a.rejected_overload,
+        );
+        push_counter(
+            &mut out,
+            "spq_admission_shed_deadline_total",
+            "Requests shed past their deadline at dequeue.",
+            a.shed_deadline,
+        );
+        push_counter(
+            &mut out,
+            "spq_admission_executed_total",
+            "Admitted requests that delivered a response.",
+            a.executed,
+        );
+        push_counter(
+            &mut out,
+            "spq_admission_coalesced_batches_total",
+            "Coalesced windows the serve loop executed.",
+            a.coalesced_batches,
+        );
+        push_gauge(
+            &mut out,
+            "spq_admission_queue_depth",
+            "Requests currently queued.",
+            a.queue_depth as u64,
+        );
+        push_gauge(
+            &mut out,
+            "spq_admission_queue_depth_watermark",
+            "Highest queue depth observed at admission.",
+            a.queue_depth_watermark as u64,
+        );
+    }
+
+    if let Some(h) = latency {
+        let name = "spq_request_latency_micros";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Per-request execution wall time, microseconds."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            cumulative += n;
+            match HistogramSnapshot::upper_bound(i) {
+                Some(le) => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum_micros);
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::model::{DataObject, FeatureObject};
+    use crate::query::SpqQuery;
+    use crate::store::SharedDataset;
+    use crate::SpqExecutor;
+    use spq_spatial::{Point, Rect};
+    use spq_text::KeywordSet;
+
+    fn feature(id: u64, x: f64, y: f64, kw: &[u32]) -> FeatureObject {
+        FeatureObject::new(
+            id,
+            Point::new(x, y),
+            KeywordSet::from_ids(kw.iter().copied()),
+        )
+    }
+
+    fn paper_dataset() -> SharedDataset {
+        SharedDataset::new(
+            vec![
+                DataObject::new(1, Point::new(4.6, 4.8)),
+                DataObject::new(2, Point::new(7.5, 1.7)),
+                DataObject::new(3, Point::new(8.9, 5.2)),
+                DataObject::new(4, Point::new(1.8, 1.8)),
+                DataObject::new(5, Point::new(1.9, 9.0)),
+            ],
+            vec![
+                feature(1, 2.8, 1.2, &[0, 1]),
+                feature(2, 5.0, 3.8, &[2, 3]),
+                feature(3, 8.7, 1.9, &[4, 5]),
+                feature(4, 3.8, 5.5, &[0]),
+                feature(5, 5.2, 5.1, &[6, 7]),
+                feature(6, 7.4, 5.4, &[8, 9]),
+                feature(7, 3.0, 8.1, &[0, 10]),
+                feature(8, 9.5, 7.0, &[11]),
+            ],
+        )
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(
+            SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4),
+            paper_dataset(),
+        )
+    }
+
+    fn request(k: usize, r: f64, kw: &[u32]) -> QueryRequest {
+        QueryRequest::new(SpqQuery::new(
+            k,
+            r,
+            KeywordSet::from_ids(kw.iter().copied()),
+        ))
+    }
+
+    #[test]
+    fn config_validates_like_the_request_path() {
+        assert!(AdmissionConfig::default().validate().is_ok());
+        for bad in [
+            AdmissionConfig::default().with_max_in_flight(0),
+            AdmissionConfig::default().with_batch_max(0),
+        ] {
+            assert!(matches!(
+                bad.validate(),
+                Err(SpqError::InvalidConfig { .. })
+            ));
+        }
+        // batch_ticks = 0 is legal: every window closes on the next tick.
+        assert!(AdmissionConfig::default()
+            .with_batch_ticks(0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn admitted_requests_answer_identically_to_direct_execution() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(&engine, AdmissionConfig::default()).unwrap();
+        let requests: Vec<QueryRequest> = (1..=5).map(|k| request(k, 1.5, &[0])).collect();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| queue.submit(r.clone()).unwrap())
+            .collect();
+        let report = queue.drain();
+        assert_eq!(report.executed, 5);
+        assert_eq!(report.shed, 0);
+        for (ticket, request) in tickets.into_iter().zip(&requests) {
+            let got = ticket.wait().unwrap();
+            let expect = engine.execute_sequential(request).unwrap();
+            assert_eq!(got.results, expect.results);
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.executed, 5);
+        assert!(stats.coalesced_batches >= 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.queue_depth_watermark >= 1);
+    }
+
+    #[test]
+    fn reject_policy_overflows_with_retryable_overloaded() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_max_in_flight(2)
+                .with_batch_max(2),
+        )
+        .unwrap();
+        let _t1 = queue.submit(request(1, 1.5, &[0])).unwrap();
+        let _t2 = queue.submit(request(2, 1.5, &[0])).unwrap();
+        let err = queue.submit(request(3, 1.5, &[0])).unwrap_err();
+        assert_eq!(err, SpqError::Overloaded { capacity: 2 });
+        assert!(err.is_retryable());
+        // Capacity frees once the window executes.
+        queue.drain();
+        assert!(queue.submit(request(3, 1.5, &[0])).is_ok());
+        assert_eq!(queue.stats().rejected_overload, 1);
+    }
+
+    #[test]
+    fn block_policy_parks_producers_until_capacity_frees() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_max_in_flight(1)
+                .with_batch_max(1)
+                .with_overflow(OverflowPolicy::Block),
+        )
+        .unwrap();
+        let first = queue.submit(request(1, 1.5, &[0])).unwrap();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| queue.submit(request(2, 1.5, &[0])).unwrap());
+            // Drive until both requests made it through: the producer can
+            // only return once the first window freed its slot.
+            while !producer.is_finished() {
+                queue.tick();
+                std::thread::yield_now();
+            }
+            let second = producer.join().unwrap();
+            queue.drain();
+            assert!(first.wait().is_ok());
+            assert!(second.wait().is_ok());
+        });
+        let stats = queue.stats();
+        assert_eq!(stats.rejected_overload, 0);
+        assert_eq!(stats.executed, 2);
+    }
+
+    #[test]
+    fn sheds_exactly_the_requests_past_deadline_at_dequeue() {
+        let engine = engine();
+        // Large window: nothing executes until a tick closes it.
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_batch_max(16)
+                .with_batch_ticks(3),
+        )
+        .unwrap();
+        let deadlines = [Some(1u64), Some(3), Some(10), None];
+        let tickets: Vec<Ticket> = deadlines
+            .iter()
+            .map(|d| {
+                let mut r = request(2, 1.5, &[0]);
+                r.deadline = *d;
+                queue.submit(r).unwrap()
+            })
+            .collect();
+        // Window opened at tick 0, closes at tick 3. At dequeue the clock
+        // is 3: deadline 1 is past, deadline 3 is not (now > d sheds).
+        let mut report = PumpReport::default();
+        for _ in 0..3 {
+            report.absorb(queue.tick());
+        }
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.executed, 3);
+        let outcomes: Vec<Result<QueryResponse, SpqError>> =
+            tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(
+            outcomes[0].as_ref().unwrap_err(),
+            &SpqError::DeadlineExceeded {
+                deadline: 1,
+                now: 3
+            }
+        );
+        assert!(outcomes[0].as_ref().unwrap_err().is_retryable());
+        for outcome in &outcomes[1..] {
+            assert!(outcome.is_ok());
+        }
+        assert_eq!(queue.stats().shed_deadline, 1);
+    }
+
+    #[test]
+    fn window_closes_on_size_before_its_tick_age() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_batch_max(2)
+                .with_batch_ticks(1000),
+        )
+        .unwrap();
+        let t1 = queue.submit(request(1, 1.5, &[0])).unwrap();
+        // One queued request: the pump leaves the not-yet-due window alone.
+        assert_eq!(queue.pump().remaining, 1);
+        let t2 = queue.submit(request(2, 1.5, &[0])).unwrap();
+        // Size-due: pump executes without any tick.
+        let report = queue.pump();
+        assert_eq!(report.executed, 2);
+        assert!(t1.is_ready() && t2.is_ready());
+        assert!(t1.wait().is_ok() && t2.wait().is_ok());
+    }
+
+    #[test]
+    fn priority_orders_dequeue_without_changing_bytes() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_batch_max(2)
+                .with_batch_ticks(0),
+        )
+        .unwrap();
+        let low1 = queue.submit(request(1, 1.5, &[0])).unwrap();
+        let low2 = queue
+            .submit(request(2, 1.5, &[0]).with_priority(0))
+            .unwrap();
+        let high = queue
+            .submit(request(3, 1.5, &[0]).with_priority(9))
+            .unwrap();
+        // First window: the high-priority request plus the older of the
+        // two low-priority ones (arrival breaks the tie).
+        let report = queue.tick();
+        assert_eq!(report.executed, 2);
+        assert!(high.is_ready());
+        assert!(low1.is_ready());
+        assert!(!low2.is_ready());
+        queue.drain();
+        // Scheduling never changes bytes.
+        let expect = engine.execute_sequential(&request(2, 1.5, &[0])).unwrap();
+        assert_eq!(low2.wait().unwrap().results, expect.results);
+        let _ = (high.wait(), low1.wait());
+    }
+
+    #[test]
+    fn invalid_requests_are_never_admitted() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(&engine, AdmissionConfig::default()).unwrap();
+        let mut bad = request(1, 1.5, &[0]);
+        bad.query.k = 0;
+        let err = queue.submit(bad).unwrap_err();
+        assert!(matches!(err, SpqError::InvalidQuery { .. }));
+        assert!(!err.is_retryable());
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0); // empty
+        for micros in [0u64, 1, 2, 3, 500, 1000, 1_000_000] {
+            h.record(micros);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 7);
+        assert_eq!(snap.sum_micros, 1_001_506);
+        // 0 lands in bucket 0; 1 in bucket 1; 2 and 3 in bucket 2.
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        // p50 over 7 samples is the 4th: value 3 → bucket 2, le 3.
+        assert_eq!(snap.quantile(0.5), 3);
+        // p99 is the largest: 1_000_000 < 2^20 → le 2^20 - 1.
+        assert_eq!(snap.quantile(0.99), (1 << 20) - 1);
+        let mut merged = snap;
+        merged.merge(&snap);
+        assert_eq!(merged.count(), 14);
+        assert_eq!(merged.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn metrics_text_is_scrapeable() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(&engine, AdmissionConfig::default()).unwrap();
+        let t = queue.submit(request(1, 1.5, &[0])).unwrap();
+        queue.drain();
+        t.wait().unwrap();
+        let text = queue.metrics_text();
+        for needle in [
+            "spq_engine_queries_total 1",
+            "spq_admission_admitted_total 1",
+            "spq_admission_executed_total 1",
+            "# TYPE spq_request_latency_micros histogram",
+            "spq_request_latency_micros_count 1",
+            "_bucket{le=\"+Inf\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Per-shard lines render when shard stats are passed.
+        let sharded = crate::sharded::ShardedEngine::new(
+            SpqExecutor::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)).grid_size(4),
+            paper_dataset(),
+            2,
+        )
+        .unwrap();
+        sharded.execute(&request(1, 1.5, &[0])).unwrap();
+        let text = export_metrics(&sharded.metrics(), &sharded.shard_stats(), None, None);
+        assert!(text.contains("spq_shard_queries_total{shard=\"0\"}"));
+        assert!(text.contains("spq_shard_queries_total{shard=\"1\"}"));
+    }
+
+    #[test]
+    fn drain_is_idempotent_on_an_empty_queue() {
+        let engine = engine();
+        let queue = AdmissionQueue::new(&engine, AdmissionConfig::default()).unwrap();
+        assert!(queue.drain().idle());
+        assert_eq!(queue.queue_depth(), 0);
+    }
+}

@@ -25,14 +25,22 @@
 //! * [`SpqService`] — the backend-erased handle examples and benches
 //!   serve through.
 //!
+//! All of it hangs off one trait: [`QueryExecutor`], whose single
+//! required method ([`QueryExecutor::run_validated`]) is the only
+//! engine-specific code — `execute`, `execute_sequential`,
+//! `execute_batch` and `serve_requests` are provided once, on the trait,
+//! so the four backends cannot drift apart. The [`crate::serve`]
+//! admission front-end is generic over the same trait.
+//!
 //! Requests **validate before execution** ([`QueryRequest::validate`]):
 //! a non-finite radius or a zero worker budget comes back as
 //! [`SpqError::InvalidQuery`] instead of a panic deep inside routing. The
 //! plain-`SpqQuery` engine methods ([`QueryEngine::query`] and friends)
-//! remain as permissive back-compat shims.
+//! are deprecated shims; migrate to the typed path (see the migration
+//! notes in `docs/ARCHITECTURE.md`).
 //!
 //! ```
-//! use spq_core::service::{Backend, QueryRequest, SpqService};
+//! use spq_core::service::{Backend, QueryExecutor, QueryRequest, SpqService};
 //! use spq_core::{DataObject, FeatureObject, SharedDataset, SpqExecutor, SpqQuery};
 //! use spq_spatial::{Point, Rect};
 //! use spq_text::KeywordSet;
@@ -51,13 +59,14 @@
 //! ```
 
 use crate::algo::Algorithm;
-use crate::engine::QueryEngine;
+use crate::engine::{MetricsSnapshot, QueryEngine};
 use crate::executor::{SpqError, SpqExecutor};
 use crate::model::RankedObject;
 use crate::query::SpqQuery;
-use crate::remote::RemoteEngine;
+use crate::remote::{RemoteEngine, TickReport};
 use crate::sharded::ShardedEngine;
 use crate::store::SharedDataset;
+use spq_mapreduce::pool::run_tasks;
 use spq_mapreduce::JobStats;
 use std::fmt;
 use std::str::FromStr;
@@ -168,22 +177,50 @@ pub struct QueryOptions {
     pub trace: bool,
 }
 
-/// One typed query request: the query itself plus [`QueryOptions`].
+/// One typed query request: the query itself plus [`QueryOptions`] and
+/// the admission-level fields the [`crate::serve`] front-end honours.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
     /// The spatial preference query.
     pub query: SpqQuery,
     /// Execution options (all result-invariant).
     pub options: QueryOptions,
+    /// Admission deadline in ticks of the admission queue's manual clock
+    /// ([`crate::serve::AdmissionQueue::now`]): if the clock has passed
+    /// this tick when the request is dequeued, it is shed with
+    /// [`SpqError::DeadlineExceeded`] instead of executed. `None` (the
+    /// default) never sheds. Direct engine calls ignore it — deadlines
+    /// are an admission concern, and execution never aborts mid-query.
+    pub deadline: Option<u64>,
+    /// Admission priority: higher-priority requests dequeue first;
+    /// arrival order breaks ties, so equal-priority traffic stays FIFO.
+    /// Priorities change *when* a request runs, never its result bytes.
+    /// Default `0`. Ignored outside the admission queue.
+    pub priority: u8,
 }
 
 impl QueryRequest {
-    /// Wraps a query with default options.
+    /// Wraps a query with default options, no deadline, priority 0.
     pub fn new(query: SpqQuery) -> Self {
         Self {
             query,
             options: QueryOptions::default(),
+            deadline: None,
+            priority: 0,
         }
+    }
+
+    /// Sets the admission deadline (a tick on the admission queue's
+    /// manual clock; see [`Self::deadline`]).
+    pub fn with_deadline(mut self, tick: u64) -> Self {
+        self.deadline = Some(tick);
+        self
+    }
+
+    /// Sets the admission priority (see [`Self::priority`]).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Overrides the algorithm for this request.
@@ -296,6 +333,126 @@ pub struct QueryResponse {
     pub trace: Option<Vec<JobStats>>,
 }
 
+/// How a validated request is driven through an engine — the one axis on
+/// which the typed entry points differ. Every mode returns the same
+/// result bytes; modes only move where the parallelism (and, on the
+/// local backend, the map-side pruning) comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Full parallelism for a lone request: the worker budget drives the
+    /// job on the local backend and the scatter width on the
+    /// scatter/gather backends.
+    Parallel,
+    /// Single-threaded job (local) / width-1 scatter (sharded, remote) —
+    /// the per-request building block of
+    /// [`QueryExecutor::serve_requests`], where parallelism comes from
+    /// running many such requests concurrently.
+    Sequential,
+    /// A member of a coalesced batch: the local backend prunes the map
+    /// pass down to the request's candidate features through the
+    /// build-once keyword index; the scatter/gather backends already
+    /// prune per shard, so they drive it like
+    /// [`Parallel`](Self::Parallel).
+    Coalesced,
+}
+
+/// The one execute/batch/serve surface every engine speaks.
+///
+/// Implementations provide exactly one method — [`run_validated`]
+/// (run_validated) — the engine-specific lifecycle for a request that
+/// already passed [`QueryRequest::validate`]. Everything callers actually
+/// invoke ([`execute`](Self::execute),
+/// [`execute_sequential`](Self::execute_sequential),
+/// [`execute_batch`](Self::execute_batch),
+/// [`serve_requests`](Self::serve_requests)) is provided once here, so
+/// validation, batching and the concurrent serve loop cannot drift
+/// between backends. [`QueryEngine`], [`ShardedEngine`],
+/// [`RemoteEngine`], [`SpqService`] and the
+/// [`crate::serve::AdmissionQueue`] front-end all serve through this
+/// trait.
+///
+/// [`run_validated`]: Self::run_validated
+pub trait QueryExecutor: Sync {
+    /// Executes one request **already checked** by
+    /// [`QueryRequest::validate`] under `mode`. This is the only method a
+    /// backend implements; callers should prefer the validating entry
+    /// points below.
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError>;
+
+    /// A snapshot of the engine's cumulative counters (see
+    /// [`MetricsSnapshot`]); aggregated over shards on the scatter/gather
+    /// backends.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Validates and executes one request with full parallelism
+    /// ([`ExecutionMode::Parallel`]).
+    fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        request.validate()?;
+        self.run_validated(request, ExecutionMode::Parallel)
+    }
+
+    /// Validates and executes one request single-threaded
+    /// ([`ExecutionMode::Sequential`]) — same bytes as
+    /// [`execute`](Self::execute); jobs are worker-count-invariant.
+    fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
+        request.validate()?;
+        self.run_validated(request, ExecutionMode::Sequential)
+    }
+
+    /// Validates and executes a batch, responses in request order
+    /// ([`ExecutionMode::Coalesced`] per request) — byte-identical to
+    /// [`execute`](Self::execute) one by one.
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
+        requests
+            .iter()
+            .map(|request| {
+                request.validate()?;
+                self.run_validated(request, ExecutionMode::Coalesced)
+            })
+            .collect()
+    }
+
+    /// Executes independent requests concurrently on `workers` threads,
+    /// each as [`execute_sequential`](Self::execute_sequential) —
+    /// inter-query concurrency, the high-QPS serving shape. Responses in
+    /// request order, byte-identical to sequential
+    /// [`execute`](Self::execute) calls for any worker count.
+    fn serve_requests(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryResponse>, SpqError> {
+        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
+            self.execute_sequential(&requests[i])
+        })
+        .map_err(|p| SpqError::Worker {
+            message: format!("request {}: {}", p.task_index, p.message),
+        })?;
+        outcomes.into_iter().collect()
+    }
+}
+
+/// References execute wherever the referent does — what lets the
+/// [`crate::serve::AdmissionQueue`] borrow a long-lived service instead
+/// of taking it over.
+impl<E: QueryExecutor> QueryExecutor for &E {
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError> {
+        (**self).run_validated(request, mode)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        (**self).metrics()
+    }
+}
+
 /// A backend-erased serving handle: one build step, then typed requests.
 ///
 /// This is the type examples, benches and downstream callers hold; the
@@ -345,43 +502,6 @@ impl SpqService {
         }
     }
 
-    /// Executes one request.
-    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        match self {
-            SpqService::Local(engine) => engine.execute(request),
-            SpqService::Sharded(engine) => engine.execute(request),
-            SpqService::Remote(engine) => engine.execute(request),
-        }
-    }
-
-    /// Executes a batch of requests, returned in request order. On the
-    /// local backend the batch shares the build-once keyword index to
-    /// prune each query's map pass to its candidate features (the
-    /// `engine-batch` serving mode); on the sharded backend each request
-    /// scatters independently.
-    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
-        match self {
-            SpqService::Local(engine) => engine.execute_batch(requests),
-            SpqService::Sharded(engine) => engine.execute_batch(requests),
-            SpqService::Remote(engine) => engine.execute_batch(requests),
-        }
-    }
-
-    /// Executes independent requests concurrently on `workers` threads,
-    /// results in request order (byte-identical to sequential
-    /// [`execute`](Self::execute) calls, for any worker count).
-    pub fn serve(
-        &self,
-        requests: &[QueryRequest],
-        workers: usize,
-    ) -> Result<Vec<QueryResponse>, SpqError> {
-        match self {
-            SpqService::Local(engine) => engine.serve_requests(requests, workers),
-            SpqService::Sharded(engine) => engine.serve_requests(requests, workers),
-            SpqService::Remote(engine) => engine.serve_requests(requests, workers),
-        }
-    }
-
     /// Cumulative TCP frame traffic (request plus response bytes, all
     /// workers) on the remote backend; `None` on in-process backends,
     /// which never cross a socket.
@@ -414,24 +534,80 @@ impl SpqService {
     /// the per-engine counters every backend keeps, plus the remote
     /// membership counters (retries, exclusions, warm/cold failovers,
     /// re-admissions), which stay zero on in-process backends.
-    pub fn metrics(&self) -> crate::engine::MetricsSnapshot {
+    pub fn metrics(&self) -> MetricsSnapshot {
+        QueryExecutor::metrics(self)
+    }
+
+    /// Advances the remote membership layer one deterministic step —
+    /// probe excluded workers, re-admit recovered ones, rebalance shard
+    /// placement (see [`RemoteEngine::tick`]). The outcome is typed: an
+    /// in-process backend reports
+    /// [`TickOutcome::NotApplicable`] (there is no membership layer to
+    /// advance), which callers can tell apart from an applicable tick
+    /// that found nothing to do ([`TickOutcome::Applied`] with a
+    /// quiescent report).
+    pub fn tick(&self) -> TickOutcome {
+        match self {
+            SpqService::Remote(engine) => TickOutcome::Applied(engine.tick()),
+            _ => TickOutcome::NotApplicable {
+                backend: self.backend(),
+            },
+        }
+    }
+}
+
+impl QueryExecutor for SpqService {
+    /// The one backend dispatch of the typed surface: every provided
+    /// entry point of [`QueryExecutor`] funnels through this match.
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError> {
+        match self {
+            SpqService::Local(engine) => engine.run_validated(request, mode),
+            SpqService::Sharded(engine) => engine.run_validated(request, mode),
+            SpqService::Remote(engine) => engine.run_validated(request, mode),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
         match self {
             SpqService::Local(engine) => engine.metrics(),
             SpqService::Sharded(engine) => engine.metrics(),
             SpqService::Remote(engine) => engine.metrics(),
         }
     }
+}
 
-    /// Advances the remote membership layer one deterministic step —
-    /// probe excluded workers, re-admit recovered ones, rebalance shard
-    /// placement (see [`RemoteEngine::tick`]). Returns what the tick did,
-    /// or `None` on in-process backends, which have no membership to
-    /// manage.
-    pub fn tick(&self) -> Option<crate::remote::TickReport> {
+/// The typed outcome of [`SpqService::tick`]: a capability report that
+/// distinguishes "this backend has no membership layer" from "the tick
+/// ran and here is what it did" — previously both came back as a silent
+/// no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// The backend is in-process: membership ticks are not applicable
+    /// (as opposed to applicable-but-quiescent).
+    NotApplicable {
+        /// The backend that has no membership layer.
+        backend: Backend,
+    },
+    /// The remote membership layer advanced one deterministic step.
+    Applied(TickReport),
+}
+
+impl TickOutcome {
+    /// The tick report, when the backend actually ticked.
+    pub fn report(&self) -> Option<&TickReport> {
         match self {
-            SpqService::Remote(engine) => Some(engine.tick()),
-            _ => None,
+            TickOutcome::Applied(report) => Some(report),
+            TickOutcome::NotApplicable { .. } => None,
         }
+    }
+
+    /// Whether this service's backend has a membership layer to tick.
+    pub fn applicable(&self) -> bool {
+        matches!(self, TickOutcome::Applied(_))
     }
 }
 
@@ -540,11 +716,16 @@ mod tests {
         let mut request = QueryRequest::new(q(1, 1.0));
         request.query.k = 0;
         let err = request.validate().unwrap_err();
-        assert!(err.to_string().contains("k must be"));
+        assert!(matches!(err, SpqError::InvalidQuery { .. }), "{err}");
+        assert!(!err.is_retryable(), "malformed queries must not be retried");
         let err = QueryRequest::new(q(1, 1.0))
             .with_workers(0)
             .validate()
             .unwrap_err();
-        assert!(err.to_string().contains("worker budget"));
+        assert!(matches!(err, SpqError::InvalidQuery { .. }), "{err}");
+        assert!(
+            !err.is_retryable(),
+            "malformed requests must not be retried"
+        );
     }
 }

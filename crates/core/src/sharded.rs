@@ -38,7 +38,9 @@ use crate::engine::{MetricsSnapshot, QueryEngine};
 use crate::executor::{SpqError, SpqExecutor};
 use crate::merge::merge_top_k;
 use crate::model::{DataObject, ObjectId, RankedObject};
-use crate::service::{QueryOptions, QueryRequest, QueryResponse, QueryStats};
+use crate::service::{
+    ExecutionMode, QueryExecutor, QueryOptions, QueryRequest, QueryResponse, QueryStats,
+};
 use crate::store::SharedDataset;
 use spq_mapreduce::pool::run_tasks;
 use std::collections::HashMap;
@@ -151,9 +153,10 @@ pub struct ShardStats {
 ///
 /// See the [module docs](self) for the lifecycle and the byte-identity
 /// argument. Build once with [`new`](Self::new), then serve typed
-/// requests through [`execute`](Self::execute) /
-/// [`execute_batch`](Self::execute_batch) /
-/// [`serve_requests`](Self::serve_requests).
+/// requests through the [`QueryExecutor`] surface
+/// ([`execute`](QueryExecutor::execute) /
+/// [`execute_batch`](QueryExecutor::execute_batch) /
+/// [`serve_requests`](QueryExecutor::serve_requests)).
 #[derive(Debug)]
 pub struct ShardedEngine {
     dataset: SharedDataset,
@@ -257,25 +260,11 @@ impl ShardedEngine {
             .fold(MetricsSnapshot::default(), MetricsSnapshot::merged)
     }
 
-    /// Executes one typed request: probe, scatter, gather, merge.
-    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_inner(request, None)
-    }
-
-    /// [`execute`](Self::execute) with a sequential (width-1) scatter —
-    /// the per-request building block of
-    /// [`serve_requests`](Self::serve_requests), which parallelizes
-    /// *across* requests instead of across shards.
-    pub fn execute_sequential(&self, request: &QueryRequest) -> Result<QueryResponse, SpqError> {
-        self.execute_inner(request, Some(1))
-    }
-
     fn execute_inner(
         &self,
         request: &QueryRequest,
         scatter_override: Option<usize>,
     ) -> Result<QueryResponse, SpqError> {
-        request.validate()?;
         let started = Instant::now();
         let query = &request.query;
         let options = &request.options;
@@ -386,30 +375,29 @@ impl ShardedEngine {
             trace,
         })
     }
+}
 
-    /// Executes a batch of requests, in request order. Each request
-    /// scatters independently; per-shard candidate pruning happens inside
-    /// the shard engines exactly as for single requests.
-    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, SpqError> {
-        requests.iter().map(|r| self.execute(r)).collect()
+impl QueryExecutor for ShardedEngine {
+    /// The scatter/gather lifecycle: probe once, scatter to relevant
+    /// shards (width 1 for [`ExecutionMode::Sequential`] — parallelism
+    /// then comes from running many requests concurrently), gather wire
+    /// records, merge. Each shard prunes through its own build-once
+    /// keyword index, so [`ExecutionMode::Coalesced`] drives like
+    /// [`ExecutionMode::Parallel`].
+    fn run_validated(
+        &self,
+        request: &QueryRequest,
+        mode: ExecutionMode,
+    ) -> Result<QueryResponse, SpqError> {
+        let scatter_override = match mode {
+            ExecutionMode::Sequential => Some(1),
+            ExecutionMode::Parallel | ExecutionMode::Coalesced => None,
+        };
+        self.execute_inner(request, scatter_override)
     }
 
-    /// Executes independent requests concurrently on `workers` threads,
-    /// each with a sequential scatter — inter-query concurrency, the
-    /// high-QPS serving shape. Responses in request order, byte-identical
-    /// to sequential [`execute`](Self::execute) calls.
-    pub fn serve_requests(
-        &self,
-        requests: &[QueryRequest],
-        workers: usize,
-    ) -> Result<Vec<QueryResponse>, SpqError> {
-        let outcomes = run_tasks(workers.max(1), requests.len(), |i| {
-            self.execute_sequential(&requests[i])
-        })
-        .map_err(|p| SpqError::Worker {
-            message: format!("request {}: {}", p.task_index, p.message),
-        })?;
-        outcomes.into_iter().collect()
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedEngine::metrics(self)
     }
 }
 
@@ -586,6 +574,9 @@ mod tests {
             vec![],
         );
         let err = ShardedEngine::new(executor(), dup, 2).unwrap_err();
+        assert!(matches!(err, SpqError::InvalidConfig { .. }), "{err}");
+        assert!(!err.is_retryable(), "bad datasets must not be retried");
+        // The offending id is part of the message contract.
         assert!(err.to_string().contains("duplicate data object id 7"));
     }
 

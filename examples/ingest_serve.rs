@@ -82,21 +82,28 @@ fn main() {
             ..defaults
         },
     );
-    let queries = stream.batch(64);
+    let requests: Vec<QueryRequest> = stream
+        .batch(64)
+        .into_iter()
+        .map(QueryRequest::new)
+        .collect();
+    let workers = ClusterConfig::auto().workers;
     let t0 = Instant::now();
-    let results = engine.serve_auto(&queries).expect("serve stream");
+    let responses = engine
+        .serve_requests(&requests, workers)
+        .expect("serve stream");
     let wall = t0.elapsed();
     println!(
         "served {} queries in {:.0} ms ({:.0} q/s)",
-        results.len(),
+        responses.len(),
         wall.as_secs_f64() * 1e3,
-        results.len() as f64 / wall.as_secs_f64(),
+        responses.len() as f64 / wall.as_secs_f64(),
     );
 
-    let hits = results.iter().filter(|r| !r.top_k.is_empty()).count();
+    let hits = responses.iter().filter(|r| !r.results.is_empty()).count();
     println!("  {hits} queries returned results");
-    if let Some(result) = results.iter().find(|r| !r.top_k.is_empty()) {
-        let best = &result.top_k[0];
+    if let Some(response) = responses.iter().find(|r| !r.results.is_empty()) {
+        let best = &response.results[0];
         println!(
             "  e.g. object {} at {} with score {}",
             best.object, best.location, best.score

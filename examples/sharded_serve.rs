@@ -81,7 +81,7 @@ fn main() {
         .collect();
 
     let t0 = Instant::now();
-    let responses = service.serve(&requests, 4).expect("serve stream");
+    let responses = service.serve_requests(&requests, 4).expect("serve stream");
     let wall = t0.elapsed();
     println!(
         "served {} requests in {:.0} ms ({:.0} q/s)",
@@ -131,6 +131,10 @@ fn main() {
             "aggregate: {} shard queries, {} plan-cache hits / {} misses, {}/{} keyword probes hit",
             m.queries, m.plan_cache_hits, m.plan_cache_misses, m.keyword_hits, m.keyword_probes
         );
+        // The same counters in the scrape-friendly text format — what an
+        // HTTP /metrics endpoint would return verbatim.
+        println!("--- /metrics ---");
+        print!("{}", export_metrics(&m, &engine.shard_stats(), None, None));
     }
 
     for p in [&data_path, &features_path] {

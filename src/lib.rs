@@ -66,11 +66,13 @@ pub use spq_text as text;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use spq_core::{
-        Algorithm, Backend, DataObject, FeatureObject, LoadBalancing, MembershipConfig,
-        MembershipView, MetricsSnapshot, ObjectRef, QueryEngine, QueryOptions, QueryRequest,
+        export_metrics, AdmissionConfig, AdmissionQueue, AdmissionSnapshot, Algorithm, Backend,
+        DataObject, ExecutionMode, FeatureObject, HistogramSnapshot, LatencyHistogram,
+        LoadBalancing, MembershipConfig, MembershipView, MetricsSnapshot, ObjectRef,
+        OverflowPolicy, PumpReport, QueryEngine, QueryExecutor, QueryOptions, QueryRequest,
         QueryResponse, QueryStats, RankedObject, RemoteEngine, ShardHost, ShardStats,
         ShardedEngine, SharedDataset, SpqError, SpqExecutor, SpqQuery, SpqResult, SpqService,
-        TickReport, WorkerState,
+        TickOutcome, TickReport, Ticket, WorkerState,
     };
     pub use spq_data::{
         ingest_files, synthesize_dump, ClusteredGen, DatasetGenerator, DumpConfig, FlickrLike,

@@ -121,9 +121,14 @@ proptest! {
                 // brute force even under k-boundary score ties.
                 let engine = QueryEngine::new(exec.clone(), dataset.clone());
                 for (request, response) in requests.iter().zip(&reference) {
+                    // Deliberate use of the deprecated shim: this is the
+                    // parity coverage keeping it byte-identical to the
+                    // typed path for as long as it lives.
+                    #[allow(deprecated)]
+                    let shim = engine.query(&request.query).unwrap().top_k;
                     prop_assert_eq!(
                         &response.results,
-                        &engine.query(&request.query).unwrap().top_k,
+                        &shim,
                         "{} balancing={:?}: facade diverged from shim",
                         algo, balancing
                     );
@@ -154,7 +159,7 @@ proptest! {
                     }
                     // Batch and serve reproduce execute, in order.
                     let batch = sharded.execute_batch(&requests).unwrap();
-                    let served = sharded.serve(&requests, 4).unwrap();
+                    let served = sharded.serve_requests(&requests, 4).unwrap();
                     for i in 0..requests.len() {
                         prop_assert_eq!(&batch[i].results, &reference[i].results);
                         prop_assert_eq!(&served[i].results, &reference[i].results);
@@ -181,7 +186,7 @@ proptest! {
                         prop_assert_eq!(got.stats.retries, 0);
                     }
                     let batch = remote.execute_batch(&requests).unwrap();
-                    let served = remote.serve(&requests, 4).unwrap();
+                    let served = remote.serve_requests(&requests, 4).unwrap();
                     for i in 0..requests.len() {
                         prop_assert_eq!(&batch[i].results, &reference[i].results);
                         prop_assert_eq!(&served[i].results, &reference[i].results);

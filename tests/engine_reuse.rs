@@ -7,9 +7,9 @@
 //! {1, 2, 8}, a sequence of `engine.query` calls must return results —
 //! and counters, and shuffle volumes — **byte-identical** to the same
 //! sequence of fresh `SpqExecutor::run_dataset` jobs, with interleaved
-//! replays not disturbing later queries. `query_batch` must match
-//! query-for-query, and `serve` must reproduce the sequential results in
-//! query order for any worker count.
+//! replays not disturbing later queries. `execute_batch` must match
+//! request-for-request, and `serve_requests` must reproduce the
+//! sequential results in request order for any worker count.
 
 use proptest::prelude::*;
 use spq::core::{QueryEngine, SharedDataset};
@@ -93,6 +93,12 @@ proptest! {
     /// `Executor::run_dataset` jobs, for every algorithm × partitioning ×
     /// worker count, including counters and shuffle volume; replaying a
     /// query after serving others returns the same bytes again.
+    ///
+    /// Deliberately exercises the deprecated `query` shim: `SpqResult` is
+    /// the only surface exposing the raw MapReduce counters this parity
+    /// check compares, and the shim must stay byte-identical to the typed
+    /// path for as long as it lives.
+    #[allow(deprecated)]
     #[test]
     fn prop_engine_reuse_matches_fresh_jobs(
         (data, features, query_specs, g) in world()
@@ -144,14 +150,18 @@ proptest! {
         }
     }
 
-    /// `query_batch` (keyword-index candidate pruning) and `serve`
-    /// (inter-query concurrency, workers 1/2/8) reproduce the sequential
-    /// `query` results exactly, in query order.
+    /// `execute_batch` (keyword-index candidate pruning) and
+    /// `serve_requests` (inter-query concurrency, workers 1/2/8)
+    /// reproduce the sequential `execute` results exactly, in request
+    /// order.
     #[test]
     fn prop_batch_and_serve_match_sequential(
         (data, features, query_specs, g) in world()
     ) {
-        let queries = build_queries(&query_specs);
+        let requests: Vec<QueryRequest> = build_queries(&query_specs)
+            .into_iter()
+            .map(QueryRequest::new)
+            .collect();
         let dataset = SharedDataset::new(data, features);
         for algo in ALGORITHMS {
             let exec = SpqExecutor::new(Rect::unit())
@@ -159,21 +169,21 @@ proptest! {
                 .grid_size(g as u32)
                 .cluster(ClusterConfig::with_workers(2));
             let engine = QueryEngine::new(exec, dataset.clone());
-            let sequential: Vec<_> = queries
+            let sequential: Vec<_> = requests
                 .iter()
-                .map(|q| engine.query(q).unwrap().top_k)
+                .map(|r| engine.execute(r).unwrap().results)
                 .collect();
-            let batch = engine.query_batch(&queries).unwrap();
+            let batch = engine.execute_batch(&requests).unwrap();
             for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
-                prop_assert_eq!(&b.top_k, s, "{} query {}: batch diverged", algo, i);
+                prop_assert_eq!(&b.results, s, "{} request {}: batch diverged", algo, i);
             }
             for workers in WORKER_COUNTS {
-                let served = engine.serve(&queries, workers).unwrap();
-                prop_assert_eq!(served.len(), queries.len());
+                let served = engine.serve_requests(&requests, workers).unwrap();
+                prop_assert_eq!(served.len(), requests.len());
                 for (i, (r, s)) in served.iter().zip(&sequential).enumerate() {
                     prop_assert_eq!(
-                        &r.top_k, s,
-                        "{} workers={} query {}: serve diverged", algo, workers, i
+                        &r.results, s,
+                        "{} workers={} request {}: serve diverged", algo, workers, i
                     );
                 }
             }
@@ -201,20 +211,24 @@ fn serve_on_generated_workload_is_worker_invariant() {
             ..StreamConfig::default()
         },
     );
-    let queries = stream.batch(24);
+    let requests: Vec<QueryRequest> = stream
+        .batch(24)
+        .into_iter()
+        .map(QueryRequest::new)
+        .collect();
     for algo in ALGORITHMS {
         let exec = SpqExecutor::new(Rect::unit())
             .algorithm(algo)
             .grid_size(8)
             .cluster(ClusterConfig::sequential());
         let engine = QueryEngine::new(exec, shared.clone());
-        let sequential: Vec<_> = queries
+        let sequential: Vec<_> = requests
             .iter()
-            .map(|q| engine.query(q).unwrap().top_k)
+            .map(|r| engine.execute(r).unwrap().results)
             .collect();
         for workers in WORKER_COUNTS {
-            let served = engine.serve(&queries, workers).unwrap();
-            let got: Vec<_> = served.into_iter().map(|r| r.top_k).collect();
+            let served = engine.serve_requests(&requests, workers).unwrap();
+            let got: Vec<_> = served.into_iter().map(|r| r.results).collect();
             assert_eq!(got, sequential, "{algo} workers={workers}");
         }
         assert_eq!(

@@ -1,0 +1,391 @@
+//! Properties of the admission-controlled serving front-end
+//! (`spq_core::serve::AdmissionQueue`), checked against an independent
+//! model of its documented state machine:
+//!
+//! * for ANY interleaving of submits and ticks, any in-flight cap, any
+//!   coalescing window (size and tick age) and any deadline/priority
+//!   assignment, every admitted request that executes answers
+//!   **byte-identically** to the sequential single-store engine,
+//! * the shed set is **exactly** the requests whose deadline tick is
+//!   behind the clock at the window close that dequeued them — never a
+//!   request without a deadline, never one whose deadline still holds,
+//! * over-cap submissions under `OverflowPolicy::Reject` fail with the
+//!   retryable `SpqError::Overloaded` exactly when the model says the
+//!   cap is hit, and sheds carry the retryable `SpqError::DeadlineExceeded`
+//!   with the model's exact `{deadline, now}`,
+//! * multi-threaded producers under `OverflowPolicy::Block` all complete
+//!   with byte-identical answers — arrival order moves *when* a request
+//!   runs, never what it returns.
+
+use proptest::prelude::*;
+use spq::core::{QueryEngine, SharedDataset};
+use spq::prelude::*;
+use spq::text::Term;
+
+/// Strategy: a small spatio-textual world plus a request stream of
+/// (keywords, radius class, k, deadline, priority) draws.
+#[allow(clippy::type_complexity)]
+fn world() -> impl Strategy<
+    Value = (
+        Vec<DataObject>,
+        Vec<FeatureObject>,
+        Vec<(Vec<u32>, u8, u8, u64, u8)>,
+        u8, // grid cells per axis
+    ),
+> {
+    let coord = 0.0f64..1.0;
+    let data = proptest::collection::vec((coord.clone(), coord.clone()), 0..15);
+    let features = proptest::collection::vec(
+        (
+            coord.clone(),
+            coord,
+            proptest::collection::vec(0u32..8, 1..4),
+        ),
+        0..25,
+    );
+    let requests = proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..8, 1..3),
+            0u8..2,   // radius class
+            1u8..4,   // k
+            0u64..12, // deadline draw: < 6 is a deadline tick, ≥ 6 is none
+            0u8..4,   // priority
+        ),
+        1..12,
+    );
+    (data, features, requests, 1u8..6).prop_map(|(d, f, qs, g)| {
+        let data: Vec<DataObject> = d
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| DataObject::new(i as u64, Point::new(x, y)))
+            .collect();
+        let features: Vec<FeatureObject> = f
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w))| {
+                FeatureObject::new(
+                    i as u64,
+                    Point::new(x, y),
+                    KeywordSet::new(w.into_iter().map(Term).collect()),
+                )
+            })
+            .collect();
+        (data, features, qs, g)
+    })
+}
+
+const RADIUS_CLASSES: [f64; 2] = [0.1, 0.3];
+
+/// Deadline draws below 6 are deadline ticks; the rest mean "none" —
+/// the stand-in proptest has no `option::of` combinator.
+fn deadline_of(draw: u64) -> Option<u64> {
+    (draw < 6).then_some(draw)
+}
+
+fn build_requests(specs: &[(Vec<u32>, u8, u8, u64, u8)]) -> Vec<QueryRequest> {
+    specs
+        .iter()
+        .map(|(kw, r, k, deadline, priority)| {
+            let mut request = QueryRequest::new(SpqQuery::new(
+                *k as usize,
+                RADIUS_CLASSES[*r as usize % RADIUS_CLASSES.len()],
+                KeywordSet::from_ids(kw.iter().copied()),
+            ))
+            .with_priority(*priority);
+            request.deadline = deadline_of(*deadline);
+            request
+        })
+        .collect()
+}
+
+/// What the model predicts for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expected {
+    /// Rejected at the cap (`OverflowPolicy::Reject`).
+    Rejected,
+    /// Shed at the window close at tick `now`, deadline already behind.
+    Shed { deadline: u64, now: u64 },
+    /// Dequeued into a coalesced window — must answer byte-identically.
+    Executed,
+}
+
+/// An independent replay of the documented admission state machine:
+/// cap at submit, window closes on size or tick age, shed-at-dequeue
+/// (`now > deadline`), dequeue order priority-descending then arrival.
+struct Model {
+    cap: usize,
+    batch_max: usize,
+    batch_ticks: u64,
+    clock: u64,
+    /// (request index, seq, deadline, priority)
+    pending: Vec<(usize, u64, Option<u64>, u8)>,
+    next_seq: u64,
+    window_open: Option<u64>,
+    outcome: Vec<Option<Expected>>,
+}
+
+impl Model {
+    fn new(cap: usize, batch_max: usize, batch_ticks: u64, requests: usize) -> Self {
+        Self {
+            cap,
+            batch_max,
+            batch_ticks,
+            clock: 0,
+            pending: Vec::new(),
+            next_seq: 0,
+            window_open: None,
+            outcome: vec![None; requests],
+        }
+    }
+
+    /// In single-threaded use nothing executes between submits, so the
+    /// in-flight count the cap bounds equals the queued count.
+    fn submit(&mut self, index: usize, deadline: Option<u64>, priority: u8) {
+        if self.pending.len() >= self.cap {
+            self.outcome[index] = Some(Expected::Rejected);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.window_open.is_none() {
+            self.window_open = Some(self.clock);
+        }
+        self.pending.push((index, seq, deadline, priority));
+    }
+
+    fn tick(&mut self) {
+        self.clock += 1;
+        let Some(opened) = self.window_open else {
+            return;
+        };
+        let size_due = self.pending.len() >= self.batch_max;
+        let time_due = self.clock >= opened.saturating_add(self.batch_ticks);
+        if !size_due && !time_due {
+            return;
+        }
+        let now = self.clock;
+        let (shed, mut survivors): (Vec<_>, Vec<_>) = self
+            .pending
+            .drain(..)
+            .partition(|(_, _, deadline, _)| deadline.is_some_and(|d| now > d));
+        for (index, _, deadline, _) in shed {
+            self.outcome[index] = Some(Expected::Shed {
+                deadline: deadline.expect("shed requests carry a deadline"),
+                now,
+            });
+        }
+        survivors.sort_by_key(|&(_, seq, _, priority)| (std::cmp::Reverse(priority), seq));
+        let take = survivors.len().min(self.batch_max);
+        for (index, _, _, _) in survivors.drain(..take) {
+            self.outcome[index] = Some(Expected::Executed);
+        }
+        survivors.sort_by_key(|&(_, seq, _, _)| seq);
+        self.window_open = (!survivors.is_empty()).then_some(now);
+        self.pending = survivors;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The queue agrees with the model on every request's fate, and the
+    /// executed ones answer byte-identically to the sequential
+    /// single-store engine.
+    #[test]
+    fn prop_any_interleaving_matches_the_model_and_the_engine(
+        (data, features, specs, g) in world(),
+        cap in 1usize..6,
+        batch_max in 1usize..4,
+        batch_ticks in 0u64..4,
+        // One schedule draw per request: how many ticks to run before
+        // submitting it (0 = back-to-back submits).
+        gaps in proptest::collection::vec(0usize..4, 12),
+    ) {
+        let requests = build_requests(&specs);
+        let engine = QueryEngine::new(
+            SpqExecutor::new(Rect::unit()).grid_size(g as u32),
+            SharedDataset::new(data, features),
+        );
+        let queue = AdmissionQueue::new(
+            &engine,
+            AdmissionConfig::default()
+                .with_max_in_flight(cap)
+                .with_batch_max(batch_max)
+                .with_batch_ticks(batch_ticks),
+        )
+        .unwrap();
+        let mut model = Model::new(cap, batch_max, batch_ticks, requests.len());
+
+        // Drive queue and model through the same interleaving.
+        let mut tickets: Vec<Option<Ticket>> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            for _ in 0..gaps[index % gaps.len()] {
+                queue.tick();
+                model.tick();
+            }
+            let submitted = queue.submit(request.clone());
+            model.submit(index, request.deadline, request.priority);
+            match (submitted, model.outcome[index]) {
+                (Err(err), Some(Expected::Rejected)) => {
+                    prop_assert_eq!(&err, &SpqError::Overloaded { capacity: cap });
+                    prop_assert!(err.is_retryable(), "Overloaded must invite a retry");
+                    tickets.push(None);
+                }
+                (Ok(ticket), None) => tickets.push(Some(ticket)),
+                (got, want) => panic!(
+                    "request {index}: queue said {:?}, model said {want:?}",
+                    got.map(|_| "admitted")
+                ),
+            }
+        }
+        // Drain both in lockstep (bounded — the queue empties a window
+        // per tick once everything is submitted).
+        for _ in 0..10_000 {
+            let report = queue.tick();
+            model.tick();
+            if report.remaining == 0 && model.pending.is_empty() {
+                break;
+            }
+        }
+        prop_assert!(model.pending.is_empty(), "model failed to drain");
+
+        // Every request's fate matches the model; executed ones are
+        // byte-identical to the sequential single-store path.
+        for (index, (ticket, request)) in tickets.into_iter().zip(&requests).enumerate() {
+            match (ticket, model.outcome[index]) {
+                (None, Some(Expected::Rejected)) => {}
+                (Some(ticket), Some(Expected::Executed)) => {
+                    let response = ticket
+                        .wait()
+                        .unwrap_or_else(|e| panic!("request {index} failed: {e}"));
+                    let expect = engine.execute_sequential(request).unwrap();
+                    prop_assert_eq!(
+                        &response.results, &expect.results,
+                        "request {}: admitted response diverged from the engine", index
+                    );
+                }
+                (Some(ticket), Some(Expected::Shed { deadline, now })) => {
+                    let err = ticket.wait().unwrap_err();
+                    prop_assert_eq!(&err, &SpqError::DeadlineExceeded { deadline, now });
+                    prop_assert!(err.is_retryable(), "sheds must invite a retry");
+                }
+                (ticket, outcome) => panic!(
+                    "request {index}: ticket {:?} vs model {outcome:?}",
+                    ticket.map(|_| "present")
+                ),
+            }
+        }
+
+        // The counters tell the same story.
+        let stats = queue.stats();
+        let rejected = model
+            .outcome
+            .iter()
+            .filter(|o| matches!(o, Some(Expected::Rejected)))
+            .count() as u64;
+        let shed = model
+            .outcome
+            .iter()
+            .filter(|o| matches!(o, Some(Expected::Shed { .. })))
+            .count() as u64;
+        let executed = model
+            .outcome
+            .iter()
+            .filter(|o| matches!(o, Some(Expected::Executed)))
+            .count() as u64;
+        prop_assert_eq!(stats.submitted, requests.len() as u64);
+        prop_assert_eq!(stats.admitted, requests.len() as u64 - rejected);
+        prop_assert_eq!(stats.rejected_overload, rejected);
+        prop_assert_eq!(stats.shed_deadline, shed);
+        prop_assert_eq!(stats.executed, executed);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.queue_depth, 0);
+    }
+}
+
+/// Multi-threaded producers under `OverflowPolicy::Block`: every
+/// submission completes (backpressure, not rejection), and every answer
+/// is byte-identical to the sequential single-store engine no matter how
+/// the producer threads interleave with the serve loop.
+#[test]
+fn blocked_producers_all_answer_byte_identically() {
+    use spq::data::{QueryStream, StreamConfig, UniformGen};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let dataset = UniformGen.generate(500, 11);
+    let (shared, _) = dataset.to_shared_splits(4);
+    let engine = QueryEngine::new(SpqExecutor::new(Rect::unit()).grid_size(8), shared);
+    let mut stream = QueryStream::new(
+        dataset.vocab_size,
+        StreamConfig {
+            radius_classes: vec![0.05, 0.15],
+            seed: 4,
+            ..StreamConfig::default()
+        },
+    );
+    let requests: Vec<QueryRequest> = stream
+        .batch(24)
+        .into_iter()
+        .map(QueryRequest::new)
+        .collect();
+    let queue = AdmissionQueue::new(
+        &engine,
+        AdmissionConfig::default()
+            .with_max_in_flight(4)
+            .with_batch_max(3)
+            .with_batch_ticks(0)
+            .with_overflow(OverflowPolicy::Block),
+    )
+    .unwrap();
+
+    const PRODUCERS: usize = 4;
+    let done = AtomicUsize::new(0);
+    let outcomes: Vec<Vec<(usize, Result<QueryResponse, SpqError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let queue = &queue;
+                    let requests = &requests;
+                    let done = &done;
+                    scope.spawn(move || {
+                        // Each producer owns a strided slice of the stream and
+                        // waits each ticket inline — capacity is what limits it.
+                        let mut got = Vec::new();
+                        for (i, request) in requests.iter().enumerate() {
+                            if i % PRODUCERS != p {
+                                continue;
+                            }
+                            let ticket = queue.submit(request.clone()).unwrap();
+                            got.push((i, ticket.wait()));
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                        got
+                    })
+                })
+                .collect();
+            // The serve loop: tick until every producer has finished.
+            while done.load(Ordering::SeqCst) < PRODUCERS {
+                queue.tick();
+                std::thread::yield_now();
+            }
+            queue.drain();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    let mut seen = 0;
+    for (i, outcome) in outcomes.into_iter().flatten() {
+        let response = outcome.unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+        let expect = engine.execute_sequential(&requests[i]).unwrap();
+        assert_eq!(
+            response.results, expect.results,
+            "request {i}: concurrent admission changed the answer"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, requests.len());
+    let stats = queue.stats();
+    assert_eq!(stats.rejected_overload, 0, "Block must never reject");
+    assert_eq!(stats.executed, requests.len() as u64);
+    assert_eq!(stats.shed_deadline, 0);
+    assert!(stats.queue_depth_watermark <= 4, "cap bounds the queue");
+}
