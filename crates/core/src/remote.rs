@@ -92,7 +92,7 @@ use spq_mapreduce::remote::{
 };
 use spq_mapreduce::{ClusterConfig, JobStats};
 use spq_text::{KeywordSet, SetSimilarity};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -464,10 +464,10 @@ pub(crate) fn decode_shard_result(payload: &[u8]) -> Result<(bool, Vec<u8>, JobS
 
 /// Encodes an [`OP_SHARD_STATUS_OK`] payload: the hosted shard ids,
 /// ascending.
-pub(crate) fn encode_shard_status(shards: &[u32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + shards.len() * 4);
-    put_u32(&mut out, shards.len() as u32);
-    for &s in shards {
+pub(crate) fn encode_shard_status(shard_ids: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + shard_ids.len() * 4);
+    put_u32(&mut out, shard_ids.len() as u32);
+    for &s in shard_ids {
         put_u32(&mut out, s);
     }
     out
@@ -504,7 +504,10 @@ struct HostedShard {
 /// [`RemoteEngine::self_hosted`] serve.
 #[derive(Default)]
 pub struct ShardHost {
-    shards: Mutex<HashMap<u32, HostedShard>>,
+    // BTreeMap, not HashMap: `status()` serializes the hosted shard ids,
+    // and this module's wire output must never depend on hash order
+    // (enforced by spq-lint's determinism/unordered-iter).
+    shards: Mutex<BTreeMap<u32, HostedShard>>,
 }
 
 impl ShardHost {
@@ -543,8 +546,9 @@ impl ShardHost {
     }
 
     fn status(&self) -> Vec<u8> {
-        let mut hosted: Vec<u32> = self.shards.lock().keys().copied().collect();
-        hosted.sort_unstable();
+        // BTreeMap keys are already ascending, the order the codec
+        // documents.
+        let hosted: Vec<u32> = self.shards.lock().keys().copied().collect();
         encode_shard_status(&hosted)
     }
 

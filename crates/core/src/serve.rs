@@ -564,12 +564,13 @@ impl<E: QueryExecutor> AdmissionQueue<E> {
             // the queue (they could only ever be dequeued later, so
             // shedding now frees capacity earliest).
             let mut survivors: Vec<Pending> = Vec::with_capacity(state.pending.len());
-            let mut shed = Vec::new();
+            // Shed entries carry the deadline they missed, captured here
+            // where it is known to exist — no later re-extraction.
+            let mut shed: Vec<(Pending, u64)> = Vec::new();
             for p in state.pending.drain(..) {
-                if p.request.deadline.is_some_and(|d| now > d) {
-                    shed.push(p);
-                } else {
-                    survivors.push(p);
+                match p.request.deadline {
+                    Some(d) if now > d => shed.push((p, d)),
+                    _ => survivors.push(p),
                 }
             }
 
@@ -584,10 +585,11 @@ impl<E: QueryExecutor> AdmissionQueue<E> {
             (window, shed)
         };
 
-        for p in &shed {
-            let deadline = p.request.deadline.expect("shed requests carry a deadline");
-            p.ticket
-                .deliver(Err(SpqError::DeadlineExceeded { deadline, now }));
+        for (p, deadline) in &shed {
+            p.ticket.deliver(Err(SpqError::DeadlineExceeded {
+                deadline: *deadline,
+                now,
+            }));
         }
         self.counters
             .shed_deadline

@@ -99,8 +99,11 @@ pub mod wire {
         bytes
             .chunks_exact(RECORD_BYTES)
             .map(|chunk| {
-                let index = u32::from_le_bytes(chunk[..4].try_into().unwrap()) as usize;
-                let bits = u64::from_le_bytes(chunk[4..].try_into().unwrap());
+                let index = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as usize;
+                let bits = u64::from_le_bytes([
+                    chunk[4], chunk[5], chunk[6], chunk[7], chunk[8], chunk[9], chunk[10],
+                    chunk[11],
+                ]);
                 let object = &data[index];
                 RankedObject::new(
                     object.id,

@@ -1,0 +1,246 @@
+//! The panic-freedom ratchet: a committed per-file count of
+//! `unwrap()`/`expect(`/`panic!`/`unreachable!`/`todo!` sites in
+//! non-test library code that may only go down.
+//!
+//! Semantics are exact-match, not ceiling: a scan must reproduce the
+//! baseline counts precisely. Above → regression. Below → stale
+//! baseline, run `--bless` to lock the improvement in. `--bless`
+//! itself refuses to raise any count — deliberately adding a panic
+//! site means hand-editing `lint-baseline.toml` where a reviewer will
+//! see it.
+//!
+//! The file is a single-table TOML document; the parser here covers
+//! exactly that shape (comments, `[panic-sites]`, `"path" = count`)
+//! so the crate stays dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Per-file panic-site counts, keyed by workspace-relative path.
+pub type Counts = BTreeMap<String, u64>;
+
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Parses the baseline document. Unknown sections or malformed lines
+/// are errors: a baseline that silently drops entries ratchets nothing.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut in_section = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            in_section = name.trim() == "panic-sites";
+            if !in_section {
+                return Err(format!(
+                    "{BASELINE_FILE}:{}: unknown section [{}]",
+                    ln + 1,
+                    name.trim()
+                ));
+            }
+            continue;
+        }
+        if !in_section {
+            return Err(format!(
+                "{BASELINE_FILE}:{}: entry before [panic-sites] section",
+                ln + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{BASELINE_FILE}:{}: expected `\"path\" = count`",
+                ln + 1
+            ));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("{BASELINE_FILE}:{}: bad count: {e}", ln + 1))?;
+        if key.is_empty() {
+            return Err(format!("{BASELINE_FILE}:{}: empty path key", ln + 1));
+        }
+        if counts.insert(key.clone(), value).is_some() {
+            return Err(format!(
+                "{BASELINE_FILE}:{}: duplicate entry for {key}",
+                ln + 1
+            ));
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders the baseline document (sorted, commented, zero-count files
+/// omitted — absence *is* the zero).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet for `spq-lint` (see docs/ARCHITECTURE.md,\n\
+         # \"Static analysis & invariants\"). Counts of unwrap()/expect(/panic!/\n\
+         # unreachable!/todo! sites in non-test library code, per file. The\n\
+         # ratchet is exact-match and decrease-only: `spq-lint --bless` locks in\n\
+         # improvements and refuses increases; raising a count on purpose means\n\
+         # editing this file by hand, in review.\n\
+         \n[panic-sites]\n",
+    );
+    for (file, n) in counts {
+        if *n > 0 {
+            out.push_str(&format!("\"{file}\" = {n}\n"));
+        }
+    }
+    out
+}
+
+/// One ratchet discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetIssue {
+    /// The file whose count disagrees.
+    pub file: String,
+    /// Count found by this scan.
+    pub actual: u64,
+    /// Count the baseline expects.
+    pub expected: u64,
+    /// `true` for a regression (actual > expected), `false` for a
+    /// stale baseline (actual < expected — improvement not blessed).
+    pub regression: bool,
+}
+
+/// Compares scanned counts against the baseline. Every discrepancy is
+/// fatal to the run; the flag distinguishes the message.
+pub fn check(actual: &Counts, baseline: &Counts) -> Vec<RatchetIssue> {
+    let mut issues = Vec::new();
+    for (file, &n) in actual {
+        if n == 0 {
+            continue;
+        }
+        let expected = baseline.get(file).copied().unwrap_or(0);
+        if n != expected {
+            issues.push(RatchetIssue {
+                file: file.clone(),
+                actual: n,
+                expected,
+                regression: n > expected,
+            });
+        }
+    }
+    for (file, &expected) in baseline {
+        if expected > 0 && actual.get(file).copied().unwrap_or(0) == 0 {
+            issues.push(RatchetIssue {
+                file: file.clone(),
+                actual: 0,
+                expected,
+                regression: false,
+            });
+        }
+    }
+    issues.sort_by(|a, b| a.file.cmp(&b.file));
+    issues.dedup();
+    issues
+}
+
+/// Computes the blessed baseline: current counts, refusing to raise
+/// any committed entry. `baseline` is `None` only when no
+/// `lint-baseline.toml` exists yet — the one case where seeding
+/// arbitrary counts is sanctioned. Returns the offending files on
+/// refusal.
+pub fn bless(actual: &Counts, baseline: Option<&Counts>) -> Result<Counts, Vec<RatchetIssue>> {
+    if let Some(baseline) = baseline {
+        let regressions: Vec<RatchetIssue> = actual
+            .iter()
+            .filter(|(file, &n)| n > baseline.get(*file).copied().unwrap_or(0))
+            .map(|(file, &n)| RatchetIssue {
+                file: file.clone(),
+                actual: n,
+                expected: baseline.get(file).copied().unwrap_or(0),
+                regression: true,
+            })
+            .collect();
+        if !regressions.is_empty() {
+            return Err(regressions);
+        }
+    }
+    Ok(actual
+        .iter()
+        .filter(|(_, &n)| n > 0)
+        .map(|(f, &n)| (f.clone(), n))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u64)]) -> Counts {
+        pairs.iter().map(|(f, n)| (f.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = counts(&[
+            ("crates/a/src/lib.rs", 3),
+            ("src/lib.rs", 1),
+            ("zero.rs", 0),
+        ]);
+        let parsed = parse(&render(&c)).expect("round trip parses");
+        assert_eq!(
+            parsed,
+            counts(&[("crates/a/src/lib.rs", 3), ("src/lib.rs", 1)])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("[other-section]\n").is_err());
+        assert!(parse("\"a\" = 1\n").is_err()); // before section header
+        assert!(parse("[panic-sites]\nnot a pair\n").is_err());
+        assert!(parse("[panic-sites]\n\"a\" = x\n").is_err());
+        assert!(parse("[panic-sites]\n\"a\" = 1\n\"a\" = 2\n").is_err());
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let c = counts(&[("a.rs", 2)]);
+        assert!(check(&c, &c).is_empty());
+    }
+
+    #[test]
+    fn regression_and_stale_both_fail() {
+        let base = counts(&[("a.rs", 2), ("b.rs", 1)]);
+        let issues = check(&counts(&[("a.rs", 3), ("b.rs", 1)]), &base);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].regression);
+
+        let issues = check(&counts(&[("a.rs", 1), ("b.rs", 1)]), &base);
+        assert_eq!(issues.len(), 1);
+        assert!(!issues[0].regression);
+
+        // File gone clean entirely: stale entry must be blessed away.
+        let issues = check(&counts(&[("a.rs", 2)]), &base);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].file, "b.rs");
+
+        // New file with sites, absent from baseline: regression.
+        let issues = check(&counts(&[("a.rs", 2), ("b.rs", 1), ("c.rs", 1)]), &base);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].regression);
+        assert_eq!(issues[0].expected, 0);
+    }
+
+    #[test]
+    fn bless_lowers_but_never_raises() {
+        let base = counts(&[("a.rs", 2)]);
+        let blessed = bless(&counts(&[("a.rs", 1)]), Some(&base)).expect("lowering is fine");
+        assert_eq!(blessed, counts(&[("a.rs", 1)]));
+
+        assert!(bless(&counts(&[("a.rs", 3)]), Some(&base)).is_err());
+        assert!(bless(&counts(&[("a.rs", 2), ("new.rs", 1)]), Some(&base)).is_err());
+
+        // An existing-but-empty baseline is still a commitment.
+        assert!(bless(&counts(&[("a.rs", 5)]), Some(&Counts::new())).is_err());
+
+        // Only a missing baseline file may be seeded.
+        let seeded = bless(&counts(&[("a.rs", 5)]), None).expect("seed");
+        assert_eq!(seeded, counts(&[("a.rs", 5)]));
+    }
+}

@@ -1,0 +1,662 @@
+//! A minimal, panic-free token scanner for Rust source.
+//!
+//! The lints in this crate are token-sequence matchers, so the lexer's
+//! whole job is to classify bytes correctly: code vs. line/block
+//! comments (nested), vs. string/char/byte/raw-string literals — and to
+//! carve out `#[cfg(test)]` / `#[test]` / `mod tests` regions so that
+//! test code is never linted. It operates on raw bytes (invalid UTF-8
+//! must not panic: the proptest in `tests/` feeds it arbitrary byte
+//! soup) and is deliberately forgiving: an unterminated literal ends at
+//! the end of input instead of erroring, because a scanner that dies on
+//! one weird file checks nothing at all.
+
+use std::collections::BTreeSet;
+
+/// One significant token. Literals and comments are consumed but not
+/// emitted — no lint needs their contents, only their extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokenKind,
+}
+
+/// Token classification, just rich enough for sequence matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Instant`, `fn`, `unwrap`, ...).
+    Ident(String),
+    /// A single punctuation byte (`#`, `[`, `:`, `.`, `!`, ...).
+    /// Multi-byte operators arrive as consecutive singles (`::` is two
+    /// `:` tokens), which keeps the matcher alphabet tiny.
+    Punct(u8),
+    /// A lifetime such as `'a` (kept distinct so `'a` never opens a
+    /// char literal).
+    Lifetime,
+    /// Any consumed literal: string, raw string, char, byte, number.
+    Literal,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this is punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == b)
+    }
+}
+
+/// Lexer output: the token stream plus the comment geography the
+/// hygiene lint needs (which lines carry a comment, and any
+/// `spq-lint: allow(...)` suppression directives found in comments).
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// 1-based lines that contain (part of) a comment.
+    pub comment_lines: BTreeSet<u32>,
+    /// `(line, lint-name)` pairs from `spq-lint: allow(<name>)` comment
+    /// directives; a directive suppresses findings of that lint on its
+    /// own line and the next one.
+    pub directives: Vec<(u32, String)>,
+}
+
+/// Scans `src` into tokens. Never panics, never errors: malformed input
+/// degrades to fewer/odd tokens, which the lints treat as ordinary code.
+pub fn lex(src: &[u8]) -> LexOut {
+    Scanner {
+        src,
+        pos: 0,
+        line: 1,
+        out: LexOut::default(),
+    }
+    .run()
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexOut,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, line: u32, kind: TokenKind) {
+        self.out.tokens.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> LexOut {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                _ if b.is_ascii_whitespace() => self.bump(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(line, TokenKind::Punct(b));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// ...` to end of line (doc comments included).
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.out.comment_lines.insert(line);
+        self.record_directive(line, start, self.pos);
+    }
+
+    /// `/* ... */`, nested. Unterminated comments swallow to EOF.
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        for l in start_line..=self.line {
+            self.out.comment_lines.insert(l);
+        }
+        self.record_directive(start_line, start, self.pos);
+    }
+
+    /// Parses `spq-lint: allow(<name>)` out of a comment's bytes.
+    fn record_directive(&mut self, line: u32, start: usize, end: usize) {
+        let text = &self.src[start..end.min(self.src.len())];
+        let Ok(text) = std::str::from_utf8(text) else {
+            return;
+        };
+        let mut rest = text;
+        while let Some(at) = rest.find("spq-lint: allow(") {
+            rest = &rest[at + "spq-lint: allow(".len()..];
+            if let Some(close) = rest.find(')') {
+                let name = rest[..close].trim().to_string();
+                if !name.is_empty() {
+                    self.out.directives.push((line, name));
+                }
+                rest = &rest[close + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `"..."` with backslash escapes. Unterminated → EOF.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(line, TokenKind::Literal);
+    }
+
+    /// `'` opens either a lifetime (`'a`) or a char literal (`'x'`,
+    /// `'\n'`, `'🦀'`). Rule: ident-start not immediately closed by
+    /// another `'` is a lifetime; everything else scans for a closing
+    /// quote on the same line.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump();
+        match self.peek(0) {
+            Some(b) if is_ident_start(b) && self.peek(1) != Some(b'\'') => {
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(line, TokenKind::Lifetime);
+            }
+            _ => {
+                while let Some(b) = self.peek(0) {
+                    match b {
+                        b'\\' => {
+                            self.bump();
+                            if self.peek(0).is_some() {
+                                self.bump();
+                            }
+                        }
+                        b'\'' => {
+                            self.bump();
+                            break;
+                        }
+                        // An unclosed char literal ends at the line end;
+                        // running to EOF would let one stray quote hide
+                        // the rest of the file from every lint.
+                        b'\n' => break,
+                        _ => self.bump(),
+                    }
+                }
+                self.push(line, TokenKind::Literal);
+            }
+        }
+    }
+
+    /// Number literal: digits with `_`, type-suffix/hex letters, a
+    /// fractional part only when a digit follows the dot (so `0..10`
+    /// leaves the range dots alone), and signed exponents.
+    fn number(&mut self) {
+        let line = self.line;
+        loop {
+            match self.peek(0) {
+                Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
+                    let was_exp = (b == b'e' || b == b'E')
+                        && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                        && matches!(self.peek(2), Some(d) if d.is_ascii_digit());
+                    self.bump();
+                    if was_exp {
+                        self.bump(); // the sign
+                    }
+                }
+                Some(b'.') if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.push(line, TokenKind::Literal);
+    }
+
+    /// Identifier, or a string literal with an ident-like prefix
+    /// (`r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `c"..."`, ...).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let raw_capable = matches!(text, b"r" | b"br" | b"cr");
+        let escaped_string_prefix = matches!(text, b"b" | b"c");
+        match self.peek(0) {
+            Some(b'"') if raw_capable => {
+                self.raw_string(0);
+                self.push(line, TokenKind::Literal);
+            }
+            Some(b'"') if escaped_string_prefix => {
+                self.string_literal(); // pushes the Literal itself
+            }
+            Some(b'#') if raw_capable => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes);
+                    self.push(line, TokenKind::Literal);
+                } else {
+                    // `r#ident` raw identifier: emit the ident, leave
+                    // the `#` (and the identifier after it) to the
+                    // main loop.
+                    self.push_ident(line, text);
+                }
+            }
+            _ => self.push_ident(line, text),
+        }
+    }
+
+    fn push_ident(&mut self, line: u32, text: &[u8]) {
+        let text = String::from_utf8_lossy(text).into_owned();
+        self.push(line, TokenKind::Ident(text));
+    }
+
+    /// Raw string body starting at the opening `"`: no escapes, closed
+    /// by `"` followed by `hashes` `#`s. Unterminated → EOF.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut matched = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Removes test regions from a token stream: any item annotated
+/// `#[cfg(test)]` or `#[test]`, and any `mod tests { ... }` block. The
+/// skip is item-shaped — attributes, then either a braced body
+/// (balanced, so nested `cfg(test)` inside is irrelevant) or a
+/// `;`-terminated item. A file opening with `#![cfg(test)]` is dropped
+/// entirely.
+pub fn strip_tests(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_test_attr(tokens, i) {
+            if after_attr == usize::MAX {
+                return out; // inner #![cfg(test)]: whole file is tests
+            }
+            i = skip_item(tokens, after_attr);
+            continue;
+        }
+        if tokens[i].kind.ident() == Some("mod")
+            && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("tests")
+            && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(b'{'))
+        {
+            i = skip_braced(tokens, i + 2);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// If `tokens[i..]` opens a `#[test]` / `#[cfg(test)]` attribute,
+/// returns the index just past the closing `]`. Returns `usize::MAX`
+/// for the inner-attribute form `#![cfg(test)]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.kind.is_punct(b'#') {
+        return None;
+    }
+    let mut j = i + 1;
+    let inner = tokens.get(j)?.kind.is_punct(b'!');
+    if inner {
+        j += 1;
+    }
+    if !tokens.get(j)?.kind.is_punct(b'[') {
+        return None;
+    }
+    // Collect the attribute's tokens up to the matching `]`.
+    let mut depth = 1usize;
+    let mut body: Vec<&TokenKind> = Vec::new();
+    let mut k = j + 1;
+    while k < tokens.len() && depth > 0 {
+        let t = &tokens[k].kind;
+        if t.is_punct(b'[') {
+            depth += 1;
+        } else if t.is_punct(b']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        body.push(t);
+        k += 1;
+    }
+    let is_test = match body.as_slice() {
+        [TokenKind::Ident(a)] if a == "test" => true,
+        [TokenKind::Ident(a), open, TokenKind::Ident(b), close]
+            if a == "cfg" && b == "test" && open.is_punct(b'(') && close.is_punct(b')') =>
+        {
+            true
+        }
+        _ => false,
+    };
+    if !is_test {
+        return None;
+    }
+    if inner {
+        return Some(usize::MAX);
+    }
+    Some(k + 1)
+}
+
+/// Skips one item starting at `i`: further attributes, then through a
+/// balanced `{...}` body or a terminating `;` (or `,`, for
+/// enum-variant/expression positions), whichever comes first.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        // Chained attributes on the same item.
+        if tokens[i].kind.is_punct(b'#') && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(b'['))
+        {
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                if tokens[i].kind.is_punct(b'[') {
+                    depth += 1;
+                } else if tokens[i].kind.is_punct(b']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if tokens[i].kind.is_punct(b'{') {
+            return skip_braced(tokens, i);
+        }
+        if tokens[i].kind.is_punct(b';') || tokens[i].kind.is_punct(b',') {
+            return i + 1;
+        }
+        // Braces inside parens/brackets (e.g. default expressions)
+        // don't open the item body; fast-forward through the group.
+        if tokens[i].kind.is_punct(b'(') || tokens[i].kind.is_punct(b'[') {
+            let (open, close) = if tokens[i].kind.is_punct(b'(') {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                if tokens[i].kind.is_punct(open) {
+                    depth += 1;
+                } else if tokens[i].kind.is_punct(close) {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips from an opening `{` at `i` past its matching `}`.
+fn skip_braced(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind.is_punct(b'{') {
+            depth += 1;
+        } else if tokens[i].kind.is_punct(b'}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src.as_bytes())
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    fn stripped_idents(src: &str) -> Vec<String> {
+        strip_tests(&lex(src.as_bytes()).tokens)
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // Instant::now() in a line comment
+            /* unwrap() in /* a nested */ block comment */
+            let s = "Instant::now()";
+            let r = r#"thread_rng() and "quotes" inside"#;
+            let b = b"panic!";
+            real_token();
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "real_token"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_terminates_correctly() {
+        let src = "/* a /* b /* c */ */ still comment */ after";
+        assert_eq!(idents(src), vec!["after"]);
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_keeps_scanning() {
+        // The "# inside the r##-string must not close it.
+        let src = r###"let x = r##"has "# inside"##; tail"###;
+        assert_eq!(idents(src), vec!["let", "x", "tail"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        assert_eq!(
+            idents(src),
+            vec!["fn", "f", "x", "str", "let", "c", "let", "n"]
+        );
+        let lifetimes = lex(src.as_bytes())
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn number_dots_do_not_eat_ranges() {
+        let src = "for i in 0..10 { x(1.5e-3, 0xff_u32, 2.) }";
+        // `2.` keeps its dot separate (digit must follow), which is
+        // fine: a stray '.' punct hurts nothing.
+        let dots = lex(src.as_bytes())
+            .tokens
+            .iter()
+            .filter(|t| t.kind.is_punct(b'.'))
+            .count();
+        assert_eq!(dots, 3); // the two range dots + the one in `2.`
+    }
+
+    #[test]
+    fn cfg_test_region_is_stripped() {
+        let src = r#"
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                fn inner() { victim(); }
+                #[cfg(test)]
+                mod nested { fn deeper() {} }
+            }
+            fn also_lib() {}
+        "#;
+        assert_eq!(stripped_idents(src), vec!["fn", "lib", "fn", "also_lib"]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_stripped() {
+        let src = "#[test]\nfn t() { victim() }\nfn keep() {}";
+        assert_eq!(stripped_idents(src), vec!["fn", "keep"]);
+    }
+
+    #[test]
+    fn mod_tests_without_cfg_is_stripped() {
+        let src = "mod tests { fn hidden() {} }\nfn keep() {}";
+        assert_eq!(stripped_idents(src), vec!["fn", "keep"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        // The attribute's own idents pass through (only the *item* of a
+        // test attribute is stripped); what matters is `keep` survives.
+        let src = "#[cfg(not(test))]\nfn keep() {}";
+        assert_eq!(
+            stripped_idents(src),
+            vec!["cfg", "not", "test", "fn", "keep"]
+        );
+    }
+
+    #[test]
+    fn inner_cfg_test_drops_whole_file() {
+        let src = "#![cfg(test)]\nfn hidden() {}";
+        assert!(stripped_idents(src).is_empty());
+    }
+
+    #[test]
+    fn directives_are_collected() {
+        let src = "// spq-lint: allow(determinism/wall-clock) — bench timing\nfn f() {}";
+        let out = lex(src.as_bytes());
+        assert_eq!(
+            out.directives,
+            vec![(1, "determinism/wall-clock".to_string())]
+        );
+    }
+
+    #[test]
+    fn comment_lines_cover_block_extent() {
+        let src = "/* one\ntwo */\ncode();";
+        let out = lex(src.as_bytes());
+        assert_eq!(
+            out.comment_lines.iter().copied().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_and_odd_bytes_do_not_panic() {
+        let soup: Vec<u8> = vec![0xff, b'"', 0xfe, b'\n', b'\'', 0x80, b'r', b'#', 0x00];
+        let _ = lex(&soup);
+    }
+}

@@ -1,0 +1,133 @@
+//! The `spq-lint` binary. Exit status: 0 clean, 1 on any violation or
+//! ratchet discrepancy, 2 on usage/IO errors.
+//!
+//! ```text
+//! spq-lint [--root PATH] [--json PATH] [--bless] [--list] [--quiet]
+//! ```
+
+use spq_lint::{baseline, config, report, run_workspace};
+use std::path::PathBuf;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    bless: bool,
+    list: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        bless: false,
+        list: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a path".to_string())?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--json needs a path".to_string())?,
+                ));
+            }
+            "--bless" => args.bless = true,
+            "--list" => args.list = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "spq-lint — workspace invariant checker\n\n\
+                     USAGE: spq-lint [--root PATH] [--json PATH] [--bless] [--list] [--quiet]\n\n\
+                     --root PATH   workspace root to scan (default: .)\n\
+                     --json PATH   also write the machine-readable report to PATH\n\
+                     --bless       rewrite lint-baseline.toml with current (lower) counts\n\
+                     --list        print the lint catalogue and exit\n\
+                     --quiet       suppress the summary line"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn real_main() -> Result<i32, String> {
+    let args = parse_args()?;
+    if args.list {
+        for name in config::lint::ALL {
+            println!("{name}");
+        }
+        return Ok(0);
+    }
+
+    let mut outcome = run_workspace(&args.root)?;
+
+    let baseline_path = args.root.join(baseline::BASELINE_FILE);
+    // `None` = no baseline file at all (seedable); an existing file,
+    // even with zero entries, is a commitment --bless must not raise.
+    let committed: Option<baseline::Counts> = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Some(baseline::parse(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+
+    if args.bless {
+        match baseline::bless(&outcome.panic_counts, committed.as_ref()) {
+            Ok(next) => {
+                std::fs::write(&baseline_path, baseline::render(&next))
+                    .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+                eprintln!(
+                    "spq-lint: blessed {} → {} entries, {} panic sites",
+                    baseline_path.display(),
+                    next.len(),
+                    next.values().sum::<u64>()
+                );
+            }
+            Err(regressions) => {
+                for r in &regressions {
+                    eprintln!(
+                        "error[{}]: --bless refuses to raise {}: {} sites > baseline {}",
+                        config::lint::PANIC_RATCHET,
+                        r.file,
+                        r.actual,
+                        r.expected
+                    );
+                }
+                eprintln!(
+                    "  = help: the ratchet only tightens; remove the new sites, or \
+                     hand-edit lint-baseline.toml in review"
+                );
+                return Ok(1);
+            }
+        }
+    } else {
+        outcome.ratchet_issues =
+            baseline::check(&outcome.panic_counts, &committed.unwrap_or_default());
+    }
+
+    eprint!("{}", report::render_diagnostics(&outcome));
+    if !args.quiet {
+        eprint!("{}", report::render_summary(&outcome));
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, report::render_json(&outcome))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(if outcome.clean() { 0 } else { 1 })
+}
+
+fn main() {
+    match real_main() {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("spq-lint: {message}");
+            std::process::exit(2);
+        }
+    }
+}

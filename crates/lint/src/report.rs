@@ -1,0 +1,289 @@
+//! Rendering: rustc-style diagnostics for humans, a JSON document for
+//! CI artifacts. The JSON is hand-rolled (like every other report in
+//! this workspace) and fully sorted, so two runs over the same tree
+//! are byte-identical.
+
+use crate::baseline::{Counts, RatchetIssue};
+use crate::config::{self, lint};
+use crate::lints::Violation;
+
+/// The complete outcome of one workspace scan.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Files scanned, workspace-relative, sorted.
+    pub files: Vec<String>,
+    /// All surviving violations, sorted by (file, line, lint).
+    pub violations: Vec<Violation>,
+    /// Directive-suppressed findings, same ordering.
+    pub suppressed: Vec<Violation>,
+    /// Per-file panic-site counts (zero-count files included).
+    pub panic_counts: Counts,
+    /// Ratchet discrepancies against the committed baseline.
+    pub ratchet_issues: Vec<RatchetIssue>,
+    /// Percentile-ish helpers the bench-stats pass inspected, as
+    /// `file::fn_name`, sorted.
+    pub stats_helpers: Vec<String>,
+}
+
+impl RunOutcome {
+    /// True when the run should exit 0.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.ratchet_issues.is_empty()
+    }
+
+    /// Total panic sites across the tree.
+    pub fn panic_total(&self) -> u64 {
+        self.panic_counts.values().sum()
+    }
+}
+
+/// Renders the human diagnostics (empty string when clean).
+pub fn render_diagnostics(outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    for v in &outcome.violations {
+        out.push_str(&format!(
+            "error[{}]: {}:{}: {}\n  = help: {}\n",
+            v.lint, v.file, v.line, v.message, v.help
+        ));
+    }
+    for i in &outcome.ratchet_issues {
+        if i.regression {
+            out.push_str(&format!(
+                "error[{}]: {}: {} panic sites, baseline allows {}\n  = help: remove the \
+                 new unwrap()/expect(/panic! sites (typed SpqError propagation), or \
+                 hand-edit lint-baseline.toml if the increase is truly justified\n",
+                lint::PANIC_RATCHET,
+                i.file,
+                i.actual,
+                i.expected
+            ));
+        } else {
+            out.push_str(&format!(
+                "error[{}]: {}: {} panic sites, baseline still says {}\n  = help: the \
+                 code improved — run `cargo run -p spq-lint -- --bless` to tighten the \
+                 ratchet\n",
+                lint::PANIC_RATCHET,
+                i.file,
+                i.actual,
+                i.expected
+            ));
+        }
+    }
+    out
+}
+
+/// One-line summary for the end of a run.
+pub fn render_summary(outcome: &RunOutcome) -> String {
+    format!(
+        "spq-lint: {} files, {} violations ({} suppressed), {} panic sites, ratchet {}\n",
+        outcome.files.len(),
+        outcome.violations.len(),
+        outcome.suppressed.len(),
+        outcome.panic_total(),
+        if outcome.ratchet_issues.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("{} issues", outcome.ratchet_issues.len())
+        }
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_violation(v: &Violation, indent: &str) -> String {
+    format!(
+        "{indent}{{ \"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}",
+        v.lint,
+        json_escape(&v.file),
+        v.line,
+        json_escape(&v.message)
+    )
+}
+
+/// Renders the machine-readable report. Schema (all arrays sorted):
+///
+/// ```json
+/// {
+///   "tool": "spq-lint",
+///   "lints": [...],
+///   "files_scanned": N,
+///   "violations": [{"lint", "file", "line", "message"}],
+///   "suppressed": [...same shape...],
+///   "panic_sites": {"<file>": count, ...},
+///   "panic_total": N,
+///   "ratchet": {"status": "ok"|"failed", "issues": [...]},
+///   "policy": {"wall_clock_sanctioned": [...], "ordered_output_modules": [...],
+///              "bench_writer_modules": [...]},
+///   "bench_stats": {"helpers": ["file::fn", ...]}
+/// }
+/// ```
+pub fn render_json(outcome: &RunOutcome) -> String {
+    let mut out = String::from("{\n  \"tool\": \"spq-lint\",\n");
+    out.push_str(&format!(
+        "  \"lints\": [{}],\n",
+        lint::ALL
+            .iter()
+            .map(|l| format!("\"{l}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"files_scanned\": {},\n", outcome.files.len()));
+
+    for (key, list) in [
+        ("violations", &outcome.violations),
+        ("suppressed", &outcome.suppressed),
+    ] {
+        if list.is_empty() {
+            out.push_str(&format!("  \"{key}\": [],\n"));
+        } else {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            let rows: Vec<String> = list.iter().map(|v| json_violation(v, "    ")).collect();
+            out.push_str(&rows.join(",\n"));
+            out.push_str("\n  ],\n");
+        }
+    }
+
+    out.push_str("  \"panic_sites\": {\n");
+    let rows: Vec<String> = outcome
+        .panic_counts
+        .iter()
+        .filter(|(_, &n)| n > 0)
+        .map(|(f, n)| format!("    \"{}\": {}", json_escape(f), n))
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str(&format!("  \"panic_total\": {},\n", outcome.panic_total()));
+
+    out.push_str(&format!(
+        "  \"ratchet\": {{ \"status\": \"{}\", \"issues\": [{}] }},\n",
+        if outcome.ratchet_issues.is_empty() {
+            "ok"
+        } else {
+            "failed"
+        },
+        outcome
+            .ratchet_issues
+            .iter()
+            .map(|i| format!(
+                "{{ \"file\": \"{}\", \"actual\": {}, \"expected\": {}, \"regression\": {} }}",
+                json_escape(&i.file),
+                i.actual,
+                i.expected,
+                i.regression
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    out.push_str("  \"policy\": {\n");
+    out.push_str(&format!(
+        "    \"wall_clock_sanctioned\": [{}],\n",
+        config::WALL_CLOCK_SANCTIONED
+            .iter()
+            .map(|s| format!("\"{}\"", s.prefix))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (key, list) in [
+        ("ordered_output_modules", config::ORDERED_OUTPUT_MODULES),
+        ("bench_writer_modules", config::BENCH_WRITER_MODULES),
+    ] {
+        out.push_str(&format!(
+            "    \"{key}\": [{}],\n",
+            list.iter()
+                .map(|m| format!("\"{m}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    // Trailing comma cleanup: rewrite last ",\n" of the policy block.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("  },\n");
+
+    out.push_str(&format!(
+        "  \"bench_stats\": {{ \"helpers\": [{}] }}\n",
+        outcome
+            .stats_helpers
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_with_violation() -> RunOutcome {
+        RunOutcome {
+            files: vec!["src/lib.rs".to_string()],
+            violations: vec![Violation {
+                lint: lint::WALL_CLOCK,
+                file: "src/lib.rs".to_string(),
+                line: 7,
+                message: "Instant::now in a module that is not sanctioned".to_string(),
+                help: "use ticks".to_string(),
+            }],
+            ..RunOutcome::default()
+        }
+    }
+
+    #[test]
+    fn diagnostics_are_rustc_shaped() {
+        let text = render_diagnostics(&outcome_with_violation());
+        assert!(text.starts_with("error[determinism/wall-clock]: src/lib.rs:7: "));
+        assert!(text.contains("= help:"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_sorted() {
+        let mut o = outcome_with_violation();
+        o.panic_counts.insert("src/lib.rs".to_string(), 2);
+        o.ratchet_issues.push(RatchetIssue {
+            file: "src/lib.rs".to_string(),
+            actual: 2,
+            expected: 1,
+            regression: true,
+        });
+        let json = render_json(&o);
+        assert!(json.contains("\"tool\": \"spq-lint\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"panic_total\": 2"));
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("\"regression\": true"));
+        // Quotes/backslashes in messages must be escaped.
+        assert!(!json.contains("\"message\": \"a \"quoted\"\""));
+        // Balanced braces is a cheap well-formedness smoke check given
+        // every embedded string is escaped.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn clean_outcome_renders_empty_diagnostics() {
+        let o = RunOutcome::default();
+        assert!(render_diagnostics(&o).is_empty());
+        assert!(o.clean());
+        assert!(render_json(&o).contains("\"status\": \"ok\""));
+    }
+}

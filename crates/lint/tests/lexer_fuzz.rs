@@ -1,0 +1,78 @@
+//! Property tests for the scanner: the lexer must never panic and never
+//! mis-track string/comment state, on arbitrary byte soup as well as on
+//! soup biased toward the characters that drive its state machine.
+
+use proptest::prelude::*;
+use spq_lint::lexer::{self, TokenKind};
+
+/// Re-renders a token stream as source: idents/puncts verbatim,
+/// literals as a placeholder literal, lifetimes as `'a`. Lexing the
+/// rendering must reproduce the same significant-token sequence — a
+/// lexer that lost track of string or comment state fails this, because
+/// tokens leak into (or out of) literal territory.
+fn render(tokens: &[lexer::Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(s) => out.push_str(s),
+            TokenKind::Punct(b) => out.push(*b as char),
+            TokenKind::Lifetime => out.push_str("'a"),
+            TokenKind::Literal => out.push('0'),
+        }
+        out.push(' ');
+    }
+    out
+}
+
+fn kinds_only(tokens: &[lexer::Token]) -> Vec<TokenKind> {
+    tokens.iter().map(|t| t.kind.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: no panic, and line numbers stay sane (monotonic,
+    /// bounded by the newline count).
+    #[test]
+    fn lexer_survives_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let out = lexer::lex(&bytes);
+        let lines = bytes.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        let mut last = 1u32;
+        for t in &out.tokens {
+            prop_assert!(t.line >= last, "line numbers must be monotonic");
+            prop_assert!(t.line <= lines, "line {} beyond file end {}", t.line, lines);
+            last = t.line;
+        }
+        // Stripping test regions never panics either and never grows.
+        let stripped = lexer::strip_tests(&out.tokens);
+        prop_assert!(stripped.len() <= out.tokens.len());
+    }
+
+    /// Structure-biased soup: draw from the alphabet that exercises
+    /// string/comment/raw-string state transitions.
+    #[test]
+    fn lexer_survives_structural_soup(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const PIECES: [&str; 16] = [
+            "\"", "'", "r#\"", "#\"", "\\", "//", "/*", "*/",
+            "\n", "r", "b\"", "ident", "{", "}", "#[cfg(test)]", "mod tests",
+        ];
+        let src: String = picks.iter().map(|&i| PIECES[i]).collect();
+        let out = lexer::lex(src.as_bytes());
+        let _ = lexer::strip_tests(&out.tokens);
+    }
+
+    /// Round-trip: re-lexing a rendering of the token stream yields the
+    /// same kinds. Catches state bleed between literals and code.
+    #[test]
+    fn token_stream_round_trips(picks in proptest::collection::vec(0usize..12, 0..128)) {
+        const PIECES: [&str; 12] = [
+            "fn f", "let x = \"str with // no comment\"", "'c'", "r##\"raw \" body\"##",
+            "/* block /* nested */ still */", "// line\n", "1.5e-3", "0..10",
+            "m.keys()", "#[allow(dead_code)]", "{ }", "b'\\n'",
+        ];
+        let src: String = picks.iter().map(|&i| PIECES[i]).collect::<Vec<_>>().join(" ");
+        let first = lexer::lex(src.as_bytes());
+        let second = lexer::lex(render(&first.tokens).as_bytes());
+        prop_assert_eq!(kinds_only(&first.tokens), kinds_only(&second.tokens));
+    }
+}

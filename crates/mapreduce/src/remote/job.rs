@@ -22,7 +22,7 @@ use crate::cluster::ClusterConfig;
 use crate::job::{JobContext, JobError, JobOutput};
 use crate::stats::Phase;
 use crate::task::MapReduceTask;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Encodes one job request: wire kind, task spec, then the input splits.
 pub fn encode_job<T: MapReduceTask>(kind: &str, task: &T, splits: &[Vec<T::Input>]) -> Vec<u8> {
@@ -155,7 +155,10 @@ type JobFn = Box<dyn Fn(&mut ByteReader<'_>) -> Result<Vec<u8>, JobError> + Send
 /// worker's [`LocalPool`](crate::LocalPool) and encoding the reply.
 pub struct WorkerRegistry {
     config: ClusterConfig,
-    handlers: HashMap<&'static str, JobFn>,
+    // BTreeMap so `kinds()` and the Debug listing come out in a
+    // stable order — this module answers wire frames, and spq-lint bans
+    // hash-order iteration here.
+    handlers: BTreeMap<&'static str, JobFn>,
 }
 
 impl WorkerRegistry {
@@ -164,7 +167,7 @@ impl WorkerRegistry {
     pub fn new(config: ClusterConfig) -> Self {
         Self {
             config,
-            handlers: HashMap::new(),
+            handlers: BTreeMap::new(),
         }
     }
 
